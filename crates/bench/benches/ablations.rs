@@ -1,0 +1,104 @@
+//! Ablation benches: transfer policies under skew, wire encodings, and
+//! psize buffering granularity.
+
+mod common;
+
+use common::criterion;
+use criterion::Criterion;
+use vdr_cluster::{Ledger, SimCluster};
+use vdr_columnar::encoding::Encoding;
+use vdr_columnar::{encode_batch_with, Batch, Column, DataType, Schema};
+use vdr_distr::DistributedR;
+use vdr_transfer::odbc::{parse_rows, render_rows};
+use vdr_transfer::{install_export_function, TransferPolicy};
+use vdr_verticadb::{Segmentation, VerticaDb};
+use vdr_workloads::transfer_table;
+
+fn bench(c: &mut Criterion) {
+    // Policy × skew.
+    let cluster = SimCluster::for_tests(3);
+    let db = VerticaDb::new(cluster.clone());
+    transfer_table(
+        &db,
+        "t",
+        9_000,
+        Segmentation::Skewed {
+            weights: vec![6.0, 1.0, 1.0],
+        },
+        4,
+    )
+    .unwrap();
+    let dr = DistributedR::on_all_nodes(cluster, 4).unwrap();
+    let vft = install_export_function(&db);
+    let mut g = c.benchmark_group("ablation_policy_skew");
+    for policy in [TransferPolicy::Locality, TransferPolicy::Uniform] {
+        g.bench_function(policy.as_param(), |b| {
+            b.iter(|| {
+                let ledger = Ledger::new();
+                let (arr, report) = vft
+                    .db2darray(&db, &dr, "t", &["id", "a"], policy, &ledger)
+                    .unwrap();
+                assert_eq!(report.rows, 9_000);
+                drop(arr);
+            })
+        });
+    }
+    g.finish();
+
+    // Wire encodings: binary block round trip vs text round trip.
+    let schema = Schema::of(&[("i", DataType::Int64), ("f", DataType::Float64)]);
+    let batch = Batch::new(
+        schema.clone(),
+        vec![
+            Column::from_i64((0..20_000).collect()),
+            Column::from_f64((0..20_000).map(|i| i as f64 * 0.371).collect()),
+        ],
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("ablation_wire_encoding");
+    g.bench_function("binary_roundtrip_20k_rows", |b| {
+        b.iter(|| {
+            let bytes = encode_batch_with(&batch, Some(Encoding::Plain));
+            let back = vdr_columnar::decode_batch(&bytes).unwrap();
+            assert_eq!(back.num_rows(), 20_000);
+        })
+    });
+    g.bench_function("text_roundtrip_20k_rows", |b| {
+        b.iter(|| {
+            let text = render_rows(&batch);
+            let back = parse_rows(&schema, &text).unwrap();
+            assert_eq!(back.num_rows(), 20_000);
+        })
+    });
+    g.finish();
+
+    // Buffering granularity.
+    let mut g = c.benchmark_group("ablation_psize");
+    for psize in [9_000u64, 500] {
+        g.bench_function(format!("psize_{psize}"), |b| {
+            b.iter(|| {
+                let ledger = Ledger::new();
+                let (arr, report) = vft
+                    .db2darray_opts(
+                        &db,
+                        &dr,
+                        "t",
+                        &["id", "a"],
+                        TransferPolicy::Uniform,
+                        &ledger,
+                        Some(psize),
+                    )
+                    .unwrap();
+                assert_eq!(report.rows, 9_000);
+                drop(arr);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

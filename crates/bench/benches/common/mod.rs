@@ -1,0 +1,41 @@
+#![allow(dead_code)] // each bench target compiles this module; not all use every helper
+
+//! Shared setup for the figure benches: small clusters with real data.
+//!
+//! Benchmarks run the *real* implementation at laptop scale (the projected
+//! paper-scale numbers come from the `figures` binary). Criterion settings
+//! are kept modest — the point is regression tracking, not microsecond
+//! precision.
+
+use criterion::Criterion;
+use std::sync::Arc;
+use vdr_distr::DistributedR;
+use vdr_transfer::{install_export_function, FastTransfer};
+use vdr_verticadb::{Segmentation, VerticaDb};
+use vdr_workloads::transfer_table;
+
+/// Criterion tuned for heavyish end-to-end operations.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+/// A database with the standard 6-column transfer table plus a runtime.
+pub struct TransferBench {
+    pub db: Arc<VerticaDb>,
+    pub dr: DistributedR,
+    pub vft: FastTransfer,
+}
+
+pub fn transfer_bench(nodes: usize, rows: usize, instances: usize) -> TransferBench {
+    let cluster = vdr_cluster::SimCluster::for_tests(nodes);
+    let db = VerticaDb::new(cluster.clone());
+    transfer_table(&db, "t", rows, Segmentation::Hash { column: "id".into() }, 5).unwrap();
+    let dr = DistributedR::on_all_nodes(cluster, instances).unwrap();
+    let vft = install_export_function(&db);
+    TransferBench { db, dr, vft }
+}
+
+pub const COLS: [&str; 6] = ["id", "a", "b", "c", "d", "e"];

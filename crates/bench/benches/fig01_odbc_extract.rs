@@ -1,0 +1,40 @@
+//! Figure 1 bench: extracting a table through one vs many ODBC connections
+//! (real small-scale runs; paper-scale projections live in the `figures`
+//! binary).
+
+mod common;
+
+use common::{criterion, transfer_bench, COLS};
+use criterion::Criterion;
+use vdr_cluster::Ledger;
+use vdr_transfer::OdbcLoader;
+
+fn bench(c: &mut Criterion) {
+    let tb = transfer_bench(3, 6_000, 3);
+    let mut g = c.benchmark_group("fig01_odbc_extract");
+    g.bench_function("single_connection", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (arr, report) =
+                OdbcLoader::load_single(&tb.db, &tb.dr, "t", &COLS, &ledger).unwrap();
+            assert_eq!(report.rows, 6_000);
+            drop(arr);
+        })
+    });
+    g.bench_function("parallel_connections", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (arr, report) =
+                OdbcLoader::load_parallel(&tb.db, &tb.dr, "t", &COLS, "id", &ledger).unwrap();
+            assert_eq!(report.rows, 6_000);
+            drop(arr);
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,40 @@
+//! Figure 12 bench: Vertica Fast Transfer vs parallel ODBC, small cluster.
+
+mod common;
+
+use common::{criterion, transfer_bench, COLS};
+use criterion::Criterion;
+use vdr_cluster::Ledger;
+use vdr_transfer::{OdbcLoader, TransferPolicy};
+
+fn bench(c: &mut Criterion) {
+    let tb = transfer_bench(3, 9_000, 4);
+    let mut g = c.benchmark_group("fig12_vft_vs_odbc");
+    g.bench_function("vft_locality", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (arr, report) = tb
+                .vft
+                .db2darray(&tb.db, &tb.dr, "t", &COLS, TransferPolicy::Locality, &ledger)
+                .unwrap();
+            assert_eq!(report.rows, 9_000);
+            drop(arr);
+        })
+    });
+    g.bench_function("odbc_parallel", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (arr, report) =
+                OdbcLoader::load_parallel(&tb.db, &tb.dr, "t", &COLS, "id", &ledger).unwrap();
+            assert_eq!(report.rows, 9_000);
+            drop(arr);
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

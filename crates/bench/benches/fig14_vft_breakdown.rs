@@ -1,0 +1,41 @@
+//! Figure 14 bench: VFT with few vs many R instances per node (the R-side
+//! conversion parallelism).
+
+mod common;
+
+use common::{criterion, COLS};
+use criterion::Criterion;
+use vdr_cluster::{Ledger, SimCluster};
+use vdr_distr::DistributedR;
+use vdr_transfer::{install_export_function, TransferPolicy};
+use vdr_verticadb::{Segmentation, VerticaDb};
+use vdr_workloads::transfer_table;
+
+fn bench(c: &mut Criterion) {
+    let cluster = SimCluster::for_tests(3);
+    let db = VerticaDb::new(cluster.clone());
+    transfer_table(&db, "t", 9_000, Segmentation::RoundRobin, 5).unwrap();
+    let vft = install_export_function(&db);
+    let mut g = c.benchmark_group("fig14_vft_breakdown");
+    for instances in [2usize, 8] {
+        let dr = DistributedR::start(cluster.clone(), cluster.node_ids(), instances, u64::MAX)
+            .unwrap();
+        g.bench_function(format!("instances_{instances}"), |b| {
+            b.iter(|| {
+                let ledger = Ledger::new();
+                let (arr, report) = vft
+                    .db2darray(&db, &dr, "t", &COLS, TransferPolicy::Locality, &ledger)
+                    .unwrap();
+                assert_eq!(report.rows, 9_000);
+                drop(arr);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

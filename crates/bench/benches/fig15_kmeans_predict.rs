@@ -1,0 +1,44 @@
+//! Figure 15 bench: in-database K-means prediction over a real table.
+
+mod common;
+
+use common::criterion;
+use criterion::Criterion;
+use vdr_cluster::{NodeId, PhaseKind, PhaseRecorder, SimCluster};
+use vdr_core::{register_prediction_functions, Model};
+use vdr_ml::models::KmeansModel;
+use vdr_verticadb::{Segmentation, VerticaDb};
+use vdr_workloads::transfer_table;
+
+fn bench(c: &mut Criterion) {
+    let cluster = SimCluster::for_tests(3);
+    let db = VerticaDb::new(cluster);
+    register_prediction_functions(&db);
+    transfer_table(&db, "t", 30_000, Segmentation::Hash { column: "id".into() }, 4).unwrap();
+    let model = Model::Kmeans(KmeansModel {
+        centers: (0..10).map(|i| vec![i as f64 * 150.0 - 700.0; 5]).collect(),
+        iterations: 1,
+        total_withinss: 0.0,
+    });
+    let rec = PhaseRecorder::new("save", PhaseKind::Sequential, 3);
+    db.models()
+        .save(NodeId(0), "km", "dbadmin", "kmeans", "bench", model.to_bytes(), &rec)
+        .unwrap();
+    c.bench_function("fig15_kmeans_predict_30k_rows", |b| {
+        b.iter(|| {
+            let out = db
+                .query(
+                    "SELECT KmeansPredict(a, b, c, d, e USING PARAMETERS model='km') \
+                     OVER (PARTITION BEST) FROM t",
+                )
+                .unwrap();
+            assert_eq!(out.batch.num_rows(), 30_000);
+        })
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,47 @@
+//! Figure 16 bench: in-database GLM prediction over a real table.
+
+mod common;
+
+use common::criterion;
+use criterion::Criterion;
+use vdr_cluster::{NodeId, PhaseKind, PhaseRecorder, SimCluster};
+use vdr_core::{register_prediction_functions, Model};
+use vdr_ml::{Family, GlmModel};
+use vdr_verticadb::{Segmentation, VerticaDb};
+use vdr_workloads::transfer_table;
+
+fn bench(c: &mut Criterion) {
+    let cluster = SimCluster::for_tests(3);
+    let db = VerticaDb::new(cluster);
+    register_prediction_functions(&db);
+    transfer_table(&db, "t", 30_000, Segmentation::Hash { column: "id".into() }, 4).unwrap();
+    let model = Model::Glm(GlmModel {
+        coefficients: vec![0.5, 0.1, -0.2, 0.3, -0.4, 0.5],
+        intercept: true,
+        family: Family::Gaussian,
+        deviance: 0.0,
+        iterations: 1,
+        converged: true,
+    });
+    let rec = PhaseRecorder::new("save", PhaseKind::Sequential, 3);
+    db.models()
+        .save(NodeId(0), "g", "dbadmin", "regression", "bench", model.to_bytes(), &rec)
+        .unwrap();
+    c.bench_function("fig16_glm_predict_30k_rows", |b| {
+        b.iter(|| {
+            let out = db
+                .query(
+                    "SELECT glmPredict(a, b, c, d, e USING PARAMETERS model='g') \
+                     OVER (PARTITION BEST) FROM t",
+                )
+                .unwrap();
+            assert_eq!(out.batch.num_rows(), 30_000);
+        })
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

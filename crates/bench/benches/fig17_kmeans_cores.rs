@@ -1,0 +1,49 @@
+//! Figure 17 bench: the K-means assignment kernel, serial (stock R stand-in)
+//! vs the distributed runtime.
+
+mod common;
+
+use common::criterion;
+use criterion::Criterion;
+use vdr_cluster::SimCluster;
+use vdr_distr::DistributedR;
+use vdr_ml::kmeans::assign_partial;
+use vdr_workloads::gaussian_mixture;
+
+fn bench(c: &mut Criterion) {
+    let centers: Vec<Vec<f64>> = (0..20)
+        .map(|i| (0..10).map(|j| ((i * 3 + j) % 17) as f64).collect())
+        .collect();
+    let (pts, _) = gaussian_mixture(2_500, &centers, 0.3, 1); // 50k×10
+    let mut g = c.benchmark_group("fig17_kmeans_iteration");
+    g.bench_function("serial_kernel_50k_rows_k20", |b| {
+        b.iter(|| {
+            let p = assign_partial(&pts, 10, &centers);
+            assert_eq!(p.counts.iter().sum::<u64>(), 50_000);
+        })
+    });
+    // Same kernel through the distributed runtime (4 partitions).
+    let dr = DistributedR::on_all_nodes(SimCluster::for_tests(1), 4).unwrap();
+    let x = dr.darray(4).unwrap();
+    let per = pts.len() / 10 / 4;
+    for part in 0..4 {
+        x.fill_partition(part, per, 10, pts[part * per * 10..(part + 1) * per * 10].to_vec())
+            .unwrap();
+    }
+    g.bench_function("distributed_kernel_50k_rows_k20", |b| {
+        b.iter(|| {
+            let partials = x
+                .map_partitions(|_, p| assign_partial(&p.data, 10, &centers))
+                .unwrap();
+            let n: u64 = partials.iter().flat_map(|p| &p.counts).sum();
+            assert_eq!(n, 50_000);
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

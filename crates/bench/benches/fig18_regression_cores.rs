@@ -1,0 +1,54 @@
+//! Figure 18 bench: QR decomposition (stock R stand-in) vs distributed
+//! Newton–Raphson on identical data.
+
+mod common;
+
+use common::criterion;
+use criterion::Criterion;
+use vdr_cluster::SimCluster;
+use vdr_distr::DistributedR;
+use vdr_ml::serial::serial_lm;
+use vdr_ml::{hpdglm, Family, GlmOptions};
+use vdr_workloads::linear_data;
+
+fn bench(c: &mut Criterion) {
+    let (x, y) = linear_data(40_000, 1.0, &[2.0, -1.0, 0.5, 0.25, -0.125, 3.0], 0.01, 9);
+    let mut g = c.benchmark_group("fig18_regression");
+    g.bench_function("stock_r_qr_40k_rows", |b| {
+        b.iter(|| {
+            let m = serial_lm(&x, 6, &y).unwrap();
+            assert!(m.converged);
+        })
+    });
+    let dr = DistributedR::on_all_nodes(SimCluster::for_tests(1), 4).unwrap();
+    let xa = dr.darray(4).unwrap();
+    let rows = 10_000;
+    for part in 0..4 {
+        xa.fill_partition(part, rows, 6, x[part * rows * 6..(part + 1) * rows * 6].to_vec())
+            .unwrap();
+    }
+    let ya = xa.clone_structure(1, 0.0).unwrap();
+    for part in 0..4 {
+        ya.fill_partition_on(
+            ya.worker_of(part).unwrap(),
+            part,
+            rows,
+            1,
+            y[part * rows..(part + 1) * rows].to_vec(),
+        )
+        .unwrap();
+    }
+    g.bench_function("distributed_newton_raphson_40k_rows", |b| {
+        b.iter(|| {
+            let m = hpdglm(&xa, &ya, Family::Gaussian, &GlmOptions::default()).unwrap();
+            assert!(m.converged);
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,55 @@
+//! Figure 19 bench: distributed regression weak scaling — per-iteration
+//! work at 1 vs 2 simulated nodes with proportional data.
+
+mod common;
+
+use common::criterion;
+use criterion::Criterion;
+use vdr_cluster::SimCluster;
+use vdr_distr::{DArray, DistributedR};
+use vdr_ml::{hpdglm, Family, GlmOptions};
+use vdr_workloads::linear_data;
+
+fn dataset(nodes: usize, rows: usize) -> (DistributedR, DArray, DArray) {
+    let coefs: Vec<f64> = (0..20).map(|i| (i as f64 - 10.0) / 5.0).collect();
+    let (x, y) = linear_data(rows, 1.0, &coefs, 0.0, 8);
+    let dr = DistributedR::on_all_nodes(SimCluster::for_tests(nodes), 2).unwrap();
+    let xa = dr.darray(nodes).unwrap();
+    let per = rows / nodes;
+    for part in 0..nodes {
+        xa.fill_partition(part, per, 20, x[part * per * 20..(part + 1) * per * 20].to_vec())
+            .unwrap();
+    }
+    let ya = xa.clone_structure(1, 0.0).unwrap();
+    for part in 0..nodes {
+        ya.fill_partition_on(
+            ya.worker_of(part).unwrap(),
+            part,
+            per,
+            1,
+            y[part * per..(part + 1) * per].to_vec(),
+        )
+        .unwrap();
+    }
+    (dr, xa, ya)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig19_weak_scaling");
+    for (nodes, rows) in [(1usize, 8_000usize), (2, 16_000)] {
+        let (_dr, xa, ya) = dataset(nodes, rows);
+        g.bench_function(format!("nodes_{nodes}_rows_{rows}"), |b| {
+            b.iter(|| {
+                let m = hpdglm(&xa, &ya, Family::Gaussian, &GlmOptions::default()).unwrap();
+                assert!(m.converged);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,68 @@
+#![allow(clippy::needless_range_loop)]
+//! Figure 20 bench: the same K-means over the Distributed R stack and the
+//! Spark comparator stack, same data, same initial centers.
+
+mod common;
+
+use common::criterion;
+use criterion::Criterion;
+use std::sync::Arc;
+use vdr_cluster::{Ledger, SimCluster};
+use vdr_distr::DistributedR;
+use vdr_ml::kmeans::{assign_partial, merge_partials};
+use vdr_sparksim::{mllib::spark_kmeans_with_centers, HdfsSim, SparkContext};
+use vdr_workloads::gaussian_mixture;
+
+fn bench(c: &mut Criterion) {
+    let cluster = SimCluster::for_tests(3);
+    let true_centers: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 * 12.0; 4]).collect();
+    let (pts, _) = gaussian_mixture(4_000, &true_centers, 0.4, 2); // 24k×4
+    let init: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 * 12.0 + 1.0; 4]).collect();
+
+    // Distributed R side.
+    let dr = DistributedR::on_all_nodes(cluster.clone(), 2).unwrap();
+    let x = dr.darray(3).unwrap();
+    let per = pts.len() / 4 / 3;
+    for part in 0..3 {
+        x.fill_partition(part, per, 4, pts[part * per * 4..(part + 1) * per * 4].to_vec())
+            .unwrap();
+    }
+    // Spark side: same rows via HDFS.
+    let hdfs = Arc::new(HdfsSim::new(cluster.clone(), 3));
+    hdfs.put_matrix("pts", &pts[..per * 3 * 4], 4, 1024);
+    let sc = SparkContext::new(cluster.clone(), hdfs, 2);
+    let (matrix, _) = sc.load_matrix("pts", &Ledger::new()).unwrap();
+
+    let mut g = c.benchmark_group("fig20_kmeans_stacks");
+    g.bench_function("distributed_r_5_iterations", |b| {
+        b.iter(|| {
+            let mut cs = init.clone();
+            for _ in 0..5 {
+                let partials = x
+                    .map_partitions(|_, p| assign_partial(&p.data, 4, &cs))
+                    .unwrap();
+                let merged = partials.into_iter().reduce(|a, b| merge_partials(a, &b)).unwrap();
+                for k in 0..6 {
+                    if merged.counts[k] > 0 {
+                        let n = merged.counts[k] as f64;
+                        cs[k] = merged.sums[k * 4..(k + 1) * 4].iter().map(|s| s / n).collect();
+                    }
+                }
+            }
+            assert!(cs[0][0].is_finite());
+        })
+    });
+    g.bench_function("spark_5_iterations", |b| {
+        b.iter(|| {
+            let m = spark_kmeans_with_centers(&cluster, &matrix, init.clone(), 5).unwrap();
+            assert!(m.total_withinss.is_finite());
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

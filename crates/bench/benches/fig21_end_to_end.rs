@@ -1,0 +1,72 @@
+//! Figure 21 bench: the three load paths — VFT out of the database, Spark
+//! off HDFS, and Distributed R off local files.
+
+mod common;
+
+use common::{criterion, transfer_bench, COLS};
+use criterion::Criterion;
+use std::sync::Arc;
+use vdr_cluster::Ledger;
+use vdr_columnar::{Batch, Column, DataType, Schema};
+use vdr_sparksim::{HdfsSim, SparkContext};
+use vdr_transfer::{LocalLoader, TransferPolicy};
+
+fn bench(c: &mut Criterion) {
+    let tb = transfer_bench(3, 9_000, 4);
+    let mut g = c.benchmark_group("fig21_load_paths");
+    g.bench_function("vft_from_database", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (arr, report) = tb
+                .vft
+                .db2darray(&tb.db, &tb.dr, "t", &COLS, TransferPolicy::Locality, &ledger)
+                .unwrap();
+            assert_eq!(report.rows, 9_000);
+            drop(arr);
+        })
+    });
+
+    // Spark from HDFS: same values staged as CSV blocks.
+    let cluster = tb.db.cluster().clone();
+    let hdfs = Arc::new(HdfsSim::new(cluster.clone(), 3));
+    let flat: Vec<f64> = (0..9_000).flat_map(|i| vec![i as f64; 6]).collect();
+    hdfs.put_matrix("t", &flat, 6, 1024);
+    let sc = SparkContext::new(cluster.clone(), hdfs, 4);
+    g.bench_function("spark_from_hdfs", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (m, _) = sc.load_matrix("t", &ledger).unwrap();
+            assert_eq!(m.num_rows(), 9_000);
+        })
+    });
+
+    // DR-disk: the same rows as local text files, one per worker.
+    let schema = Schema::of(&[("a", DataType::Float64), ("b", DataType::Float64)]);
+    let per = 3_000usize;
+    let batches: Vec<Batch> = (0..3)
+        .map(|w| {
+            let vals: Vec<f64> = (0..per).map(|i| (w * per + i) as f64).collect();
+            Batch::new(
+                schema.clone(),
+                vec![Column::from_f64(vals.clone()), Column::from_f64(vals)],
+            )
+            .unwrap()
+        })
+        .collect();
+    LocalLoader::stage(&tb.dr, "t_local", &batches).unwrap();
+    g.bench_function("dr_disk_local_files", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (arr, report) = LocalLoader::load(&tb.dr, "t_local", &schema, &ledger).unwrap();
+            assert_eq!(report.rows, 9_000);
+            drop(arr);
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,41 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p vdr-bench --release --bin figures            # everything
+//! cargo run -p vdr-bench --release --bin figures -- fig12   # one figure
+//! cargo run -p vdr-bench --release --bin figures -- --markdown > out.md
+//! ```
+
+use vdr_bench::report::to_markdown;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let figures = vdr_bench::all_figures();
+    let mut ran = 0;
+    for (id, f) in &figures {
+        if !selected.is_empty() && !selected.iter().any(|s| s.as_str() == *id) {
+            continue;
+        }
+        ran += 1;
+        let report = f();
+        if markdown {
+            print!("{}", to_markdown(&report));
+        } else {
+            println!("{report}");
+        }
+    }
+    if ran == 0 {
+        eprintln!(
+            "no figure matched {selected:?}; available: {}",
+            figures
+                .iter()
+                .map(|(id, _)| *id)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    }
+}

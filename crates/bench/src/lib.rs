@@ -1,0 +1,48 @@
+#![allow(clippy::needless_range_loop)] // validity-bitmap and center loops index by row/center id
+//! # vdr-bench — regenerating the paper's evaluation
+//!
+//! One module per evaluation area; every figure of Section 7 has a function
+//! returning a [`report::FigureReport`] with three kinds of columns:
+//!
+//! * **paper** — the value the paper reports (chart-read values are
+//!   approximate and marked `~`),
+//! * **model** — the paper-scale projection from the calibrated cost model
+//!   (`vdr-cluster::profile` documents every constant's derivation),
+//! * **measured** — a real, laptop-scale run of the actual implementation
+//!   (correctness-checked), with its simulated and wall-clock times.
+//!
+//! The `figures` binary prints every report; `cargo bench` runs Criterion
+//! benchmarks over the same real small-scale paths.
+
+pub mod ablations;
+pub mod compute_figs;
+pub mod predict_figs;
+pub mod report;
+pub mod transfer_figs;
+
+pub use report::FigureReport;
+
+/// A named figure generator.
+pub type FigureFn = fn() -> FigureReport;
+
+/// All figure generators in paper order.
+pub fn all_figures() -> Vec<(&'static str, FigureFn)> {
+    vec![
+        ("fig1", transfer_figs::figure1 as FigureFn),
+        ("fig12", transfer_figs::figure12),
+        ("fig13", transfer_figs::figure13),
+        ("fig14", transfer_figs::figure14),
+        ("fig15", predict_figs::figure15),
+        ("fig16", predict_figs::figure16),
+        ("fig17", compute_figs::figure17),
+        ("fig18", compute_figs::figure18),
+        ("fig19", compute_figs::figure19),
+        ("fig20", compute_figs::figure20),
+        ("fig21", transfer_figs::figure21),
+        ("abl-policy", ablations::policy_skew),
+        ("abl-encoding", ablations::wire_encoding),
+        ("abl-pipelining", ablations::pipelining),
+        ("abl-buffering", ablations::buffering),
+        ("abl-replication", ablations::dfs_replication),
+    ]
+}

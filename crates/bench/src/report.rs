@@ -1,0 +1,114 @@
+//! Report formatting for the figure harness.
+
+use std::fmt;
+
+/// One regenerated figure: a table plus free-form validation notes.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    pub id: &'static str,
+    pub title: String,
+    /// First row is the header.
+    pub table: Vec<Vec<String>>,
+    /// Small-scale validation lines, calibration caveats, etc.
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        FigureReport {
+            id,
+            title: title.into(),
+            table: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn header(&mut self, cols: &[&str]) -> &mut Self {
+        self.table
+            .insert(0, cols.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    pub fn row(&mut self, cols: Vec<String>) -> &mut Self {
+        self.table.push(cols);
+        self
+    }
+
+    pub fn note(&mut self, line: impl Into<String>) -> &mut Self {
+        self.notes.push(line.into());
+        self
+    }
+}
+
+impl fmt::Display for FigureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        if !self.table.is_empty() {
+            // Column widths.
+            let ncols = self.table.iter().map(Vec::len).max().unwrap_or(0);
+            let mut widths = vec![0usize; ncols];
+            for row in &self.table {
+                for (i, cell) in row.iter().enumerate() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+            for (ri, row) in self.table.iter().enumerate() {
+                write!(f, "  ")?;
+                for (i, cell) in row.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{cell:>width$}", width = widths[i])?;
+                }
+                writeln!(f)?;
+                if ri == 0 {
+                    let total: usize = widths.iter().sum::<usize>() + 3 * (ncols - 1) + 2;
+                    writeln!(f, "  {}", "-".repeat(total))?;
+                }
+            }
+        }
+        for n in &self.notes {
+            writeln!(f, "  • {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Markdown rendering (used to regenerate EXPERIMENTS.md).
+pub fn to_markdown(report: &FigureReport) -> String {
+    let mut out = format!("### {} — {}\n\n", report.id, report.title);
+    if !report.table.is_empty() {
+        let header = &report.table[0];
+        out.push_str(&format!("| {} |\n", header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(header.len())));
+        for row in &report.table[1..] {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+    }
+    for n in &report.notes {
+        out.push_str(&format!("- {n}\n"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_and_markdown() {
+        let mut r = FigureReport::new("figX", "demo");
+        r.header(&["size", "paper", "model"]);
+        r.row(vec!["50 GB".into(), "~2 min".into(), "2.3 min".into()]);
+        r.note("validated at small scale");
+        let text = r.to_string();
+        assert!(text.contains("figX"));
+        assert!(text.contains("50 GB"));
+        assert!(text.contains("• validated"));
+        let md = to_markdown(&r);
+        assert!(md.starts_with("### figX"));
+        assert!(md.contains("| 50 GB |"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared-memory staging area.
+//!
+//! "As each Distributed R node receives data from Vertica, it stores them as
+//! in-memory data files (typically in /dev/shm)" (Section 3.3). This module
+//! models that staging area: append-oriented in-memory files with a capacity
+//! bound, so tests can exercise the out-of-memory path.
+
+use crate::error::{ClusterError, Result};
+use crate::node::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One node's `/dev/shm`-like staging area.
+pub struct SharedMem {
+    node: NodeId,
+    capacity: u64,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    files: HashMap<String, Vec<u8>>,
+    used: u64,
+}
+
+impl SharedMem {
+    pub fn new(node: NodeId, capacity: u64) -> Self {
+        SharedMem {
+            node,
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Append bytes to a (possibly new) segment. Receive threads call this
+    /// concurrently for different streams.
+    pub fn append(&self, key: &str, data: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let new_used = inner.used + data.len() as u64;
+        if new_used > self.capacity {
+            return Err(ClusterError::ShmOutOfMemory {
+                node: self.node,
+                requested: data.len() as u64,
+                capacity: self.capacity,
+            });
+        }
+        inner.used = new_used;
+        inner
+            .files
+            .entry(key.to_string())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    /// Remove a segment and return its contents (the "convert to R object"
+    /// step consumes the staged file).
+    pub fn take(&self, key: &str) -> Result<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        match inner.files.remove(key) {
+            Some(data) => {
+                inner.used -= data.len() as u64;
+                Ok(data)
+            }
+            None => Err(ClusterError::ShmNotFound {
+                node: self.node,
+                key: key.to_string(),
+            }),
+        }
+    }
+
+    /// Current size of a segment, if present.
+    pub fn len_of(&self, key: &str) -> Option<usize> {
+        self.inner.lock().files.get(key).map(|v| v.len())
+    }
+
+    /// All segment keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.inner.lock().files.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Bytes currently staged.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_take_roundtrip() {
+        let shm = SharedMem::new(NodeId(0), 1024);
+        shm.append("s", b"abc").unwrap();
+        shm.append("s", b"def").unwrap();
+        assert_eq!(shm.len_of("s"), Some(6));
+        assert_eq!(shm.used_bytes(), 6);
+        assert_eq!(shm.take("s").unwrap(), b"abcdef");
+        assert_eq!(shm.used_bytes(), 0);
+        assert!(shm.take("s").is_err());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let shm = SharedMem::new(NodeId(2), 10);
+        shm.append("a", &[0u8; 8]).unwrap();
+        let err = shm.append("b", &[0u8; 4]).unwrap_err();
+        assert!(matches!(err, ClusterError::ShmOutOfMemory { node, .. } if node == NodeId(2)));
+        // Freeing restores headroom.
+        shm.take("a").unwrap();
+        shm.append("b", &[0u8; 4]).unwrap();
+    }
+
+    #[test]
+    fn keys_sorted() {
+        let shm = SharedMem::new(NodeId(0), 100);
+        shm.append("b", b"1").unwrap();
+        shm.append("a", b"1").unwrap();
+        assert_eq!(shm.keys(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn concurrent_appends_account_correctly() {
+        let shm = std::sync::Arc::new(SharedMem::new(NodeId(0), u64::MAX));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let shm = shm.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        shm.append(&format!("k{t}"), &[1u8; 7]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(shm.used_bytes(), 4 * 500 * 7);
+        for t in 0..4 {
+            assert_eq!(shm.len_of(&format!("k{t}")), Some(3500));
+        }
+    }
+}

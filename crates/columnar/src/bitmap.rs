@@ -1,0 +1,192 @@
+//! Bit-packed validity bitmap.
+//!
+//! One bit per row: set ⇒ the value is valid, clear ⇒ NULL. Stored in
+//! little-endian `u64` words.
+
+/// A growable bitmap.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    pub fn new() -> Self {
+        Bitmap::default()
+    }
+
+    /// A bitmap of `len` bits, all set (no NULLs).
+    pub fn all_valid(len: usize) -> Self {
+        let mut words = vec![u64::MAX; len.div_ceil(64)];
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        Bitmap { words, len }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn push(&mut self, valid: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if valid {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Whether bit `i` is set. Panics past the end (indexing contract, same
+    /// as slices).
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits (valid values).
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of clear bits (NULLs).
+    pub fn count_null(&self) -> usize {
+        self.len - self.count_set()
+    }
+
+    /// True iff every bit is set — lets encoders skip the null path.
+    pub fn all_set(&self) -> bool {
+        self.count_set() == self.len
+    }
+
+    /// Append all bits of `other`.
+    pub fn extend(&mut self, other: &Bitmap) {
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+
+    /// Bits `[from, to)` as a new bitmap.
+    pub fn slice(&self, from: usize, to: usize) -> Bitmap {
+        assert!(from <= to && to <= self.len);
+        let mut out = Bitmap::new();
+        for i in from..to {
+            out.push(self.get(i));
+        }
+        out
+    }
+
+    /// Serialize: bit count then words.
+    pub fn to_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Deserialize from `bytes` starting at `*pos`; advances `*pos`.
+    pub fn from_bytes(bytes: &[u8], pos: &mut usize) -> Option<Bitmap> {
+        let len = read_u64(bytes, pos)? as usize;
+        let nwords = len.div_ceil(64);
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(read_u64(bytes, pos)?);
+        }
+        Some(Bitmap { words, len })
+    }
+}
+
+pub(crate) fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let end = pos.checked_add(8)?;
+    let slice = bytes.get(*pos..end)?;
+    *pos = end;
+    Some(u64::from_le_bytes(slice.try_into().expect("8-byte slice")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut b = Bitmap::new();
+        let pattern: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        for &v in &pattern {
+            b.push(v);
+        }
+        assert_eq!(b.len(), 200);
+        for (i, &v) in pattern.iter().enumerate() {
+            assert_eq!(b.get(i), v, "bit {i}");
+        }
+        assert_eq!(b.count_set(), pattern.iter().filter(|&&v| v).count());
+        assert_eq!(b.count_null(), 200 - b.count_set());
+    }
+
+    #[test]
+    fn all_valid_sets_exactly_len_bits() {
+        for len in [0, 1, 63, 64, 65, 128, 130] {
+            let b = Bitmap::all_valid(len);
+            assert_eq!(b.len(), len);
+            assert_eq!(b.count_set(), len, "len={len}");
+            assert!(b.all_set());
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut b = Bitmap::new();
+        for i in 0..77 {
+            b.push(i % 7 != 2);
+        }
+        let mut buf = Vec::new();
+        b.to_bytes(&mut buf);
+        let mut pos = 0;
+        let back = Bitmap::from_bytes(&buf, &mut pos).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_bytes_return_none() {
+        let b = Bitmap::all_valid(100);
+        let mut buf = Vec::new();
+        b.to_bytes(&mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(Bitmap::from_bytes(&buf, &mut pos).is_none());
+    }
+
+    #[test]
+    fn extend_and_slice() {
+        let mut a = Bitmap::new();
+        a.push(true);
+        a.push(false);
+        let mut b = Bitmap::new();
+        b.push(false);
+        b.push(true);
+        a.extend(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(
+            (0..4).map(|i| a.get(i)).collect::<Vec<_>>(),
+            vec![true, false, false, true]
+        );
+        let s = a.slice(1, 3);
+        assert_eq!(s.len(), 2);
+        assert!(!s.get(0));
+        assert!(!s.get(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        Bitmap::all_valid(3).get(3);
+    }
+}

@@ -1,0 +1,465 @@
+//! Typed columns with validity bitmaps.
+
+use crate::bitmap::Bitmap;
+use crate::error::{ColumnarError, Result};
+use crate::value::{DataType, Value};
+
+/// A column of values, stored contiguously by type, with a validity bitmap
+/// marking NULLs. NULL slots hold a default value in the data vector; readers
+/// must consult the bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    Int64 { data: Vec<i64>, validity: Bitmap },
+    Float64 { data: Vec<f64>, validity: Bitmap },
+    Bool { data: Vec<bool>, validity: Bitmap },
+    Varchar { data: Vec<String>, validity: Bitmap },
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int64 => Column::Int64 {
+                data: vec![],
+                validity: Bitmap::new(),
+            },
+            DataType::Float64 => Column::Float64 {
+                data: vec![],
+                validity: Bitmap::new(),
+            },
+            DataType::Bool => Column::Bool {
+                data: vec![],
+                validity: Bitmap::new(),
+            },
+            DataType::Varchar => Column::Varchar {
+                data: vec![],
+                validity: Bitmap::new(),
+            },
+        }
+    }
+
+    /// Build a non-null Int64 column.
+    pub fn from_i64(data: Vec<i64>) -> Self {
+        let validity = Bitmap::all_valid(data.len());
+        Column::Int64 { data, validity }
+    }
+
+    /// Build a non-null Float64 column.
+    pub fn from_f64(data: Vec<f64>) -> Self {
+        let validity = Bitmap::all_valid(data.len());
+        Column::Float64 { data, validity }
+    }
+
+    /// Build a non-null Bool column.
+    pub fn from_bool(data: Vec<bool>) -> Self {
+        let validity = Bitmap::all_valid(data.len());
+        Column::Bool { data, validity }
+    }
+
+    /// Build a non-null Varchar column.
+    pub fn from_strings<S: Into<String>>(data: Vec<S>) -> Self {
+        let data: Vec<String> = data.into_iter().map(Into::into).collect();
+        let validity = Bitmap::all_valid(data.len());
+        Column::Varchar { data, validity }
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64 { .. } => DataType::Int64,
+            Column::Float64 { .. } => DataType::Float64,
+            Column::Bool { .. } => DataType::Bool,
+            Column::Varchar { .. } => DataType::Varchar,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64 { data, .. } => data.len(),
+            Column::Float64 { data, .. } => data.len(),
+            Column::Bool { data, .. } => data.len(),
+            Column::Varchar { data, .. } => data.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn validity(&self) -> &Bitmap {
+        match self {
+            Column::Int64 { validity, .. }
+            | Column::Float64 { validity, .. }
+            | Column::Bool { validity, .. }
+            | Column::Varchar { validity, .. } => validity,
+        }
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.validity().count_null()
+    }
+
+    /// Value at row `i`. Panics past the end.
+    pub fn get(&self, i: usize) -> Value {
+        if !self.validity().get(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int64 { data, .. } => Value::Int64(data[i]),
+            Column::Float64 { data, .. } => Value::Float64(data[i]),
+            Column::Bool { data, .. } => Value::Bool(data[i]),
+            Column::Varchar { data, .. } => Value::Varchar(data[i].clone()),
+        }
+    }
+
+    /// Numeric view of the whole column (ints widen, bools become 0/1,
+    /// NULLs become NaN). This is the bridge into the ML layer, which works
+    /// on dense doubles.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        match self {
+            Column::Int64 { data, validity } => {
+                for i in 0..n {
+                    out.push(if validity.get(i) { data[i] as f64 } else { f64::NAN });
+                }
+            }
+            Column::Float64 { data, validity } => {
+                for i in 0..n {
+                    out.push(if validity.get(i) { data[i] } else { f64::NAN });
+                }
+            }
+            Column::Bool { data, validity } => {
+                for i in 0..n {
+                    out.push(if validity.get(i) {
+                        data[i] as u8 as f64
+                    } else {
+                        f64::NAN
+                    });
+                }
+            }
+            Column::Varchar { .. } => out.resize(n, f64::NAN),
+        }
+        out
+    }
+
+    /// Direct access to Float64 data (fast path for vectorized kernels).
+    pub fn f64_data(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float64 { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Direct access to Int64 data.
+    pub fn i64_data(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int64 { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Rows `[from, to)` as a new column.
+    pub fn slice(&self, from: usize, to: usize) -> Column {
+        assert!(from <= to && to <= self.len(), "slice out of range");
+        match self {
+            Column::Int64 { data, validity } => Column::Int64 {
+                data: data[from..to].to_vec(),
+                validity: validity.slice(from, to),
+            },
+            Column::Float64 { data, validity } => Column::Float64 {
+                data: data[from..to].to_vec(),
+                validity: validity.slice(from, to),
+            },
+            Column::Bool { data, validity } => Column::Bool {
+                data: data[from..to].to_vec(),
+                validity: validity.slice(from, to),
+            },
+            Column::Varchar { data, validity } => Column::Varchar {
+                data: data[from..to].to_vec(),
+                validity: validity.slice(from, to),
+            },
+        }
+    }
+
+    /// Append all rows of `other` (same type required).
+    pub fn extend(&mut self, other: &Column) -> Result<()> {
+        if self.data_type() != other.data_type() {
+            return Err(ColumnarError::TypeMismatch {
+                expected: self.data_type(),
+                found: other.data_type(),
+            });
+        }
+        match (self, other) {
+            (
+                Column::Int64 { data, validity },
+                Column::Int64 {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend(ov);
+            }
+            (
+                Column::Float64 { data, validity },
+                Column::Float64 {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend(ov);
+            }
+            (
+                Column::Bool { data, validity },
+                Column::Bool {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend(ov);
+            }
+            (
+                Column::Varchar { data, validity },
+                Column::Varchar {
+                    data: od,
+                    validity: ov,
+                },
+            ) => {
+                data.extend_from_slice(od);
+                validity.extend(ov);
+            }
+            _ => unreachable!("type equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Keep rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> Result<Column> {
+        if mask.len() != self.len() {
+            return Err(ColumnarError::LengthMismatch {
+                expected: self.len(),
+                found: mask.len(),
+            });
+        }
+        let mut b = ColumnBuilder::new(self.data_type());
+        for (i, &keep) in mask.iter().enumerate() {
+            if keep {
+                b.push(self.get(i))?;
+            }
+        }
+        Ok(b.finish())
+    }
+
+    /// Gather rows at `indices` (in order, duplicates allowed).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let mut b = ColumnBuilder::new(self.data_type());
+        for &i in indices {
+            b.push(self.get(i)).expect("same type");
+        }
+        b.finish()
+    }
+
+    /// Approximate in-memory footprint, in bytes. Drives the ledger's
+    /// byte accounting for raw (unencoded) data.
+    pub fn byte_size(&self) -> u64 {
+        let values: u64 = match self {
+            Column::Int64 { data, .. } => 8 * data.len() as u64,
+            Column::Float64 { data, .. } => 8 * data.len() as u64,
+            Column::Bool { data, .. } => data.len() as u64,
+            Column::Varchar { data, .. } => data.iter().map(|s| s.len() as u64 + 4).sum(),
+        };
+        values + (self.len() as u64).div_ceil(8)
+    }
+}
+
+/// Incremental column construction with type checking.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    column: Column,
+}
+
+impl ColumnBuilder {
+    pub fn new(dtype: DataType) -> Self {
+        ColumnBuilder {
+            column: Column::empty(dtype),
+        }
+    }
+
+    pub fn with_capacity(dtype: DataType, cap: usize) -> Self {
+        let column = match dtype {
+            DataType::Int64 => Column::Int64 {
+                data: Vec::with_capacity(cap),
+                validity: Bitmap::new(),
+            },
+            DataType::Float64 => Column::Float64 {
+                data: Vec::with_capacity(cap),
+                validity: Bitmap::new(),
+            },
+            DataType::Bool => Column::Bool {
+                data: Vec::with_capacity(cap),
+                validity: Bitmap::new(),
+            },
+            DataType::Varchar => Column::Varchar {
+                data: Vec::with_capacity(cap),
+                validity: Bitmap::new(),
+            },
+        };
+        ColumnBuilder { column }
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.column.data_type()
+    }
+
+    pub fn len(&self) -> usize {
+        self.column.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.column.is_empty()
+    }
+
+    /// Append a value. `Value::Null` appends a NULL; otherwise the type must
+    /// match the builder's.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (&mut self.column, value) {
+            (Column::Int64 { data, validity }, Value::Int64(v)) => {
+                data.push(v);
+                validity.push(true);
+            }
+            (Column::Float64 { data, validity }, Value::Float64(v)) => {
+                data.push(v);
+                validity.push(true);
+            }
+            // Ints widen into float columns (SQL numeric literals).
+            (Column::Float64 { data, validity }, Value::Int64(v)) => {
+                data.push(v as f64);
+                validity.push(true);
+            }
+            (Column::Bool { data, validity }, Value::Bool(v)) => {
+                data.push(v);
+                validity.push(true);
+            }
+            (Column::Varchar { data, validity }, Value::Varchar(v)) => {
+                data.push(v);
+                validity.push(true);
+            }
+            (col, Value::Null) => match col {
+                Column::Int64 { data, validity } => {
+                    data.push(0);
+                    validity.push(false);
+                }
+                Column::Float64 { data, validity } => {
+                    data.push(0.0);
+                    validity.push(false);
+                }
+                Column::Bool { data, validity } => {
+                    data.push(false);
+                    validity.push(false);
+                }
+                Column::Varchar { data, validity } => {
+                    data.push(String::new());
+                    validity.push(false);
+                }
+            },
+            (col, v) => {
+                return Err(ColumnarError::TypeMismatch {
+                    expected: col.data_type(),
+                    found: v.data_type().expect("null handled above"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    pub fn push_null(&mut self) {
+        self.push(Value::Null).expect("null always accepted");
+    }
+
+    pub fn finish(self) -> Column {
+        self.column
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_enforce_types() {
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        b.push(Value::Int64(1)).unwrap();
+        b.push_null();
+        b.push(Value::Int64(3)).unwrap();
+        let err = b.push(Value::Varchar("x".into())).unwrap_err();
+        assert!(matches!(err, ColumnarError::TypeMismatch { .. }));
+        let col = b.finish();
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.null_count(), 1);
+        assert_eq!(col.get(0), Value::Int64(1));
+        assert_eq!(col.get(1), Value::Null);
+    }
+
+    #[test]
+    fn int_literals_widen_into_float_columns() {
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        b.push(Value::Int64(2)).unwrap();
+        b.push(Value::Float64(0.5)).unwrap();
+        let col = b.finish();
+        assert_eq!(col.get(0), Value::Float64(2.0));
+    }
+
+    #[test]
+    fn to_f64_with_nulls_yields_nan() {
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        b.push(Value::Float64(1.5)).unwrap();
+        b.push_null();
+        let v = b.finish().to_f64_vec();
+        assert_eq!(v[0], 1.5);
+        assert!(v[1].is_nan());
+    }
+
+    #[test]
+    fn slice_extend_roundtrip() {
+        let mut col = Column::from_i64(vec![1, 2, 3, 4, 5]);
+        let tail = col.slice(3, 5);
+        assert_eq!(tail.get(0), Value::Int64(4));
+        col.extend(&tail).unwrap();
+        assert_eq!(col.len(), 7);
+        assert_eq!(col.get(6), Value::Int64(5));
+        let err = col.extend(&Column::from_f64(vec![1.0])).unwrap_err();
+        assert!(matches!(err, ColumnarError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let col = Column::from_strings(vec!["a", "b", "c", "d"]);
+        let filtered = col.filter(&[true, false, false, true]).unwrap();
+        assert_eq!(filtered.len(), 2);
+        assert_eq!(filtered.get(1), Value::Varchar("d".into()));
+        let taken = col.take(&[3, 3, 0]);
+        assert_eq!(taken.get(0), Value::Varchar("d".into()));
+        assert_eq!(taken.get(2), Value::Varchar("a".into()));
+        assert!(col.filter(&[true]).is_err());
+    }
+
+    #[test]
+    fn byte_size_scales_with_rows() {
+        let small = Column::from_f64(vec![0.0; 10]).byte_size();
+        let big = Column::from_f64(vec![0.0; 1000]).byte_size();
+        assert!(big > small * 50);
+        assert!(Column::from_bool(vec![true; 8]).byte_size() >= 8);
+    }
+
+    #[test]
+    fn empty_columns() {
+        for dt in [DataType::Int64, DataType::Float64, DataType::Bool, DataType::Varchar] {
+            let c = Column::empty(dt);
+            assert!(c.is_empty());
+            assert_eq!(c.data_type(), dt);
+            assert_eq!(c.null_count(), 0);
+        }
+    }
+}

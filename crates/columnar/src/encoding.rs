@@ -1,0 +1,540 @@
+//! Column encodings.
+//!
+//! Vertica stores columns encoded and compressed; part of the export cost the
+//! paper describes is "read data from the local filesystem, deserialize and
+//! decompress" (Section 7.3.2). Four encodings are supported:
+//!
+//! * [`Encoding::Plain`] — raw little-endian values (strings length-prefixed),
+//! * [`Encoding::Rle`] — run-length `(count, value)` pairs; wins on low-
+//!   cardinality or sorted columns,
+//! * [`Encoding::Dictionary`] — distinct values + varint indices; wins on
+//!   repeated strings,
+//! * [`Encoding::DeltaVarint`] — zig-zag varint deltas; wins on
+//!   near-monotonic integers (row ids, timestamps).
+//!
+//! Every encoded payload starts with the validity bitmap, so NULLs survive
+//! any encoding. [`choose_encoding`] samples the column and picks the
+//! smallest estimate.
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::value::DataType;
+
+/// Available encodings. The numeric discriminants are part of the block
+/// format and must not change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    Plain = 0,
+    Rle = 1,
+    Dictionary = 2,
+    DeltaVarint = 3,
+}
+
+impl Encoding {
+    pub fn from_u8(v: u8) -> Result<Encoding> {
+        match v {
+            0 => Ok(Encoding::Plain),
+            1 => Ok(Encoding::Rle),
+            2 => Ok(Encoding::Dictionary),
+            3 => Ok(Encoding::DeltaVarint),
+            other => Err(ColumnarError::Corrupt(format!("unknown encoding {other}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- varints
+
+pub(crate) fn write_uvarint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+pub(crate) fn read_uvarint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| ColumnarError::Corrupt("varint past end".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(ColumnarError::Corrupt("varint too long".into()));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// --------------------------------------------------------------- encoding
+
+/// Encode `col` with `enc`, appending to `out`.
+pub fn encode_column(col: &Column, enc: Encoding, out: &mut Vec<u8>) -> Result<()> {
+    col.validity().to_bytes(out);
+    match (col, enc) {
+        (Column::Int64 { data, .. }, Encoding::Plain) => {
+            for v in data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        (Column::Int64 { data, .. }, Encoding::Rle) => {
+            encode_runs(data.iter().copied(), out, |v, o| write_uvarint(zigzag(v), o));
+        }
+        (Column::Int64 { data, .. }, Encoding::DeltaVarint) => {
+            let mut prev = 0i64;
+            for &v in data {
+                write_uvarint(zigzag(v.wrapping_sub(prev)), out);
+                prev = v;
+            }
+        }
+        (Column::Float64 { data, .. }, Encoding::Plain) => {
+            for v in data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        (Column::Float64 { data, .. }, Encoding::Rle) => {
+            // Runs compare bit patterns so NaNs and -0.0 round-trip exactly.
+            encode_runs(data.iter().map(|v| v.to_bits()), out, |v, o| {
+                o.extend_from_slice(&v.to_le_bytes())
+            });
+        }
+        (Column::Bool { data, .. }, Encoding::Plain) => {
+            let mut bits = Bitmap::new();
+            for &b in data {
+                bits.push(b);
+            }
+            bits.to_bytes(out);
+        }
+        (Column::Bool { data, .. }, Encoding::Rle) => {
+            encode_runs(data.iter().copied(), out, |v, o| o.push(v as u8));
+        }
+        (Column::Varchar { data, .. }, Encoding::Plain) => {
+            for s in data {
+                write_uvarint(s.len() as u64, out);
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+        (Column::Varchar { data, .. }, Encoding::Dictionary) => {
+            let mut dict: Vec<&str> = Vec::new();
+            let mut index = std::collections::HashMap::new();
+            let mut codes = Vec::with_capacity(data.len());
+            for s in data {
+                let code = *index.entry(s.as_str()).or_insert_with(|| {
+                    dict.push(s.as_str());
+                    dict.len() - 1
+                });
+                codes.push(code as u64);
+            }
+            write_uvarint(dict.len() as u64, out);
+            for s in &dict {
+                write_uvarint(s.len() as u64, out);
+                out.extend_from_slice(s.as_bytes());
+            }
+            for c in codes {
+                write_uvarint(c, out);
+            }
+        }
+        (col, enc) => {
+            return Err(ColumnarError::Corrupt(format!(
+                "encoding {enc:?} not supported for {:?}",
+                col.data_type()
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn encode_runs<T: PartialEq + Copy>(
+    values: impl Iterator<Item = T>,
+    out: &mut Vec<u8>,
+    mut write_value: impl FnMut(T, &mut Vec<u8>),
+) {
+    let mut current: Option<(T, u64)> = None;
+    for v in values {
+        match &mut current {
+            Some((cv, count)) if *cv == v => *count += 1,
+            _ => {
+                if let Some((cv, count)) = current.take() {
+                    write_uvarint(count, out);
+                    write_value(cv, out);
+                }
+                current = Some((v, 1));
+            }
+        }
+    }
+    if let Some((cv, count)) = current {
+        write_uvarint(count, out);
+        write_value(cv, out);
+    }
+}
+
+// --------------------------------------------------------------- decoding
+
+/// Decode a column of `rows` values of `dtype` encoded with `enc` from
+/// `bytes`, starting at `*pos`.
+pub fn decode_column(
+    dtype: DataType,
+    enc: Encoding,
+    rows: usize,
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<Column> {
+    let validity = Bitmap::from_bytes(bytes, pos)
+        .ok_or_else(|| ColumnarError::Corrupt("validity bitmap truncated".into()))?;
+    if validity.len() != rows {
+        return Err(ColumnarError::Corrupt(format!(
+            "validity length {} != row count {rows}",
+            validity.len()
+        )));
+    }
+    let col = match (dtype, enc) {
+        (DataType::Int64, Encoding::Plain) => {
+            let mut data = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                data.push(read_i64_le(bytes, pos)?);
+            }
+            Column::Int64 { data, validity }
+        }
+        (DataType::Int64, Encoding::Rle) => {
+            let data = decode_runs(rows, bytes, pos, |b, p| Ok(unzigzag(read_uvarint(b, p)?)))?;
+            Column::Int64 { data, validity }
+        }
+        (DataType::Int64, Encoding::DeltaVarint) => {
+            let mut data = Vec::with_capacity(rows);
+            let mut prev = 0i64;
+            for _ in 0..rows {
+                prev = prev.wrapping_add(unzigzag(read_uvarint(bytes, pos)?));
+                data.push(prev);
+            }
+            Column::Int64 { data, validity }
+        }
+        (DataType::Float64, Encoding::Plain) => {
+            let mut data = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                data.push(f64::from_bits(read_i64_le(bytes, pos)? as u64));
+            }
+            Column::Float64 { data, validity }
+        }
+        (DataType::Float64, Encoding::Rle) => {
+            let bits = decode_runs(rows, bytes, pos, |b, p| {
+                read_i64_le(b, p).map(|v| v as u64)
+            })?;
+            Column::Float64 {
+                data: bits.into_iter().map(f64::from_bits).collect(),
+                validity,
+            }
+        }
+        (DataType::Bool, Encoding::Plain) => {
+            let bits = Bitmap::from_bytes(bytes, pos)
+                .ok_or_else(|| ColumnarError::Corrupt("bool bitmap truncated".into()))?;
+            if bits.len() != rows {
+                return Err(ColumnarError::Corrupt("bool bitmap length mismatch".into()));
+            }
+            Column::Bool {
+                data: (0..rows).map(|i| bits.get(i)).collect(),
+                validity,
+            }
+        }
+        (DataType::Bool, Encoding::Rle) => {
+            let data = decode_runs(rows, bytes, pos, |b, p| {
+                let byte = *b
+                    .get(*p)
+                    .ok_or_else(|| ColumnarError::Corrupt("rle bool past end".into()))?;
+                *p += 1;
+                Ok(byte != 0)
+            })?;
+            Column::Bool { data, validity }
+        }
+        (DataType::Varchar, Encoding::Plain) => {
+            let mut data = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                data.push(read_string(bytes, pos)?);
+            }
+            Column::Varchar { data, validity }
+        }
+        (DataType::Varchar, Encoding::Dictionary) => {
+            let dict_len = read_uvarint(bytes, pos)? as usize;
+            let mut dict = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(read_string(bytes, pos)?);
+            }
+            let mut data = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let code = read_uvarint(bytes, pos)? as usize;
+                let s = dict
+                    .get(code)
+                    .ok_or_else(|| ColumnarError::Corrupt(format!("dict code {code} out of range")))?;
+                data.push(s.clone());
+            }
+            Column::Varchar { data, validity }
+        }
+        (dt, e) => {
+            return Err(ColumnarError::Corrupt(format!(
+                "encoding {e:?} not supported for {dt:?}"
+            )))
+        }
+    };
+    Ok(col)
+}
+
+fn decode_runs<T: Copy>(
+    rows: usize,
+    bytes: &[u8],
+    pos: &mut usize,
+    mut read_value: impl FnMut(&[u8], &mut usize) -> Result<T>,
+) -> Result<Vec<T>> {
+    let mut data = Vec::with_capacity(rows);
+    while data.len() < rows {
+        let count = read_uvarint(bytes, pos)? as usize;
+        if count == 0 || data.len() + count > rows {
+            return Err(ColumnarError::Corrupt(format!(
+                "bad run length {count} at row {}",
+                data.len()
+            )));
+        }
+        let v = read_value(bytes, pos)?;
+        data.resize(data.len() + count, v);
+    }
+    Ok(data)
+}
+
+fn read_i64_le(bytes: &[u8], pos: &mut usize) -> Result<i64> {
+    let end = *pos + 8;
+    let slice = bytes
+        .get(*pos..end)
+        .ok_or_else(|| ColumnarError::Corrupt("i64 past end".into()))?;
+    *pos = end;
+    Ok(i64::from_le_bytes(slice.try_into().expect("8 bytes")))
+}
+
+fn read_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    let len = read_uvarint(bytes, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .ok_or_else(|| ColumnarError::Corrupt("string length overflow".into()))?;
+    let slice = bytes
+        .get(*pos..end)
+        .ok_or_else(|| ColumnarError::Corrupt("string past end".into()))?;
+    *pos = end;
+    String::from_utf8(slice.to_vec())
+        .map_err(|_| ColumnarError::Corrupt("invalid utf8 in string".into()))
+}
+
+// -------------------------------------------------------------- selection
+
+/// Pick an encoding by sampling up to 1024 values: count runs and distinct
+/// strings, and estimate each candidate's size.
+pub fn choose_encoding(col: &Column) -> Encoding {
+    let n = col.len();
+    if n == 0 {
+        return Encoding::Plain;
+    }
+    let sample = n.min(1024);
+    match col {
+        Column::Int64 { data, .. } => {
+            let runs = count_runs(&data[..sample]);
+            // Sorted-ish? deltas small ⇒ delta-varint.
+            let sorted = data[..sample].windows(2).filter(|w| w[1] >= w[0]).count();
+            if runs * 8 < sample {
+                Encoding::Rle
+            } else if sorted * 10 >= (sample.saturating_sub(1)) * 9 {
+                Encoding::DeltaVarint
+            } else {
+                Encoding::Plain
+            }
+        }
+        Column::Float64 { data, .. } => {
+            let bits: Vec<u64> = data[..sample].iter().map(|v| v.to_bits()).collect();
+            if count_runs(&bits) * 8 < sample {
+                Encoding::Rle
+            } else {
+                Encoding::Plain
+            }
+        }
+        Column::Bool { data, .. } => {
+            if count_runs(&data[..sample]) * 4 < sample {
+                Encoding::Rle
+            } else {
+                Encoding::Plain
+            }
+        }
+        Column::Varchar { data, .. } => {
+            let distinct: std::collections::HashSet<&str> =
+                data[..sample].iter().map(String::as_str).collect();
+            if distinct.len() * 4 < sample {
+                Encoding::Dictionary
+            } else {
+                Encoding::Plain
+            }
+        }
+    }
+}
+
+fn count_runs<T: PartialEq>(data: &[T]) -> usize {
+    if data.is_empty() {
+        return 0;
+    }
+    1 + data.windows(2).filter(|w| w[0] != w[1]).count()
+}
+
+/// Encode with the heuristically chosen encoding.
+pub fn encode_auto(col: &Column) -> (Encoding, Vec<u8>) {
+    let enc = choose_encoding(col);
+    let mut out = Vec::new();
+    encode_column(col, enc, &mut out).expect("chosen encoding always valid for its type");
+    (enc, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::value::Value;
+
+    fn roundtrip(col: &Column, enc: Encoding) -> Column {
+        let mut buf = Vec::new();
+        encode_column(col, enc, &mut buf).unwrap();
+        let mut pos = 0;
+        let back = decode_column(col.data_type(), enc, col.len(), &buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len(), "decoder must consume the payload exactly");
+        back
+    }
+
+    #[test]
+    fn int_roundtrips_all_encodings() {
+        let col = Column::from_i64(vec![5, 5, 5, -9, 0, i64::MAX, i64::MIN, 7, 7]);
+        for enc in [Encoding::Plain, Encoding::Rle, Encoding::DeltaVarint] {
+            assert_eq!(roundtrip(&col, enc), col, "{enc:?}");
+        }
+    }
+
+    #[test]
+    fn float_roundtrips_including_nan() {
+        let col = Column::from_f64(vec![1.5, 1.5, f64::NAN, -0.0, f64::INFINITY]);
+        for enc in [Encoding::Plain, Encoding::Rle] {
+            let back = roundtrip(&col, enc);
+            // NaN != NaN under PartialEq; compare bit patterns.
+            let a: Vec<u64> = col.f64_data().unwrap().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = back.f64_data().unwrap().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "{enc:?}");
+        }
+    }
+
+    #[test]
+    fn bool_and_string_roundtrips() {
+        let col = Column::from_bool(vec![true, true, false, true]);
+        for enc in [Encoding::Plain, Encoding::Rle] {
+            assert_eq!(roundtrip(&col, enc), col);
+        }
+        let col = Column::from_strings(vec!["a", "bb", "a", "", "ccc", "a"]);
+        for enc in [Encoding::Plain, Encoding::Dictionary] {
+            assert_eq!(roundtrip(&col, enc), col);
+        }
+    }
+
+    #[test]
+    fn nulls_survive_every_encoding() {
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        b.push(Value::Int64(1)).unwrap();
+        b.push_null();
+        b.push(Value::Int64(1)).unwrap();
+        let col = b.finish();
+        for enc in [Encoding::Plain, Encoding::Rle, Encoding::DeltaVarint] {
+            let back = roundtrip(&col, enc);
+            assert_eq!(back.get(1), Value::Null, "{enc:?}");
+            assert_eq!(back.null_count(), 1);
+        }
+    }
+
+    #[test]
+    fn rle_compresses_constant_columns() {
+        let col = Column::from_i64(vec![42; 10_000]);
+        let mut plain = Vec::new();
+        encode_column(&col, Encoding::Plain, &mut plain).unwrap();
+        let mut rle = Vec::new();
+        encode_column(&col, Encoding::Rle, &mut rle).unwrap();
+        assert!(rle.len() * 10 < plain.len(), "rle {} plain {}", rle.len(), plain.len());
+    }
+
+    #[test]
+    fn delta_compresses_sequential_ids() {
+        let col = Column::from_i64((0..10_000).collect());
+        let mut plain = Vec::new();
+        encode_column(&col, Encoding::Plain, &mut plain).unwrap();
+        let mut delta = Vec::new();
+        encode_column(&col, Encoding::DeltaVarint, &mut delta).unwrap();
+        // Each delta is one varint byte vs eight plain bytes; the shared
+        // validity bitmap caps the overall ratio near 5×.
+        assert!(delta.len() * 5 < plain.len());
+    }
+
+    #[test]
+    fn heuristic_picks_sensible_encodings() {
+        assert_eq!(
+            choose_encoding(&Column::from_i64(vec![7; 5000])),
+            Encoding::Rle
+        );
+        assert_eq!(
+            choose_encoding(&Column::from_i64((0..5000).collect())),
+            Encoding::DeltaVarint
+        );
+        let random: Vec<i64> = (0..5000).map(|i| (i * 2_654_435_761i64) % 4999 - 2500).collect();
+        assert_eq!(choose_encoding(&Column::from_i64(random)), Encoding::Plain);
+        assert_eq!(
+            choose_encoding(&Column::from_strings(vec!["x"; 1000])),
+            Encoding::Dictionary
+        );
+        assert_eq!(choose_encoding(&Column::empty(DataType::Int64)), Encoding::Plain);
+    }
+
+    #[test]
+    fn unsupported_combination_errors() {
+        let col = Column::from_f64(vec![1.0]);
+        let mut buf = Vec::new();
+        assert!(encode_column(&col, Encoding::Dictionary, &mut buf).is_err());
+    }
+
+    #[test]
+    fn corrupt_run_lengths_rejected() {
+        let col = Column::from_i64(vec![1, 1, 1]);
+        let mut buf = Vec::new();
+        encode_column(&col, Encoding::Rle, &mut buf).unwrap();
+        // Patch the run length (first byte after the 8+8-byte bitmap header)
+        // to exceed the row count.
+        let bitmap_len = 16;
+        buf[bitmap_len] = 200;
+        let mut pos = 0;
+        assert!(decode_column(DataType::Int64, Encoding::Rle, 3, &buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, u64::MAX, 1 << 35] {
+            let mut buf = Vec::new();
+            write_uvarint(v, &mut buf);
+            let mut pos = 0;
+            assert_eq!(read_uvarint(&buf, &mut pos).unwrap(), v);
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

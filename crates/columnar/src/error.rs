@@ -1,0 +1,44 @@
+//! Error types for the columnar layer.
+
+use crate::value::DataType;
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, ColumnarError>;
+
+/// Failures in column construction, encoding, or block decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnarError {
+    /// A value of the wrong type was appended or extracted.
+    TypeMismatch { expected: DataType, found: DataType },
+    /// Columns in a batch have differing lengths.
+    LengthMismatch { expected: usize, found: usize },
+    /// A block's magic number or version is wrong.
+    BadBlockHeader(String),
+    /// A block's checksum did not match its payload.
+    ChecksumMismatch { expected: u32, found: u32 },
+    /// The block payload ended prematurely or contained invalid data.
+    Corrupt(String),
+    /// Referenced a column that does not exist in the schema.
+    NoSuchColumn(String),
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected:?}, found {found:?}")
+            }
+            ColumnarError::LengthMismatch { expected, found } => {
+                write!(f, "column length mismatch: expected {expected}, found {found}")
+            }
+            ColumnarError::BadBlockHeader(msg) => write!(f, "bad block header: {msg}"),
+            ColumnarError::ChecksumMismatch { expected, found } => {
+                write!(f, "checksum mismatch: expected {expected:#010x}, found {found:#010x}")
+            }
+            ColumnarError::Corrupt(msg) => write!(f, "corrupt block: {msg}"),
+            ColumnarError::NoSuchColumn(name) => write!(f, "no such column: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {}

@@ -1,0 +1,138 @@
+//! Schemas: ordered, named, typed fields.
+
+use crate::error::{ColumnarError, Result};
+use crate::value::DataType;
+use std::fmt;
+use std::sync::Arc;
+
+/// One column's name and type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.dtype)
+    }
+}
+
+/// An ordered set of fields. Cheap to clone (`Arc` inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema {
+            fields: Arc::new(fields),
+        }
+    }
+
+    /// Convenience: build from `(name, type)` pairs.
+    pub fn of(pairs: &[(&str, DataType)]) -> Self {
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Index of the column named `name` (case-insensitive, as in SQL).
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| ColumnarError::NoSuchColumn(name.to_string()))
+    }
+
+    /// A schema containing only the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let fields = names
+            .iter()
+            .map(|n| self.index_of(n).map(|i| self.fields[i].clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Schema::new(fields))
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("id", DataType::Int64),
+            ("x", DataType::Float64),
+            ("name", DataType::Varchar),
+        ])
+    }
+
+    #[test]
+    fn index_lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of("id").unwrap(), 0);
+        assert_eq!(s.index_of("NAME").unwrap(), 2);
+        assert!(matches!(
+            s.index_of("missing"),
+            Err(ColumnarError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn projection_preserves_requested_order() {
+        let s = schema();
+        let p = s.project(&["name", "id"]).unwrap();
+        assert_eq!(p.names(), vec!["name", "id"]);
+        assert_eq!(p.field(1).dtype, DataType::Int64);
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            schema().to_string(),
+            "(id INTEGER, x FLOAT, name VARCHAR)"
+        );
+    }
+}

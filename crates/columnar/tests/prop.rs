@@ -1,0 +1,127 @@
+//! Property-based tests: every encoding round-trips arbitrary data, and the
+//! block format survives arbitrary batches.
+
+use proptest::prelude::*;
+use vdr_columnar::encoding::{decode_column, encode_column, Encoding};
+use vdr_columnar::{decode_batch, encode_batch, Batch, Column, ColumnBuilder, DataType, Schema, Value};
+
+fn int_column() -> impl Strategy<Value = Column> {
+    prop::collection::vec(prop::option::of(any::<i64>()), 0..300).prop_map(|vals| {
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        for v in vals {
+            match v {
+                Some(x) => b.push(Value::Int64(x)).unwrap(),
+                None => b.push_null(),
+            }
+        }
+        b.finish()
+    })
+}
+
+fn float_column() -> impl Strategy<Value = Column> {
+    prop::collection::vec(prop::option::of(any::<f64>()), 0..300).prop_map(|vals| {
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        for v in vals {
+            match v {
+                Some(x) => b.push(Value::Float64(x)).unwrap(),
+                None => b.push_null(),
+            }
+        }
+        b.finish()
+    })
+}
+
+fn string_column() -> impl Strategy<Value = Column> {
+    prop::collection::vec(prop::option::of("[a-z]{0,12}"), 0..200).prop_map(|vals| {
+        let mut b = ColumnBuilder::new(DataType::Varchar);
+        for v in vals {
+            match v {
+                Some(x) => b.push(Value::Varchar(x)).unwrap(),
+                None => b.push_null(),
+            }
+        }
+        b.finish()
+    })
+}
+
+/// Compare columns treating NaN bit patterns as equal (PartialEq on f64
+/// rejects NaN == NaN).
+fn columns_equivalent(a: &Column, b: &Column) -> bool {
+    if a.len() != b.len() || a.data_type() != b.data_type() {
+        return false;
+    }
+    (0..a.len()).all(|i| match (a.get(i), b.get(i)) {
+        (Value::Float64(x), Value::Float64(y)) => x.to_bits() == y.to_bits(),
+        (x, y) => x == y,
+    })
+}
+
+proptest! {
+    #[test]
+    fn int_encodings_roundtrip(col in int_column()) {
+        for enc in [Encoding::Plain, Encoding::Rle, Encoding::DeltaVarint] {
+            let mut buf = Vec::new();
+            encode_column(&col, enc, &mut buf).unwrap();
+            let mut pos = 0;
+            let back = decode_column(DataType::Int64, enc, col.len(), &buf, &mut pos).unwrap();
+            prop_assert_eq!(pos, buf.len());
+            prop_assert!(columns_equivalent(&col, &back));
+        }
+    }
+
+    #[test]
+    fn float_encodings_roundtrip(col in float_column()) {
+        for enc in [Encoding::Plain, Encoding::Rle] {
+            let mut buf = Vec::new();
+            encode_column(&col, enc, &mut buf).unwrap();
+            let mut pos = 0;
+            let back = decode_column(DataType::Float64, enc, col.len(), &buf, &mut pos).unwrap();
+            prop_assert!(columns_equivalent(&col, &back));
+        }
+    }
+
+    #[test]
+    fn string_encodings_roundtrip(col in string_column()) {
+        for enc in [Encoding::Plain, Encoding::Dictionary] {
+            let mut buf = Vec::new();
+            encode_column(&col, enc, &mut buf).unwrap();
+            let mut pos = 0;
+            let back = decode_column(DataType::Varchar, enc, col.len(), &buf, &mut pos).unwrap();
+            prop_assert!(columns_equivalent(&col, &back));
+        }
+    }
+
+    #[test]
+    fn blocks_roundtrip_arbitrary_batches(
+        ints in int_column(),
+        strs in string_column(),
+    ) {
+        // Equalize lengths by truncation.
+        let n = ints.len().min(strs.len());
+        let schema = Schema::of(&[("i", DataType::Int64), ("s", DataType::Varchar)]);
+        let batch = Batch::new(schema, vec![ints.slice(0, n), strs.slice(0, n)]).unwrap();
+        let back = decode_batch(&encode_batch(&batch)).unwrap();
+        prop_assert_eq!(back.num_rows(), n);
+        prop_assert!(columns_equivalent(batch.column(0), back.column(0)));
+        prop_assert!(columns_equivalent(batch.column(1), back.column(1)));
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Must error or succeed, never panic.
+        let _ = decode_batch(&data);
+    }
+
+    #[test]
+    fn truncated_blocks_error_not_panic(col in int_column()) {
+        let schema = Schema::of(&[("i", DataType::Int64)]);
+        let n = col.len();
+        let batch = Batch::new(schema, vec![col.slice(0, n)]).unwrap();
+        let bytes = encode_batch(&batch);
+        for cut in [0, 4, 8, 9, bytes.len().saturating_sub(1)] {
+            if cut < bytes.len() {
+                prop_assert!(decode_batch(&bytes[..cut]).is_err());
+            }
+        }
+    }
+}

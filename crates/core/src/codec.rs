@@ -1,0 +1,403 @@
+//! The model serialization format.
+//!
+//! "Internally, models are first serialized and then transferred to the
+//! database … models are stored as binary blobs in Vertica's distributed
+//! file system" (Section 5). The format is self-describing and versioned so
+//! deployed models outlive releases:
+//!
+//! ```text
+//! magic  "VMDL"        4 bytes
+//! version u8           currently 1
+//! crc32  of body       4 bytes
+//! body:   type tag u8  (0 = kmeans, 1 = glm, 2 = random forest)
+//!         type-specific payload (little-endian)
+//! ```
+
+use crate::error::{CoreError, Result};
+use bytes::Bytes;
+use vdr_columnar::checksum::crc32;
+use vdr_ml::models::{DecisionTree, TreeNode};
+use vdr_ml::{Family, GlmModel, KmeansModel, RandomForestModel};
+
+const MAGIC: &[u8; 4] = b"VMDL";
+const VERSION: u8 = 1;
+
+/// Any model the integrated product can deploy to the database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Model {
+    Kmeans(KmeansModel),
+    Glm(GlmModel),
+    RandomForest(RandomForestModel),
+}
+
+impl Model {
+    /// The `type` column value in `R_Models` (Figure 10 shows "kmeans" and
+    /// "regression").
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Model::Kmeans(_) => "kmeans",
+            Model::Glm(_) => "regression",
+            Model::RandomForest(_) => "randomforest",
+        }
+    }
+
+    /// Feature columns the model scores.
+    pub fn num_features(&self) -> usize {
+        match self {
+            Model::Kmeans(m) => m.num_features(),
+            Model::Glm(m) => m.num_features(),
+            Model::RandomForest(m) => m.num_features,
+        }
+    }
+
+    /// Serialize to the blob format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut body = Vec::new();
+        match self {
+            Model::Kmeans(m) => {
+                body.push(0u8);
+                write_u64(m.centers.len() as u64, &mut body);
+                write_u64(m.num_features() as u64, &mut body);
+                for c in &m.centers {
+                    for v in c {
+                        body.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                write_u64(m.iterations as u64, &mut body);
+                body.extend_from_slice(&m.total_withinss.to_le_bytes());
+            }
+            Model::Glm(m) => {
+                body.push(1u8);
+                body.push(match m.family {
+                    Family::Gaussian => 0,
+                    Family::Binomial => 1,
+                    Family::Poisson => 2,
+                });
+                body.push(m.intercept as u8);
+                body.push(m.converged as u8);
+                write_u64(m.iterations as u64, &mut body);
+                body.extend_from_slice(&m.deviance.to_le_bytes());
+                write_f64_vec(&m.coefficients, &mut body);
+            }
+            Model::RandomForest(m) => {
+                body.push(2u8);
+                write_u64(m.num_features as u64, &mut body);
+                write_u64(m.classes.len() as u64, &mut body);
+                for c in &m.classes {
+                    body.extend_from_slice(&c.to_le_bytes());
+                }
+                write_u64(m.trees.len() as u64, &mut body);
+                for t in &m.trees {
+                    write_u64(t.nodes.len() as u64, &mut body);
+                    for n in &t.nodes {
+                        match n {
+                            TreeNode::Leaf { class } => {
+                                body.push(0);
+                                body.extend_from_slice(&class.to_le_bytes());
+                            }
+                            TreeNode::Split {
+                                feature,
+                                threshold,
+                                left,
+                                right,
+                            } => {
+                                body.push(1);
+                                write_u64(*feature as u64, &mut body);
+                                body.extend_from_slice(&threshold.to_le_bytes());
+                                write_u64(*left as u64, &mut body);
+                                write_u64(*right as u64, &mut body);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(body.len() + 9);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        Bytes::from(out)
+    }
+
+    /// Deserialize from the blob format, verifying magic, version, and
+    /// checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Model> {
+        if bytes.len() < 10 {
+            return Err(CoreError::Codec("blob too short".into()));
+        }
+        if &bytes[0..4] != MAGIC {
+            return Err(CoreError::Codec("bad magic".into()));
+        }
+        if bytes[4] != VERSION {
+            return Err(CoreError::Codec(format!("unsupported version {}", bytes[4])));
+        }
+        let expected = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes"));
+        let body = &bytes[9..];
+        if crc32(body) != expected {
+            return Err(CoreError::Codec("checksum mismatch".into()));
+        }
+        let mut pos = 0usize;
+        let tag = read_u8(body, &mut pos)?;
+        match tag {
+            0 => {
+                let k = read_u64(body, &mut pos)? as usize;
+                let d = read_u64(body, &mut pos)? as usize;
+                if k.saturating_mul(d) > body.len() {
+                    return Err(CoreError::Codec("implausible kmeans shape".into()));
+                }
+                let mut centers = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let mut c = Vec::with_capacity(d);
+                    for _ in 0..d {
+                        c.push(read_f64(body, &mut pos)?);
+                    }
+                    centers.push(c);
+                }
+                let iterations = read_u64(body, &mut pos)? as usize;
+                let total_withinss = read_f64(body, &mut pos)?;
+                Ok(Model::Kmeans(KmeansModel {
+                    centers,
+                    iterations,
+                    total_withinss,
+                }))
+            }
+            1 => {
+                let family = match read_u8(body, &mut pos)? {
+                    0 => Family::Gaussian,
+                    1 => Family::Binomial,
+                    2 => Family::Poisson,
+                    f => return Err(CoreError::Codec(format!("unknown family {f}"))),
+                };
+                let intercept = read_u8(body, &mut pos)? != 0;
+                let converged = read_u8(body, &mut pos)? != 0;
+                let iterations = read_u64(body, &mut pos)? as usize;
+                let deviance = read_f64(body, &mut pos)?;
+                let coefficients = read_f64_vec(body, &mut pos)?;
+                Ok(Model::Glm(GlmModel {
+                    coefficients,
+                    intercept,
+                    family,
+                    deviance,
+                    iterations,
+                    converged,
+                }))
+            }
+            2 => {
+                let num_features = read_u64(body, &mut pos)? as usize;
+                let nclasses = read_u64(body, &mut pos)? as usize;
+                if nclasses > body.len() {
+                    return Err(CoreError::Codec("implausible class count".into()));
+                }
+                let mut classes = Vec::with_capacity(nclasses);
+                for _ in 0..nclasses {
+                    classes.push(read_i64(body, &mut pos)?);
+                }
+                let ntrees = read_u64(body, &mut pos)? as usize;
+                if ntrees > body.len() {
+                    return Err(CoreError::Codec("implausible tree count".into()));
+                }
+                let mut trees = Vec::with_capacity(ntrees);
+                for _ in 0..ntrees {
+                    let nnodes = read_u64(body, &mut pos)? as usize;
+                    if nnodes > body.len() {
+                        return Err(CoreError::Codec("implausible node count".into()));
+                    }
+                    let mut nodes = Vec::with_capacity(nnodes);
+                    for _ in 0..nnodes {
+                        match read_u8(body, &mut pos)? {
+                            0 => nodes.push(TreeNode::Leaf {
+                                class: read_i64(body, &mut pos)?,
+                            }),
+                            1 => {
+                                let feature = read_u64(body, &mut pos)? as usize;
+                                let threshold = read_f64(body, &mut pos)?;
+                                let left = read_u64(body, &mut pos)? as usize;
+                                let right = read_u64(body, &mut pos)? as usize;
+                                if left >= nnodes || right >= nnodes {
+                                    return Err(CoreError::Codec(
+                                        "tree child index out of range".into(),
+                                    ));
+                                }
+                                nodes.push(TreeNode::Split {
+                                    feature,
+                                    threshold,
+                                    left,
+                                    right,
+                                });
+                            }
+                            t => return Err(CoreError::Codec(format!("bad node tag {t}"))),
+                        }
+                    }
+                    trees.push(DecisionTree { nodes });
+                }
+                Ok(Model::RandomForest(RandomForestModel {
+                    trees,
+                    num_features,
+                    classes,
+                }))
+            }
+            t => Err(CoreError::Codec(format!("unknown model tag {t}"))),
+        }
+    }
+}
+
+fn write_u64(v: u64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_f64_vec(v: &[f64], out: &mut Vec<u8>) {
+    write_u64(v.len() as u64, out);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn read_u8(b: &[u8], pos: &mut usize) -> Result<u8> {
+    let v = *b
+        .get(*pos)
+        .ok_or_else(|| CoreError::Codec("truncated blob".into()))?;
+    *pos += 1;
+    Ok(v)
+}
+
+fn read_u64(b: &[u8], pos: &mut usize) -> Result<u64> {
+    let end = *pos + 8;
+    let s = b
+        .get(*pos..end)
+        .ok_or_else(|| CoreError::Codec("truncated blob".into()))?;
+    *pos = end;
+    Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+}
+
+fn read_i64(b: &[u8], pos: &mut usize) -> Result<i64> {
+    read_u64(b, pos).map(|v| v as i64)
+}
+
+fn read_f64(b: &[u8], pos: &mut usize) -> Result<f64> {
+    read_u64(b, pos).map(f64::from_bits)
+}
+
+fn read_f64_vec(b: &[u8], pos: &mut usize) -> Result<Vec<f64>> {
+    let len = read_u64(b, pos)? as usize;
+    if len > b.len() {
+        return Err(CoreError::Codec("implausible vector length".into()));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(read_f64(b, pos)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kmeans_model() -> Model {
+        Model::Kmeans(KmeansModel {
+            centers: vec![vec![1.0, 2.0], vec![-3.5, f64::NAN]],
+            iterations: 7,
+            total_withinss: 42.5,
+        })
+    }
+
+    fn glm_model() -> Model {
+        Model::Glm(GlmModel {
+            coefficients: vec![0.5, -1.25, 3.0],
+            intercept: true,
+            family: Family::Binomial,
+            deviance: 123.4,
+            iterations: 5,
+            converged: true,
+        })
+    }
+
+    fn rf_model() -> Model {
+        Model::RandomForest(RandomForestModel {
+            trees: vec![DecisionTree {
+                nodes: vec![
+                    TreeNode::Split {
+                        feature: 1,
+                        threshold: 0.25,
+                        left: 1,
+                        right: 2,
+                    },
+                    TreeNode::Leaf { class: -1 },
+                    TreeNode::Leaf { class: 1 },
+                ],
+            }],
+            num_features: 3,
+            classes: vec![-1, 1],
+        })
+    }
+
+    #[test]
+    fn all_model_kinds_roundtrip() {
+        for model in [kmeans_model(), glm_model(), rf_model()] {
+            let blob = model.to_bytes();
+            let back = Model::from_bytes(&blob).unwrap();
+            match (&model, &back) {
+                // NaN breaks PartialEq; compare kmeans bitwise.
+                (Model::Kmeans(a), Model::Kmeans(b)) => {
+                    assert_eq!(a.iterations, b.iterations);
+                    assert_eq!(a.total_withinss, b.total_withinss);
+                    for (ca, cb) in a.centers.iter().zip(&b.centers) {
+                        for (x, y) in ca.iter().zip(cb) {
+                            assert_eq!(x.to_bits(), y.to_bits());
+                        }
+                    }
+                }
+                _ => assert_eq!(model, back),
+            }
+        }
+    }
+
+    #[test]
+    fn type_names_match_figure_10() {
+        assert_eq!(kmeans_model().type_name(), "kmeans");
+        assert_eq!(glm_model().type_name(), "regression");
+        assert_eq!(rf_model().type_name(), "randomforest");
+        assert_eq!(glm_model().num_features(), 2);
+        assert_eq!(kmeans_model().num_features(), 2);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let blob = glm_model().to_bytes();
+        let mut bad = blob.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(matches!(Model::from_bytes(&bad), Err(CoreError::Codec(_))));
+        // Bad magic / version / truncation.
+        let mut bad = blob.to_vec();
+        bad[0] = b'X';
+        assert!(Model::from_bytes(&bad).is_err());
+        let mut bad = blob.to_vec();
+        bad[4] = 9;
+        assert!(Model::from_bytes(&bad).is_err());
+        assert!(Model::from_bytes(&blob[..5]).is_err());
+        assert!(Model::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn rf_child_indices_validated() {
+        // Hand-craft a forest blob with an out-of-range child pointer by
+        // serializing a valid model and corrupting nothing — instead build
+        // an invalid model directly and verify decode catches it.
+        let bad = Model::RandomForest(RandomForestModel {
+            trees: vec![DecisionTree {
+                nodes: vec![TreeNode::Split {
+                    feature: 0,
+                    threshold: 0.0,
+                    left: 5, // out of range
+                    right: 0,
+                }],
+            }],
+            num_features: 1,
+            classes: vec![0, 1],
+        });
+        let blob = bad.to_bytes();
+        assert!(Model::from_bytes(&blob).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for the integration layer.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Anything the integrated workflow can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Model (de)serialization failure.
+    Codec(String),
+    Db(vdr_verticadb::DbError),
+    Distr(vdr_distr::DistrError),
+    Ml(vdr_ml::MlError),
+    Yarn(vdr_yarn::YarnError),
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Codec(m) => write!(f, "model codec error: {m}"),
+            CoreError::Db(e) => write!(f, "database error: {e}"),
+            CoreError::Distr(e) => write!(f, "runtime error: {e}"),
+            CoreError::Ml(e) => write!(f, "ml error: {e}"),
+            CoreError::Yarn(e) => write!(f, "resource manager error: {e}"),
+            CoreError::Invalid(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<vdr_verticadb::DbError> for CoreError {
+    fn from(e: vdr_verticadb::DbError) -> Self {
+        CoreError::Db(e)
+    }
+}
+
+impl From<vdr_distr::DistrError> for CoreError {
+    fn from(e: vdr_distr::DistrError) -> Self {
+        CoreError::Distr(e)
+    }
+}
+
+impl From<vdr_ml::MlError> for CoreError {
+    fn from(e: vdr_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<vdr_yarn::YarnError> for CoreError {
+    fn from(e: vdr_yarn::YarnError) -> Self {
+        CoreError::Yarn(e)
+    }
+}

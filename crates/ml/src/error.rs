@@ -1,0 +1,40 @@
+//! Error type for the ML layer.
+
+use std::fmt;
+use vdr_distr::DistrError;
+
+pub type Result<T> = std::result::Result<T, MlError>;
+
+/// Failures during model training or prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Bad shapes or empty inputs.
+    Invalid(String),
+    /// The normal-equations / weighted system was numerically singular.
+    Singular(String),
+    /// The optimizer hit its iteration cap without converging.
+    NoConvergence { iterations: usize, deviance: f64 },
+    /// Underlying distributed-runtime failure.
+    Distr(DistrError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Invalid(m) => write!(f, "invalid input: {m}"),
+            MlError::Singular(m) => write!(f, "singular system: {m}"),
+            MlError::NoConvergence { iterations, deviance } => {
+                write!(f, "no convergence after {iterations} iterations (deviance {deviance})")
+            }
+            MlError::Distr(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<DistrError> for MlError {
+    fn from(e: DistrError) -> Self {
+        MlError::Distr(e)
+    }
+}

@@ -1,0 +1,397 @@
+//! `hpdkmeans`: distributed K-means clustering.
+//!
+//! "In each iteration, points are first mapped to their closest centers and
+//! then new centers are calculated by averaging the groups" (Section 7.3.1).
+//! Each partition computes assignments and partial center sums; the master
+//! reduces and re-averages. The per-partition kernel is public so the Spark
+//! comparator runs the *identical* inner loop — Figure 20's caption insists
+//! "Spark and DR denote the same implementation of the K-means algorithm,
+//! and hence an apples-to-apples comparison".
+
+use crate::error::{MlError, Result};
+use crate::linalg::squared_distance;
+use crate::models::KmeansModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vdr_distr::DArray;
+
+/// Center initialization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KmeansInit {
+    /// Sample k distinct rows uniformly.
+    Random,
+    /// k-means++ seeding (D² sampling) — better spreads, fewer iterations.
+    PlusPlus,
+}
+
+/// Clustering options.
+#[derive(Debug, Clone)]
+pub struct KmeansOptions {
+    pub k: usize,
+    pub max_iterations: usize,
+    /// Stop when no assignment changes (exact) or center movement falls
+    /// below this squared threshold.
+    pub tolerance: f64,
+    pub init: KmeansInit,
+    pub seed: u64,
+}
+
+impl Default for KmeansOptions {
+    fn default() -> Self {
+        KmeansOptions {
+            k: 2,
+            max_iterations: 100,
+            tolerance: 1e-9,
+            init: KmeansInit::PlusPlus,
+            seed: 20150531, // SIGMOD'15 opened May 31, 2015
+        }
+    }
+}
+
+/// Partial result of one partition's assignment pass.
+#[derive(Debug, Clone)]
+pub struct KmeansPartial {
+    /// Per-center sums of assigned points (k × d, row-major).
+    pub sums: Vec<f64>,
+    /// Per-center assigned counts.
+    pub counts: Vec<u64>,
+    /// Within-cluster sum of squares contributed by this partition.
+    pub wss: f64,
+}
+
+/// The shared inner loop: assign each row of `data` (row-major, `d` wide) to
+/// its nearest center and accumulate partial sums. Used by `hpdkmeans`, the
+/// serial R baseline, and the Spark comparator.
+pub fn assign_partial(data: &[f64], d: usize, centers: &[Vec<f64>]) -> KmeansPartial {
+    let k = centers.len();
+    let mut sums = vec![0.0f64; k * d];
+    let mut counts = vec![0u64; k];
+    let mut wss = 0.0;
+    for row in data.chunks_exact(d) {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (c, center) in centers.iter().enumerate() {
+            let dist = squared_distance(row, center);
+            if dist < best_d {
+                best_d = dist;
+                best = c;
+            }
+        }
+        counts[best] += 1;
+        wss += best_d;
+        let acc = &mut sums[best * d..(best + 1) * d];
+        for (a, v) in acc.iter_mut().zip(row) {
+            *a += v;
+        }
+    }
+    KmeansPartial { sums, counts, wss }
+}
+
+/// Merge partials (the reduce step).
+pub fn merge_partials(mut acc: KmeansPartial, other: &KmeansPartial) -> KmeansPartial {
+    for (a, b) in acc.sums.iter_mut().zip(&other.sums) {
+        *a += b;
+    }
+    for (a, b) in acc.counts.iter_mut().zip(&other.counts) {
+        *a += b;
+    }
+    acc.wss += other.wss;
+    acc
+}
+
+fn init_centers(x: &DArray, opts: &KmeansOptions) -> Result<Vec<Vec<f64>>> {
+    let (n, d) = x.dim();
+    let (n, d) = (n as usize, d as usize);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    // Small k relative to n: gather candidate rows by global index. Row
+    // lookup walks the partition size table (cheap; sizes come from the
+    // master's symbol table).
+    let sizes = x.partition_sizes();
+    let fetch_row = |global: usize| -> Result<Vec<f64>> {
+        let mut remaining = global;
+        for (p, (rows, _)) in sizes.iter().enumerate() {
+            if remaining < *rows as usize {
+                let part = x.partition(p)?;
+                return Ok(part.row(remaining).to_vec());
+            }
+            remaining -= *rows as usize;
+        }
+        Err(MlError::Invalid(format!("row {global} out of range")))
+    };
+
+    match opts.init {
+        KmeansInit::Random => {
+            let mut picked = std::collections::BTreeSet::new();
+            while picked.len() < opts.k {
+                picked.insert(rng.gen_range(0..n));
+            }
+            picked.into_iter().map(fetch_row).collect()
+        }
+        KmeansInit::PlusPlus => {
+            let mut centers = vec![fetch_row(rng.gen_range(0..n))?];
+            while centers.len() < opts.k {
+                // D² weights computed distributed.
+                let dists: Vec<Vec<f64>> = x.map_partitions(|_, part| {
+                    (0..part.nrow)
+                        .map(|r| {
+                            centers
+                                .iter()
+                                .map(|c| squared_distance(part.row(r), c))
+                                .fold(f64::INFINITY, f64::min)
+                        })
+                        .collect()
+                })?;
+                let total: f64 = dists.iter().flatten().sum();
+                if total <= 0.0 {
+                    // All points identical to existing centers: duplicate.
+                    centers.push(centers[0].clone());
+                    continue;
+                }
+                let mut target = rng.gen_range(0.0..total);
+                let mut chosen = None;
+                'outer: for (p, pd) in dists.iter().enumerate() {
+                    for (r, w) in pd.iter().enumerate() {
+                        target -= w;
+                        if target <= 0.0 {
+                            chosen = Some((p, r));
+                            break 'outer;
+                        }
+                    }
+                }
+                let (p, r) = chosen.unwrap_or((x.npartitions() - 1, 0));
+                let part = x.partition(p)?;
+                centers.push(part.row(r.min(part.nrow - 1)).to_vec());
+            }
+            let _ = d;
+            Ok(centers)
+        }
+    }
+}
+
+/// Cluster the rows of `x` into `opts.k` groups.
+pub fn hpdkmeans(x: &DArray, opts: &KmeansOptions) -> Result<KmeansModel> {
+    let (n, d) = x.dim();
+    let (n, d) = (n as usize, d as usize);
+    if n == 0 || d == 0 {
+        return Err(MlError::Invalid("empty input".into()));
+    }
+    if opts.k == 0 || opts.k > n {
+        return Err(MlError::Invalid(format!("k={} with n={n}", opts.k)));
+    }
+    let mut centers = init_centers(x, opts)?;
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5eed);
+    let mut iterations = 0usize;
+    let mut wss = f64::INFINITY;
+    while iterations < opts.max_iterations {
+        iterations += 1;
+        // Map: every partition assigns its rows against the broadcast
+        // centers, in parallel on its worker.
+        let partials = x.map_partitions(|_, part| assign_partial(&part.data, d, &centers))?;
+        let merged = partials
+            .into_iter()
+            .reduce(|a, b| merge_partials(a, &b))
+            .expect("at least one partition");
+        // Update step + empty-cluster reseeding.
+        let mut moved = 0.0f64;
+        let mut new_centers = Vec::with_capacity(opts.k);
+        for c in 0..opts.k {
+            if merged.counts[c] == 0 {
+                // Re-seed an empty cluster at a random row.
+                let sizes = x.partition_sizes();
+                let total_rows: u64 = sizes.iter().map(|s| s.0).sum();
+                let mut target = rng.gen_range(0..total_rows);
+                let mut seeded = centers[c].clone();
+                for (p, (rows, _)) in sizes.iter().enumerate() {
+                    if target < *rows {
+                        let part = x.partition(p)?;
+                        seeded = part.row(target as usize).to_vec();
+                        break;
+                    }
+                    target -= rows;
+                }
+                moved += squared_distance(&seeded, &centers[c]);
+                new_centers.push(seeded);
+            } else {
+                let count = merged.counts[c] as f64;
+                let center: Vec<f64> = merged.sums[c * d..(c + 1) * d]
+                    .iter()
+                    .map(|s| s / count)
+                    .collect();
+                moved += squared_distance(&center, &centers[c]);
+                new_centers.push(center);
+            }
+        }
+        centers = new_centers;
+        wss = merged.wss;
+        if moved <= opts.tolerance {
+            break;
+        }
+    }
+    Ok(KmeansModel {
+        centers,
+        iterations,
+        total_withinss: wss,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdr_cluster::SimCluster;
+    use vdr_distr::DistributedR;
+
+    fn runtime(nodes: usize) -> DistributedR {
+        DistributedR::on_all_nodes(SimCluster::for_tests(nodes), 2).unwrap()
+    }
+
+    /// Three well-separated 2-D blobs spread over partitions.
+    fn blobs(dr: &DistributedR, nparts: usize, per_blob: usize) -> DArray {
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 8.0)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut all: Vec<[f64; 2]> = Vec::new();
+        for &(cx, cy) in &centers {
+            for _ in 0..per_blob {
+                all.push([
+                    cx + rng.gen_range(-0.5..0.5),
+                    cy + rng.gen_range(-0.5..0.5),
+                ]);
+            }
+        }
+        // Shuffle so blobs span partitions.
+        for i in (1..all.len()).rev() {
+            all.swap(i, rng.gen_range(0..=i));
+        }
+        let x = dr.darray(nparts).unwrap();
+        let chunk = all.len().div_ceil(nparts);
+        for (p, rows) in all.chunks(chunk).enumerate() {
+            let data: Vec<f64> = rows.iter().flatten().copied().collect();
+            x.fill_partition(p, rows.len(), 2, data).unwrap();
+        }
+        x
+    }
+
+    #[test]
+    fn finds_well_separated_blobs() {
+        let dr = runtime(3);
+        let x = blobs(&dr, 3, 200);
+        let opts = KmeansOptions {
+            k: 3,
+            ..Default::default()
+        };
+        let m = hpdkmeans(&x, &opts).unwrap();
+        assert_eq!(m.k(), 3);
+        // Each true blob center must be within 0.2 of a found center.
+        for expect in [[0.0, 0.0], [10.0, 10.0], [-10.0, 8.0]] {
+            let nearest = m
+                .centers
+                .iter()
+                .map(|c| squared_distance(c, &expect))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 0.04, "{:?}", m.centers);
+        }
+        // Tight clusters ⇒ small WSS per point.
+        assert!(m.total_withinss / 600.0 < 0.5);
+        assert!(m.iterations < 20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dr = runtime(2);
+        let x = blobs(&dr, 4, 100);
+        let opts = KmeansOptions {
+            k: 3,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = hpdkmeans(&x, &opts).unwrap();
+        let b = hpdkmeans(&x, &opts).unwrap();
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn random_init_also_converges() {
+        let dr = runtime(2);
+        let x = blobs(&dr, 2, 150);
+        let opts = KmeansOptions {
+            k: 3,
+            init: KmeansInit::Random,
+            ..Default::default()
+        };
+        let m = hpdkmeans(&x, &opts).unwrap();
+        assert!(m.total_withinss / 450.0 < 40.0);
+    }
+
+    #[test]
+    fn k_one_returns_global_mean() {
+        let dr = runtime(2);
+        let x = dr.darray(2).unwrap();
+        x.fill_partition(0, 2, 1, vec![0.0, 2.0]).unwrap();
+        x.fill_partition(1, 2, 1, vec![4.0, 6.0]).unwrap();
+        let m = hpdkmeans(
+            &x,
+            &KmeansOptions {
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((m.centers[0][0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validations() {
+        let dr = runtime(1);
+        let x = dr.darray(1).unwrap();
+        x.fill_partition(0, 3, 1, vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(hpdkmeans(
+            &x,
+            &KmeansOptions {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(hpdkmeans(
+            &x,
+            &KmeansOptions {
+                k: 10,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn partial_kernel_accumulates_correctly() {
+        let centers = vec![vec![0.0], vec![10.0]];
+        let p = assign_partial(&[1.0, 2.0, 9.0, 11.0], 1, &centers);
+        assert_eq!(p.counts, vec![2, 2]);
+        assert_eq!(p.sums, vec![3.0, 20.0]);
+        assert_eq!(p.wss, 1.0 + 4.0 + 1.0 + 1.0);
+        let merged = merge_partials(p.clone(), &p);
+        assert_eq!(merged.counts, vec![4, 4]);
+        assert_eq!(merged.wss, 14.0);
+    }
+
+    #[test]
+    fn empty_cluster_is_reseeded_not_nan() {
+        // Adversarial: k=3 on three identical points far from a lone outlier
+        // can produce an empty cluster mid-run; centers must stay finite.
+        let dr = runtime(1);
+        let x = dr.darray(1).unwrap();
+        x.fill_partition(0, 4, 1, vec![0.0, 0.0, 0.0, 100.0]).unwrap();
+        let m = hpdkmeans(
+            &x,
+            &KmeansOptions {
+                k: 3,
+                max_iterations: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for c in &m.centers {
+            assert!(c[0].is_finite());
+        }
+    }
+}

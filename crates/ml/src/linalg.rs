@@ -1,0 +1,331 @@
+//! Small dense linear algebra: everything the GLM solver and the serial `lm`
+//! baseline need, implemented from scratch (no external BLAS).
+
+use crate::error::{MlError, Result};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    pub nrow: usize,
+    pub ncol: usize,
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    pub fn zeros(nrow: usize, ncol: usize) -> Self {
+        Matrix {
+            nrow,
+            ncol,
+            data: vec![0.0; nrow * ncol],
+        }
+    }
+
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrow = rows.len();
+        let ncol = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrow * ncol);
+        for r in rows {
+            if r.len() != ncol {
+                return Err(MlError::Invalid("ragged rows".into()));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix { nrow, ncol, data })
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.ncol + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.ncol + c] = v;
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.ncol..(r + 1) * self.ncol]
+    }
+
+    /// `self += other`, elementwise.
+    pub fn add_assign(&mut self, other: &Matrix) -> Result<()> {
+        if self.nrow != other.nrow || self.ncol != other.ncol {
+            return Err(MlError::Invalid("shape mismatch in add".into()));
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.ncol {
+            return Err(MlError::Invalid("matvec shape mismatch".into()));
+        }
+        Ok((0..self.nrow)
+            .map(|r| dot(self.row(r), v))
+            .collect())
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared euclidean distance.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Solve the symmetric positive-definite system `A·x = b` by Cholesky
+/// decomposition (A is `p×p` row-major). A tiny ridge is retried once if A
+/// is semidefinite (collinear features).
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    match cholesky_solve(a, b) {
+        Ok(x) => Ok(x),
+        Err(_) => {
+            // Ridge fallback: A + λI with λ scaled to the diagonal.
+            let p = a.nrow;
+            let scale = (0..p).map(|i| a.get(i, i).abs()).fold(0.0, f64::max);
+            let mut ridged = a.clone();
+            for i in 0..p {
+                ridged.set(i, i, ridged.get(i, i) + 1e-8 * scale.max(1.0));
+            }
+            cholesky_solve(&ridged, b)
+        }
+    }
+}
+
+fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let p = a.nrow;
+    if a.ncol != p || b.len() != p {
+        return Err(MlError::Invalid("solve_spd shape mismatch".into()));
+    }
+    // L·Lᵀ = A, L lower triangular.
+    let mut l = vec![0.0f64; p * p];
+    for i in 0..p {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l[i * p + k] * l[j * p + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(MlError::Singular(format!("pivot {i} = {sum}")));
+                }
+                l[i * p + i] = sum.sqrt();
+            } else {
+                l[i * p + j] = sum / l[j * p + j];
+            }
+        }
+    }
+    // Forward substitution: L·y = b.
+    let mut y = vec![0.0; p];
+    for i in 0..p {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * p + k] * y[k];
+        }
+        y[i] = sum / l[i * p + i];
+    }
+    // Back substitution: Lᵀ·x = y.
+    let mut x = vec![0.0; p];
+    for i in (0..p).rev() {
+        let mut sum = y[i];
+        for k in i + 1..p {
+            sum -= l[k * p + i] * x[k];
+        }
+        x[i] = sum / l[i * p + i];
+    }
+    Ok(x)
+}
+
+/// Least squares via Householder QR: minimizes ‖X·β − y‖². This is the
+/// "matrix decomposition" technique the paper says stock R's `lm` uses
+/// (Section 7.3.1), as opposed to Distributed R's Newton–Raphson.
+pub fn qr_least_squares(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    let (n, p) = (x.nrow, x.ncol);
+    if y.len() != n {
+        return Err(MlError::Invalid("qr shapes".into()));
+    }
+    if n < p {
+        return Err(MlError::Invalid(format!("underdetermined: {n} rows < {p} cols")));
+    }
+    let mut r = x.data.clone(); // n×p, transformed in place
+    let mut qty = y.to_vec();
+    for k in 0..p {
+        // Householder vector for column k below the diagonal.
+        let mut norm = 0.0;
+        for i in k..n {
+            norm += r[i * p + k] * r[i * p + k];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-300 {
+            return Err(MlError::Singular(format!("rank-deficient column {k}")));
+        }
+        // Relative rank check: a column whose remaining mass is negligible
+        // against the matrix scale is linearly dependent on earlier columns.
+        let col_scale: f64 = (0..n)
+            .map(|i| x.data[i * p + k].abs())
+            .fold(0.0, f64::max);
+        if norm < 1e-10 * col_scale.max(1e-300) {
+            return Err(MlError::Singular(format!("rank-deficient column {k}")));
+        }
+        let alpha = if r[k * p + k] > 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; n - k];
+        v[0] = r[k * p + k] - alpha;
+        for i in k + 1..n {
+            v[i - k] = r[i * p + k];
+        }
+        let vnorm2 = dot(&v, &v);
+        if vnorm2 < 1e-300 {
+            continue;
+        }
+        // Apply H = I − 2vvᵀ/(vᵀv) to the remaining columns and to qty.
+        for j in k..p {
+            let mut s = 0.0;
+            for i in k..n {
+                s += v[i - k] * r[i * p + j];
+            }
+            let f = 2.0 * s / vnorm2;
+            for i in k..n {
+                r[i * p + j] -= f * v[i - k];
+            }
+        }
+        let mut s = 0.0;
+        for i in k..n {
+            s += v[i - k] * qty[i];
+        }
+        let f = 2.0 * s / vnorm2;
+        for i in k..n {
+            qty[i] -= f * v[i - k];
+        }
+    }
+    // Back substitution on the upper-triangular R.
+    let mut beta = vec![0.0; p];
+    for i in (0..p).rev() {
+        let mut sum = qty[i];
+        for j in i + 1..p {
+            sum -= r[i * p + j] * beta[j];
+        }
+        let rii = r[i * p + i];
+        if rii.abs() < 1e-300 {
+            return Err(MlError::Singular(format!("R[{i}][{i}] ≈ 0")));
+        }
+        beta[i] = sum / rii;
+    }
+    Ok(beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_basics() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let mut z = Matrix::zeros(2, 2);
+        z.add_assign(&m).unwrap();
+        assert_eq!(z, m);
+        assert!(z.add_assign(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems() {
+        // A = [[4,2],[2,3]], b = [10, 9] → x = [2, 5/3... ] verify by matvec.
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let x = solve_spd(&a, &[10.0, 9.0]).unwrap();
+        let back = a.matvec(&x).unwrap();
+        assert!((back[0] - 10.0).abs() < 1e-10);
+        assert!((back[1] - 9.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_system_gets_ridge_rescue_or_error() {
+        // Exactly collinear: rank 1.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        // Ridge fallback makes it solvable (approximately the minimum-norm
+        // answer); must not panic.
+        let x = solve_spd(&a, &[2.0, 2.0]).unwrap();
+        let back = a.matvec(&x).unwrap();
+        assert!((back[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn qr_recovers_exact_coefficients() {
+        // y = 3 + 2a − b, exactly.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let a = i as f64 * 0.1;
+                let b = ((i * 7) % 13) as f64;
+                vec![1.0, a, b]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 + 2.0 * r[1] - r[2]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let beta = qr_least_squares(&x, &y).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-9, "{beta:?}");
+        assert!((beta[1] - 2.0).abs() < 1e-9);
+        assert!((beta[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qr_matches_normal_equations_on_noisy_data() {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let t = i as f64;
+                vec![1.0, (t * 0.37).sin(), (t * 0.11).cos()]
+            })
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 1.5 * r[1] - 0.5 * r[2] + ((i % 7) as f64 - 3.0) * 0.01)
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let qr = qr_least_squares(&x, &y).unwrap();
+        // Normal equations: XᵀX β = Xᵀy.
+        let p = x.ncol;
+        let mut xtx = Matrix::zeros(p, p);
+        let mut xty = vec![0.0; p];
+        for r in 0..x.nrow {
+            let row = x.row(r);
+            for i in 0..p {
+                xty[i] += row[i] * y[r];
+                for j in 0..p {
+                    xtx.data[i * p + j] += row[i] * row[j];
+                }
+            }
+        }
+        let ne = solve_spd(&xtx, &xty).unwrap();
+        for (a, b) in qr.iter().zip(&ne) {
+            assert!((a - b).abs() < 1e-8, "{qr:?} vs {ne:?}");
+        }
+    }
+
+    #[test]
+    fn qr_rejects_bad_shapes() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(qr_least_squares(&x, &[1.0, 2.0]).is_err()); // y wrong len
+        assert!(qr_least_squares(&x, &[1.0]).is_err()); // n < p
+        // Rank-deficient.
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        assert!(qr_least_squares(&x, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn distance_and_dot() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

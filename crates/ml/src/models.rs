@@ -1,0 +1,249 @@
+//! Trained-model types and their per-row prediction kernels.
+//!
+//! "Prediction functions are algorithm specific because both the data
+//! contained in the model, and how it should be used depends upon the
+//! machine learning algorithm. As an example, a K-means clustering model may
+//! contain information about centers while a regression model may contain
+//! only coefficients." (Section 5)
+
+use crate::linalg::{dot, squared_distance};
+
+/// A generalized linear model: coefficients plus the family that decides the
+/// inverse link at prediction time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlmModel {
+    /// Intercept first if the model was fit with one, then one coefficient
+    /// per feature.
+    pub coefficients: Vec<f64>,
+    pub intercept: bool,
+    pub family: crate::glm::Family,
+    pub deviance: f64,
+    pub iterations: usize,
+    pub converged: bool,
+}
+
+impl GlmModel {
+    /// Number of feature columns the model expects.
+    pub fn num_features(&self) -> usize {
+        self.coefficients.len() - usize::from(self.intercept)
+    }
+
+    /// Linear predictor for one row of features.
+    pub fn linear_predictor(&self, features: &[f64]) -> f64 {
+        if self.intercept {
+            self.coefficients[0] + dot(&self.coefficients[1..], features)
+        } else {
+            dot(&self.coefficients, features)
+        }
+    }
+
+    /// Predicted response (inverse link applied): identity for gaussian,
+    /// probability for binomial, rate for poisson.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.family.link_inverse(self.linear_predictor(features))
+    }
+}
+
+/// A K-means clustering model: the final centers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansModel {
+    /// `k` centers, each `d` wide.
+    pub centers: Vec<Vec<f64>>,
+    pub iterations: usize,
+    /// Total within-cluster sum of squares at convergence.
+    pub total_withinss: f64,
+}
+
+impl KmeansModel {
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    pub fn num_features(&self) -> usize {
+        self.centers.first().map_or(0, Vec::len)
+    }
+
+    /// Nearest center for one point ("each point in the table is mapped to
+    /// its nearest cluster center", Section 7.2).
+    pub fn assign(&self, point: &[f64]) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.centers.iter().enumerate() {
+            let d = squared_distance(point, c);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// One node of a decision tree, index-linked in a flat arena.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    Leaf {
+        /// Majority class at this leaf.
+        class: i64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Arena index of the `<= threshold` child.
+        left: usize,
+        /// Arena index of the `> threshold` child.
+        right: usize,
+    },
+}
+
+/// A decision tree as a node arena rooted at index 0.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DecisionTree {
+    pub nodes: Vec<TreeNode>,
+}
+
+impl DecisionTree {
+    pub fn predict(&self, features: &[f64]) -> i64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                TreeNode::Leaf { class } => return *class,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[TreeNode], idx: usize) -> usize {
+            match &nodes[idx] {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Split { left, right, .. } => {
+                    1 + rec(nodes, *left).max(rec(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            rec(&self.nodes, 0)
+        }
+    }
+}
+
+/// A bagged random-forest classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForestModel {
+    pub trees: Vec<DecisionTree>,
+    pub num_features: usize,
+    /// Distinct class labels seen in training (vote tie-break order).
+    pub classes: Vec<i64>,
+}
+
+impl RandomForestModel {
+    /// Majority vote across trees.
+    pub fn predict(&self, features: &[f64]) -> i64 {
+        let mut votes: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+        for t in &self.trees {
+            *votes.entry(t.predict(features)).or_insert(0) += 1;
+        }
+        // Deterministic tie break: class order.
+        let mut best = self.classes.first().copied().unwrap_or(0);
+        let mut best_votes = 0usize;
+        for &c in &self.classes {
+            let v = votes.get(&c).copied().unwrap_or(0);
+            if v > best_votes {
+                best_votes = v;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glm::Family;
+
+    #[test]
+    fn glm_predict_applies_link() {
+        let m = GlmModel {
+            coefficients: vec![1.0, 2.0],
+            intercept: true,
+            family: Family::Gaussian,
+            deviance: 0.0,
+            iterations: 1,
+            converged: true,
+        };
+        assert_eq!(m.num_features(), 1);
+        assert_eq!(m.predict(&[3.0]), 7.0);
+
+        let logit = GlmModel {
+            family: Family::Binomial,
+            ..m.clone()
+        };
+        let p = logit.predict(&[0.0]); // sigmoid(1)
+        assert!((p - 1.0 / (1.0 + (-1.0f64).exp())).abs() < 1e-12);
+
+        let no_intercept = GlmModel {
+            coefficients: vec![2.0],
+            intercept: false,
+            ..m
+        };
+        assert_eq!(no_intercept.predict(&[3.0]), 6.0);
+    }
+
+    #[test]
+    fn kmeans_assigns_nearest_center() {
+        let m = KmeansModel {
+            centers: vec![vec![0.0, 0.0], vec![10.0, 10.0]],
+            iterations: 1,
+            total_withinss: 0.0,
+        };
+        assert_eq!(m.k(), 2);
+        assert_eq!(m.num_features(), 2);
+        assert_eq!(m.assign(&[1.0, 1.0]), 0);
+        assert_eq!(m.assign(&[9.0, 8.0]), 1);
+    }
+
+    #[test]
+    fn tree_and_forest_predict() {
+        let tree = DecisionTree {
+            nodes: vec![
+                TreeNode::Split {
+                    feature: 0,
+                    threshold: 0.5,
+                    left: 1,
+                    right: 2,
+                },
+                TreeNode::Leaf { class: 0 },
+                TreeNode::Leaf { class: 1 },
+            ],
+        };
+        assert_eq!(tree.predict(&[0.2]), 0);
+        assert_eq!(tree.predict(&[0.9]), 1);
+        assert_eq!(tree.depth(), 2);
+
+        let forest = RandomForestModel {
+            trees: vec![tree.clone(), tree.clone(), DecisionTree {
+                nodes: vec![TreeNode::Leaf { class: 0 }],
+            }],
+            num_features: 1,
+            classes: vec![0, 1],
+        };
+        // Two trees vote 1, one votes 0 at x=0.9.
+        assert_eq!(forest.predict(&[0.9]), 1);
+        assert_eq!(forest.predict(&[0.1]), 0);
+    }
+}

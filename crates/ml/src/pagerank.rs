@@ -1,0 +1,307 @@
+//! `hpdpagerank`: distributed PageRank over a partitioned edge list.
+//!
+//! Distributed R descends from Presto, whose headline workload was "machine
+//! learning and graph processing with sparse matrices" (the paper cites
+//! PageRank over the web graph as the canonical analysis, Section 8). Edges
+//! are row-partitioned `(src, dst)` pairs in a [`DArray`]; every iteration
+//! each partition scatters its sources' rank mass to their destinations and
+//! the master reduces the partial vectors — the same map/reduce shape as
+//! `hpdglm` and `hpdkmeans`.
+
+use crate::error::{MlError, Result};
+use vdr_distr::DArray;
+
+/// PageRank options.
+#[derive(Debug, Clone)]
+pub struct PageRankOptions {
+    /// Damping factor (the classic 0.85).
+    pub damping: f64,
+    pub max_iterations: usize,
+    /// L1 convergence threshold on the rank vector.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        PageRankOptions {
+            damping: 0.85,
+            max_iterations: 100,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// The result: one rank per vertex (they sum to 1).
+#[derive(Debug, Clone)]
+pub struct PageRankResult {
+    pub ranks: Vec<f64>,
+    pub iterations: usize,
+    pub converged: bool,
+}
+
+/// Compute PageRank over `edges`, a distributed n×2 array of `(src, dst)`
+/// vertex ids in `0..num_vertices`. Dangling vertices (no out-edges)
+/// redistribute their mass uniformly, the standard correction.
+pub fn hpdpagerank(
+    edges: &DArray,
+    num_vertices: usize,
+    opts: &PageRankOptions,
+) -> Result<PageRankResult> {
+    if num_vertices == 0 {
+        return Err(MlError::Invalid("empty vertex set".into()));
+    }
+    let (nedges, cols) = edges.dim();
+    if cols != 2 {
+        return Err(MlError::Invalid(format!(
+            "edge list must be n×2 (src, dst); got {cols} columns"
+        )));
+    }
+    if !(0.0..1.0).contains(&opts.damping) {
+        return Err(MlError::Invalid(format!("damping {} not in [0, 1)", opts.damping)));
+    }
+
+    // Pass 1 (distributed): out-degrees, with id validation.
+    let degree_partials = edges.map_partitions(|_, part| {
+        let mut deg = vec![0u64; num_vertices];
+        let mut bad = None;
+        for r in 0..part.nrow {
+            let row = part.row(r);
+            let (src, dst) = (row[0], row[1]);
+            if src < 0.0 || dst < 0.0 || src.fract() != 0.0 || dst.fract() != 0.0 {
+                bad = Some((src, dst));
+                break;
+            }
+            let (s, d) = (src as usize, dst as usize);
+            if s >= num_vertices || d >= num_vertices {
+                bad = Some((src, dst));
+                break;
+            }
+            deg[s] += 1;
+        }
+        (deg, bad)
+    })?;
+    let mut out_degree = vec![0u64; num_vertices];
+    for (deg, bad) in degree_partials {
+        if let Some((s, d)) = bad {
+            return Err(MlError::Invalid(format!(
+                "edge ({s}, {d}) is not a valid vertex pair in 0..{num_vertices}"
+            )));
+        }
+        for (a, b) in out_degree.iter_mut().zip(deg) {
+            *a += b;
+        }
+    }
+
+    // Power iteration.
+    let n = num_vertices as f64;
+    let mut ranks = vec![1.0 / n; num_vertices];
+    let mut iterations = 0usize;
+    let mut converged = false;
+    while iterations < opts.max_iterations {
+        iterations += 1;
+        // Per-edge contribution rank[src]/deg[src], precomputed per vertex
+        // so partitions only look up.
+        let contrib: Vec<f64> = ranks
+            .iter()
+            .zip(&out_degree)
+            .map(|(r, &d)| if d > 0 { r / d as f64 } else { 0.0 })
+            .collect();
+        // Map: each partition scatters its edges (runs on the owning
+        // workers; `contrib` is the broadcast, like K-means centers).
+        let partials = edges.map_partitions(|_, part| {
+            let mut acc = vec![0.0f64; num_vertices];
+            for r in 0..part.nrow {
+                let row = part.row(r);
+                acc[row[1] as usize] += contrib[row[0] as usize];
+            }
+            acc
+        })?;
+        // Reduce + dangling mass + teleport.
+        let dangling_mass: f64 = ranks
+            .iter()
+            .zip(&out_degree)
+            .filter(|(_, &d)| d == 0)
+            .map(|(r, _)| r)
+            .sum();
+        let base = (1.0 - opts.damping) / n + opts.damping * dangling_mass / n;
+        let mut next = vec![base; num_vertices];
+        for partial in partials {
+            for (nv, pv) in next.iter_mut().zip(partial) {
+                *nv += opts.damping * pv;
+            }
+        }
+        let delta: f64 = next.iter().zip(&ranks).map(|(a, b)| (a - b).abs()).sum();
+        ranks = next;
+        if delta < opts.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    let _ = nedges;
+    Ok(PageRankResult {
+        ranks,
+        iterations,
+        converged,
+    })
+}
+
+/// Single-threaded reference implementation (the "stock R" analogue), used
+/// for cross-checking and the serial baseline.
+pub fn serial_pagerank(
+    edges: &[(usize, usize)],
+    num_vertices: usize,
+    opts: &PageRankOptions,
+) -> Result<PageRankResult> {
+    if num_vertices == 0 {
+        return Err(MlError::Invalid("empty vertex set".into()));
+    }
+    let mut out_degree = vec![0u64; num_vertices];
+    for &(s, d) in edges {
+        if s >= num_vertices || d >= num_vertices {
+            return Err(MlError::Invalid(format!("edge ({s}, {d}) out of range")));
+        }
+        out_degree[s] += 1;
+    }
+    let n = num_vertices as f64;
+    let mut ranks = vec![1.0 / n; num_vertices];
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < opts.max_iterations {
+        iterations += 1;
+        let dangling: f64 = ranks
+            .iter()
+            .zip(&out_degree)
+            .filter(|(_, &d)| d == 0)
+            .map(|(r, _)| r)
+            .sum();
+        let base = (1.0 - opts.damping) / n + opts.damping * dangling / n;
+        let mut next = vec![base; num_vertices];
+        for &(s, d) in edges {
+            next[d] += opts.damping * ranks[s] / out_degree[s] as f64;
+        }
+        let delta: f64 = next.iter().zip(&ranks).map(|(a, b)| (a - b).abs()).sum();
+        ranks = next;
+        if delta < opts.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    Ok(PageRankResult {
+        ranks,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdr_cluster::SimCluster;
+    use vdr_distr::DistributedR;
+
+    fn edge_array(dr: &DistributedR, edges: &[(usize, usize)], nparts: usize) -> DArray {
+        let arr = dr.darray(nparts).unwrap();
+        let chunk = edges.len().div_ceil(nparts);
+        for (p, slice) in edges.chunks(chunk.max(1)).enumerate() {
+            let data: Vec<f64> = slice
+                .iter()
+                .flat_map(|&(s, d)| [s as f64, d as f64])
+                .collect();
+            arr.fill_partition(p, slice.len(), 2, data).unwrap();
+        }
+        // Fill any remaining declared partitions with zero rows.
+        for p in edges.chunks(chunk.max(1)).count()..nparts {
+            arr.fill_partition(p, 0, 2, vec![]).unwrap();
+        }
+        arr
+    }
+
+    #[test]
+    fn cycle_graph_has_uniform_ranks() {
+        let dr = DistributedR::on_all_nodes(SimCluster::for_tests(3), 2).unwrap();
+        let edges: Vec<(usize, usize)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        let arr = edge_array(&dr, &edges, 3);
+        let result = hpdpagerank(&arr, 6, &PageRankOptions::default()).unwrap();
+        assert!(result.converged);
+        for r in &result.ranks {
+            assert!((r - 1.0 / 6.0).abs() < 1e-9, "{:?}", result.ranks);
+        }
+        let total: f64 = result.ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_graph_hub_dominates() {
+        // Spokes all point at vertex 0; vertex 0 points back at vertex 1.
+        let dr = DistributedR::on_all_nodes(SimCluster::for_tests(2), 2).unwrap();
+        let mut edges: Vec<(usize, usize)> = (1..8).map(|i| (i, 0)).collect();
+        edges.push((0, 1));
+        let arr = edge_array(&dr, &edges, 2);
+        let result = hpdpagerank(&arr, 8, &PageRankOptions::default()).unwrap();
+        let hub = result.ranks[0];
+        for (v, r) in result.ranks.iter().enumerate().skip(2) {
+            assert!(hub > 3.0 * r, "hub {hub} vs vertex {v} {r}");
+        }
+        // Vertex 1 inherits the hub's mass, beating the other spokes.
+        assert!(result.ranks[1] > result.ranks[2]);
+    }
+
+    #[test]
+    fn distributed_matches_serial_exactly() {
+        let dr = DistributedR::on_all_nodes(SimCluster::for_tests(3), 2).unwrap();
+        // A messy graph with a dangling vertex (5 has no out-edges).
+        let edges = vec![
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 0),
+            (3, 2),
+            (3, 4),
+            (4, 5),
+            (1, 5),
+        ];
+        let arr = edge_array(&dr, &edges, 3);
+        let opts = PageRankOptions::default();
+        let distributed = hpdpagerank(&arr, 6, &opts).unwrap();
+        let serial = serial_pagerank(&edges, 6, &opts).unwrap();
+        assert_eq!(distributed.iterations, serial.iterations);
+        for (a, b) in distributed.ranks.iter().zip(&serial.ranks) {
+            assert!((a - b).abs() < 1e-12, "{:?} vs {:?}", distributed.ranks, serial.ranks);
+        }
+        // Mass conserved despite the dangling vertex.
+        let total: f64 = distributed.ranks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validations() {
+        let dr = DistributedR::on_all_nodes(SimCluster::for_tests(1), 1).unwrap();
+        let arr = edge_array(&dr, &[(0, 9)], 1);
+        // Out-of-range vertex id.
+        assert!(hpdpagerank(&arr, 3, &PageRankOptions::default()).is_err());
+        // Bad shapes and parameters.
+        let not_edges = dr.darray(1).unwrap();
+        not_edges.fill_partition(0, 2, 3, vec![0.0; 6]).unwrap();
+        assert!(hpdpagerank(&not_edges, 3, &PageRankOptions::default()).is_err());
+        let arr2 = edge_array(&dr, &[(0, 1)], 1);
+        assert!(hpdpagerank(
+            &arr2,
+            2,
+            &PageRankOptions {
+                damping: 1.5,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(hpdpagerank(&arr2, 0, &PageRankOptions::default()).is_err());
+        assert!(serial_pagerank(&[(0, 5)], 2, &PageRankOptions::default()).is_err());
+    }
+
+    #[test]
+    fn fractional_vertex_ids_rejected() {
+        let dr = DistributedR::on_all_nodes(SimCluster::for_tests(1), 1).unwrap();
+        let arr = dr.darray(1).unwrap();
+        arr.fill_partition(0, 1, 2, vec![0.5, 1.0]).unwrap();
+        assert!(hpdpagerank(&arr, 2, &PageRankOptions::default()).is_err());
+    }
+}

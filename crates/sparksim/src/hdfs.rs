@@ -1,0 +1,202 @@
+//! HDFS simulator: fixed-size blocks with k-way replication and data-local
+//! reads ("HDFS is set to the default 3-way data replication", Section 7).
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use vdr_cluster::{NodeId, PhaseRecorder, SimCluster};
+
+/// Metadata of one stored block.
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    pub index: usize,
+    /// First replica — the "local" node an RDD partition prefers.
+    pub primary: NodeId,
+    pub replicas: Vec<NodeId>,
+    pub rows: usize,
+    pub bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FileMeta {
+    blocks: Vec<BlockMeta>,
+    cols: usize,
+}
+
+/// A cluster-wide block store holding CSV-encoded matrices.
+pub struct HdfsSim {
+    cluster: SimCluster,
+    replication: usize,
+    files: RwLock<BTreeMap<String, FileMeta>>,
+}
+
+impl HdfsSim {
+    pub fn new(cluster: SimCluster, replication: usize) -> Self {
+        let replication = replication.clamp(1, cluster.num_nodes());
+        HdfsSim {
+            cluster,
+            replication,
+            files: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    fn block_path(name: &str, index: usize) -> String {
+        format!("hdfs/{name}/blk{index:06}")
+    }
+
+    /// Store a row-major matrix as CSV text blocks of `block_rows` rows,
+    /// placed round-robin with `replication` copies. This is ingestion
+    /// (ETL), not part of measured loads.
+    pub fn put_matrix(&self, name: &str, data: &[f64], cols: usize, block_rows: usize) {
+        assert!(cols > 0 && block_rows > 0, "bad block shape");
+        assert_eq!(data.len() % cols, 0, "data not rectangular");
+        let n = self.cluster.num_nodes();
+        let mut blocks = Vec::new();
+        for (index, chunk) in data.chunks(block_rows * cols).enumerate() {
+            let mut text = String::with_capacity(chunk.len() * 8);
+            for row in chunk.chunks(cols) {
+                for (i, v) in row.iter().enumerate() {
+                    if i > 0 {
+                        text.push(',');
+                    }
+                    text.push_str(&v.to_string());
+                }
+                text.push('\n');
+            }
+            let bytes = bytes::Bytes::from(text);
+            let primary = NodeId(index % n);
+            let replicas: Vec<NodeId> = (0..self.replication)
+                .map(|r| NodeId((index + r) % n))
+                .collect();
+            for &node in &replicas {
+                self.cluster
+                    .node(node)
+                    .disk()
+                    .write(Self::block_path(name, index), bytes.clone());
+            }
+            blocks.push(BlockMeta {
+                index,
+                primary,
+                replicas,
+                rows: chunk.len() / cols,
+                bytes: bytes.len() as u64,
+            });
+        }
+        self.files
+            .write()
+            .insert(name.to_string(), FileMeta { blocks, cols });
+    }
+
+    /// All block metadata for `name`.
+    pub fn blocks_of(&self, name: &str) -> Vec<BlockMeta> {
+        self.files
+            .read()
+            .get(name)
+            .map(|f| f.blocks.clone())
+            .unwrap_or_default()
+    }
+
+    /// Column count of a stored matrix.
+    pub fn cols_of(&self, name: &str) -> Option<usize> {
+        self.files.read().get(name).map(|f| f.cols)
+    }
+
+    /// Read one block from `reader`'s point of view: free-of-network if a
+    /// replica is local, else fetched from the primary.
+    pub fn read_block(
+        &self,
+        name: &str,
+        block: &BlockMeta,
+        reader: NodeId,
+        rec: &PhaseRecorder,
+    ) -> Option<bytes::Bytes> {
+        let source = if block.replicas.contains(&reader) {
+            reader
+        } else {
+            block.primary
+        };
+        let data = self
+            .cluster
+            .node(source)
+            .disk()
+            .read(&Self::block_path(name, block.index))
+            .ok()?;
+        rec.disk_read(source, block.bytes);
+        rec.net(source, reader, block.bytes);
+        Some(data)
+    }
+
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.read().contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdr_cluster::PhaseKind;
+
+    fn setup() -> (SimCluster, HdfsSim) {
+        let cluster = SimCluster::for_tests(4);
+        let hdfs = HdfsSim::new(cluster.clone(), 3);
+        (cluster, hdfs)
+    }
+
+    #[test]
+    fn blocks_are_replicated_three_ways() {
+        let (_, hdfs) = setup();
+        let data: Vec<f64> = (0..120).map(|i| i as f64).collect();
+        hdfs.put_matrix("m", &data, 3, 10); // 40 rows → 4 blocks of 10
+        let blocks = hdfs.blocks_of("m");
+        assert_eq!(blocks.len(), 4);
+        for b in &blocks {
+            assert_eq!(b.replicas.len(), 3);
+            assert_eq!(b.rows, 10);
+            assert_eq!(b.replicas[0], b.primary);
+        }
+        // Primaries round-robin across nodes.
+        assert_eq!(blocks[0].primary, NodeId(0));
+        assert_eq!(blocks[3].primary, NodeId(3));
+        assert_eq!(hdfs.cols_of("m"), Some(3));
+        assert!(hdfs.exists("m"));
+        assert!(!hdfs.exists("nope"));
+    }
+
+    #[test]
+    fn local_reads_skip_the_network() {
+        let (cluster, hdfs) = setup();
+        hdfs.put_matrix("m", &[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let blocks = hdfs.blocks_of("m");
+        let rec = PhaseRecorder::new("r", PhaseKind::Sequential, 4);
+        // Primary node reads locally.
+        let b = hdfs
+            .read_block("m", &blocks[0], blocks[0].primary, &rec)
+            .unwrap();
+        assert!(!b.is_empty());
+        let report = rec.finish(cluster.profile());
+        assert_eq!(report.total_bytes_moved, 0);
+        assert!(report.total_disk_read > 0);
+    }
+
+    #[test]
+    fn remote_reads_fetch_from_primary() {
+        let (cluster, hdfs) = setup();
+        hdfs.put_matrix("m", &[1.0; 30], 1, 30); // one block on node 0..2
+        let blocks = hdfs.blocks_of("m");
+        let rec = PhaseRecorder::new("r", PhaseKind::Sequential, 4);
+        // Node 3 holds no replica of block 0 (replicas are 0,1,2).
+        hdfs.read_block("m", &blocks[0], NodeId(3), &rec).unwrap();
+        let report = rec.finish(cluster.profile());
+        assert!(report.total_bytes_moved > 0);
+    }
+
+    #[test]
+    fn replication_clamped() {
+        let cluster = SimCluster::for_tests(2);
+        let hdfs = HdfsSim::new(cluster, 3);
+        assert_eq!(hdfs.replication(), 2);
+    }
+}

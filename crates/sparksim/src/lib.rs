@@ -1,0 +1,81 @@
+#![allow(clippy::needless_range_loop)] // numeric kernels index centers/rows by id on purpose
+//! # vdr-sparksim — the Spark-on-HDFS comparator
+//!
+//! The paper's Section 7.3.2 baseline: "Spark provides a fast, in-memory
+//! computation layer … Spark which is tightly integrated with HDFS, reads
+//! the data directly from the local HDFS node and optionally deserializes
+//! the data before converting into its own data-structures."
+//!
+//! * [`hdfs::HdfsSim`] — a block store with 3-way replication (the paper's
+//!   default) and data-local reads.
+//! * [`rdd::SparkContext`] / [`rdd::SparkMatrix`] — an RDD-style partitioned
+//!   matrix loaded block-local from HDFS.
+//! * [`mllib`] — the MLlib-like K-means. Its inner loop *is*
+//!   `vdr_ml::kmeans::assign_partial`, making Figure 20 the apples-to-apples
+//!   comparison the paper insists on ("Spark and DR denote the same
+//!   implementation of the K-means algorithm").
+
+pub mod hdfs;
+pub mod mllib;
+pub mod rdd;
+
+pub use hdfs::HdfsSim;
+pub use mllib::spark_kmeans;
+pub use rdd::{SparkContext, SparkMatrix};
+
+use vdr_cluster::{HardwareProfile, SimDuration};
+
+/// Paper-scale analytic projection of a Spark HDFS load (Figure 21's "load
+/// data from HDFS" bar): local block reads pipelined with per-value
+/// deserialization into JVM objects.
+pub fn model_spark_load(
+    p: &HardwareProfile,
+    rows: u64,
+    cols: u64,
+    raw_bytes: u64,
+    nodes: usize,
+    lanes: usize,
+) -> SimDuration {
+    let disk = SimDuration::from_secs(raw_bytes as f64 / (nodes as f64 * p.disk_read_bps));
+    let deser = SimDuration::from_nanos(
+        (rows * cols) as f64 * p.costs.spark_load_ns_per_value,
+    ) / (nodes as f64 * p.parallel_speedup(lanes));
+    disk.max(deser)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig21_spark_load_about_11_minutes() {
+        // 240M rows × 100 features ≈ 192 GB raw on 4 nodes.
+        let p = HardwareProfile::paper_testbed();
+        let t = model_spark_load(&p, 240_000_000, 100, 192_000_000_000, 4, 24);
+        let mins = t.as_minutes();
+        assert!((9.0..14.0).contains(&mins), "Spark load ≈ {mins:.1} min (paper: 11)");
+    }
+
+    #[test]
+    fn spark_load_is_faster_than_vft_but_slower_than_local_ext4() {
+        // The Figure 21 ordering: DR-disk < Spark-HDFS < Vertica-VFT.
+        use vdr_transfer::model::{model_dr_disk, model_vft, ClusterShape, TableShape};
+        let p = HardwareProfile::paper_testbed();
+        let t = TableShape {
+            rows: 240_000_000,
+            cols: 100,
+            disk_bytes: 192_000_000_000,
+        };
+        let shape = ClusterShape {
+            db_nodes: 4,
+            r_nodes: 4,
+            r_instances_per_node: 24,
+            colocated: false,
+        };
+        let spark = model_spark_load(&p, t.rows, t.cols, t.raw_bytes(), 4, 24);
+        let vft = model_vft(&p, t, shape).total();
+        let local = model_dr_disk(&p, t, shape).total();
+        assert!(local < spark, "local {local} vs spark {spark}");
+        assert!(spark < vft, "spark {spark} vs vft {vft}");
+    }
+}

@@ -1,0 +1,98 @@
+//! The catalog: table definitions, replicated logically on every node (we
+//! keep one shared copy — the simulation runs in one process).
+
+use crate::error::{DbError, Result};
+use crate::segmentation::Segmentation;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use vdr_columnar::Schema;
+
+/// A table's definition.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    pub name: String,
+    pub schema: Schema,
+    pub segmentation: Segmentation,
+}
+
+/// Thread-safe name → definition map.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, TableDef>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table. Names are case-insensitive (stored lowercased).
+    pub fn create_table(&self, def: TableDef) -> Result<()> {
+        let key = def.name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(DbError::Catalog(format!("table '{}' already exists", def.name)));
+        }
+        tables.insert(key, def);
+        Ok(())
+    }
+
+    pub fn drop_table(&self, name: &str) -> Result<TableDef> {
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::Catalog(format!("table '{name}' does not exist")))
+    }
+
+    pub fn get(&self, name: &str) -> Result<TableDef> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| DbError::Catalog(format!("table '{name}' does not exist")))
+    }
+
+    pub fn exists(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdr_columnar::DataType;
+
+    fn def(name: &str) -> TableDef {
+        TableDef {
+            name: name.into(),
+            schema: Schema::of(&[("id", DataType::Int64)]),
+            segmentation: Segmentation::RoundRobin,
+        }
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let c = Catalog::new();
+        c.create_table(def("T1")).unwrap();
+        assert!(c.exists("t1"));
+        assert!(c.exists("T1"));
+        assert_eq!(c.get("t1").unwrap().name, "T1");
+        assert!(c.create_table(def("t1")).is_err(), "duplicate rejected");
+        c.drop_table("T1").unwrap();
+        assert!(!c.exists("t1"));
+        assert!(c.drop_table("t1").is_err());
+        assert!(c.get("t1").is_err());
+    }
+
+    #[test]
+    fn names_listing_sorted() {
+        let c = Catalog::new();
+        c.create_table(def("zeta")).unwrap();
+        c.create_table(def("alpha")).unwrap();
+        assert_eq!(c.table_names(), vec!["alpha", "zeta"]);
+    }
+}

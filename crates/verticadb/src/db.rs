@@ -1,0 +1,236 @@
+//! The database façade: catalog + storage + DFS + models + UDx registry +
+//! admission control, bound to a simulated cluster.
+
+use crate::admission::AdmissionController;
+use crate::catalog::{Catalog, TableDef};
+use crate::dfs::Dfs;
+use crate::error::Result;
+use crate::exec;
+use crate::models::ModelStore;
+use crate::sql;
+use crate::storage::SegmentStore;
+use crate::udx::{TransformFunction, UdxRegistry};
+use std::sync::Arc;
+use vdr_cluster::{Ledger, PhaseKind, PhaseRecorder, SimCluster, SimDuration};
+use vdr_columnar::Batch;
+
+/// Result of one SQL statement: the rows plus the statement's simulated
+/// duration under the cluster's hardware profile.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    pub batch: Batch,
+    pub sim_time: SimDuration,
+}
+
+/// A running database instance spanning all cluster nodes.
+pub struct VerticaDb {
+    cluster: SimCluster,
+    catalog: Catalog,
+    storage: SegmentStore,
+    dfs: Arc<Dfs>,
+    models: ModelStore,
+    udx: UdxRegistry,
+    admission: AdmissionController,
+    ledger: Arc<Ledger>,
+}
+
+impl VerticaDb {
+    /// Start a database on `cluster`. DFS replication follows Vertica's
+    /// K-safety style default: min(cluster size, 3) copies.
+    pub fn new(cluster: SimCluster) -> Arc<Self> {
+        let dfs = Arc::new(Dfs::new(cluster.clone(), cluster.num_nodes().min(3)));
+        let max_q = cluster.profile().costs.db_max_concurrent_queries;
+        Arc::new(VerticaDb {
+            catalog: Catalog::new(),
+            storage: SegmentStore::new(cluster.clone()),
+            models: ModelStore::new(Arc::clone(&dfs)),
+            dfs,
+            udx: UdxRegistry::new(),
+            admission: AdmissionController::new(max_q),
+            ledger: Arc::new(Ledger::new()),
+            cluster,
+        })
+    }
+
+    /// Parse and execute one SQL statement, charging a ledger phase named
+    /// after the statement.
+    pub fn query(&self, sql_text: &str) -> Result<QueryOutput> {
+        let stmt = sql::parse(sql_text)?;
+        self.execute(&stmt)
+    }
+
+    /// Execute a pre-parsed statement.
+    pub fn execute(&self, stmt: &sql::Statement) -> Result<QueryOutput> {
+        let rec = Arc::new(PhaseRecorder::new(
+            statement_label(stmt),
+            PhaseKind::Pipelined,
+            self.cluster.num_nodes(),
+        ));
+        let batch = self.execute_with(stmt, &rec)?;
+        let report = Arc::into_inner(rec)
+            .expect("no stray phase references after execution")
+            .finish(self.cluster.profile());
+        let sim_time = report.duration();
+        self.ledger.push(report);
+        Ok(QueryOutput { batch, sim_time })
+    }
+
+    /// Execute a statement charging an externally owned phase recorder.
+    /// Used by the transfer layer, which accounts a whole transfer (query +
+    /// streams + client-side conversion) as one ledger phase of its own.
+    pub fn execute_with(&self, stmt: &sql::Statement, rec: &Arc<PhaseRecorder>) -> Result<Batch> {
+        let _slot = self.admission.admit();
+        exec::execute(self, stmt, rec)
+    }
+
+    /// Parse and execute with an external recorder (see [`Self::execute_with`]).
+    pub fn query_with(&self, sql_text: &str, rec: &Arc<PhaseRecorder>) -> Result<Batch> {
+        let stmt = sql::parse(sql_text)?;
+        self.execute_with(&stmt, rec)
+    }
+
+    /// Bulk-load batches into an existing table (the ETL path customers use
+    /// before analytics — Vertica's COPY). Returns rows loaded.
+    pub fn copy(&self, table: &str, batches: impl IntoIterator<Item = Batch>) -> Result<u64> {
+        let def = self.catalog.get(table)?;
+        let rec = PhaseRecorder::new(
+            format!("COPY {table}"),
+            PhaseKind::Pipelined,
+            self.cluster.num_nodes(),
+        );
+        let rows = self.storage.load(&def, batches, &rec)?;
+        self.ledger.push(rec.finish(self.cluster.profile()));
+        Ok(rows)
+    }
+
+    /// Create a table from a definition (programmatic alternative to DDL,
+    /// needed for the skewed segmentation experiments which have no SQL
+    /// spelling).
+    pub fn create_table(&self, def: TableDef) -> Result<()> {
+        self.catalog.create_table(def)
+    }
+
+    /// Register a user-defined transform function.
+    pub fn register_transform(&self, f: Arc<dyn TransformFunction>) {
+        self.udx.register(f);
+    }
+
+    pub fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn storage(&self) -> &SegmentStore {
+        &self.storage
+    }
+
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    pub fn dfs_arc(&self) -> Arc<Dfs> {
+        Arc::clone(&self.dfs)
+    }
+
+    pub fn models(&self) -> &ModelStore {
+        &self.models
+    }
+
+    pub fn udx(&self) -> &UdxRegistry {
+        &self.udx
+    }
+
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// The database's cost ledger (all executed statements' phases).
+    pub fn ledger(&self) -> &Arc<Ledger> {
+        &self.ledger
+    }
+}
+
+fn statement_label(stmt: &sql::Statement) -> String {
+    match stmt {
+        sql::Statement::Select(s) => match s.transform_item() {
+            Some(sql::SelectItem::Transform { name, .. }) => format!("SELECT {name}(…) OVER"),
+            _ => "SELECT".to_string(),
+        },
+        sql::Statement::CreateTable { name, .. } => format!("CREATE TABLE {name}"),
+        sql::Statement::CreateTableAs { name, .. } => format!("CREATE TABLE {name} AS SELECT"),
+        sql::Statement::Insert { table, .. } => format!("INSERT {table}"),
+        sql::Statement::DropTable { name, .. } => format!("DROP TABLE {name}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdr_columnar::{Column, DataType, Schema, Value};
+
+    #[test]
+    fn copy_and_query_roundtrip() {
+        let cluster = SimCluster::for_tests(4);
+        let db = VerticaDb::new(cluster);
+        db.query("CREATE TABLE m (id INTEGER, v FLOAT) SEGMENTED BY HASH(id)")
+            .unwrap();
+        let schema = Schema::of(&[("id", DataType::Int64), ("v", DataType::Float64)]);
+        let batch = Batch::new(
+            schema,
+            vec![
+                Column::from_i64((0..1000).collect()),
+                Column::from_f64((0..1000).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(db.copy("m", vec![batch]).unwrap(), 1000);
+        let out = db.query("SELECT count(*), sum(v) FROM m").unwrap();
+        assert_eq!(out.batch.row(0)[0], Value::Int64(1000));
+        assert_eq!(out.batch.row(0)[1], Value::Float64(999.0 * 500.0));
+        assert!(out.sim_time.as_secs() > 0.0, "queries take simulated time");
+        // Ledger accumulated phases for the DDL, the COPY, and the SELECTs.
+        assert!(db.ledger().reports().len() >= 3);
+    }
+
+    #[test]
+    fn r_models_table_is_queryable() {
+        let cluster = SimCluster::for_tests(2);
+        let db = VerticaDb::new(cluster.clone());
+        let rec = PhaseRecorder::new("save", PhaseKind::Sequential, 2);
+        db.models()
+            .save(
+                vdr_cluster::NodeId(0),
+                "model1",
+                "X",
+                "kmeans",
+                "clustering",
+                bytes::Bytes::from_static(b"m"),
+                &rec,
+            )
+            .unwrap();
+        let out = db.query("SELECT * FROM R_Models").unwrap().batch;
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0)[0], Value::Varchar("model1".into()));
+        // And it filters like any table.
+        let out = db
+            .query("SELECT model FROM R_Models WHERE type = 'kmeans'")
+            .unwrap()
+            .batch;
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn admission_counts_queries() {
+        let cluster = SimCluster::for_tests(1);
+        let db = VerticaDb::new(cluster);
+        db.query("CREATE TABLE t (a INTEGER)").unwrap();
+        for i in 0..5 {
+            db.query(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        db.query("SELECT count(*) FROM t").unwrap();
+        assert_eq!(db.admission().admitted(), 7);
+    }
+}

@@ -1,0 +1,16 @@
+//! The SQL dialect: lexer, AST, and recursive-descent parser.
+//!
+//! Covers the statements the paper's workflows need (Figure 3, Figure 4,
+//! Figure 10): `CREATE TABLE … SEGMENTED BY HASH(col)`, `INSERT`, `DROP
+//! TABLE`, and `SELECT` with expressions, aggregates, `GROUP BY`,
+//! `ORDER BY … LIMIT/OFFSET` (the ODBC range-fetch baseline), and Vertica's
+//! UDx form `SELECT f(args USING PARAMETERS k='v') OVER (PARTITION BEST)`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    AggFunc, OrderKey, Partition, SegSpec, SelectItem, SelectStmt, Statement,
+};
+pub use parser::parse;

@@ -1,0 +1,328 @@
+//! Segment storage: each node stores its table segment as a series of
+//! encoded, checksummed columnar *containers* (ROS-style) on its simulated
+//! disk.
+
+use crate::catalog::TableDef;
+use crate::error::{DbError, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use vdr_cluster::{NodeId, PhaseRecorder, SimCluster};
+use vdr_columnar::{decode_batch, encode_batch, Batch};
+
+/// Metadata for one on-disk container.
+#[derive(Debug, Clone)]
+pub struct ContainerMeta {
+    pub path: String,
+    pub rows: u64,
+    pub bytes: u64,
+}
+
+/// Per-table, per-node container lists.
+#[derive(Default)]
+struct TableMeta {
+    /// Indexed by node id.
+    segments: Vec<Vec<ContainerMeta>>,
+}
+
+/// The storage layer across all nodes.
+pub struct SegmentStore {
+    cluster: SimCluster,
+    meta: RwLock<HashMap<String, TableMeta>>,
+}
+
+impl SegmentStore {
+    pub fn new(cluster: SimCluster) -> Self {
+        SegmentStore {
+            cluster,
+            meta: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn key(table: &str) -> String {
+        table.to_ascii_lowercase()
+    }
+
+    /// Append one batch as a new container in `table`'s segment on `node`.
+    /// Charges the disk write to `rec`.
+    pub fn append(
+        &self,
+        table: &str,
+        node: NodeId,
+        batch: &Batch,
+        rec: &PhaseRecorder,
+    ) -> Result<()> {
+        if batch.num_rows() == 0 {
+            return Ok(());
+        }
+        let key = Self::key(table);
+        let block = encode_batch(batch);
+        let bytes = block.len() as u64;
+        let mut meta = self.meta.write();
+        let tm = meta.entry(key.clone()).or_insert_with(|| TableMeta {
+            segments: vec![Vec::new(); self.cluster.num_nodes()],
+        });
+        if tm.segments.len() != self.cluster.num_nodes() {
+            return Err(DbError::Exec("cluster size changed under storage".into()));
+        }
+        let idx = tm.segments[node.0].len();
+        let path = format!("tables/{key}/c{idx:06}");
+        self.cluster.node(node).disk().write(path.clone(), block);
+        rec.disk_write(node, bytes);
+        tm.segments[node.0].push(ContainerMeta {
+            path,
+            rows: batch.num_rows() as u64,
+            bytes,
+        });
+        Ok(())
+    }
+
+    /// Containers of `table` on `node`.
+    pub fn containers(&self, table: &str, node: NodeId) -> Vec<ContainerMeta> {
+        self.meta
+            .read()
+            .get(&Self::key(table))
+            .map(|tm| tm.segments[node.0].clone())
+            .unwrap_or_default()
+    }
+
+    /// Rows of `table` held by each node.
+    pub fn segment_rows(&self, table: &str) -> Vec<u64> {
+        let meta = self.meta.read();
+        match meta.get(&Self::key(table)) {
+            Some(tm) => tm
+                .segments
+                .iter()
+                .map(|cs| cs.iter().map(|c| c.rows).sum())
+                .collect(),
+            None => vec![0; self.cluster.num_nodes()],
+        }
+    }
+
+    /// Total rows in `table`.
+    pub fn total_rows(&self, table: &str) -> u64 {
+        self.segment_rows(table).iter().sum()
+    }
+
+    /// On-disk bytes of `table` held by each node.
+    pub fn segment_bytes(&self, table: &str) -> Vec<u64> {
+        let meta = self.meta.read();
+        match meta.get(&Self::key(table)) {
+            Some(tm) => tm
+                .segments
+                .iter()
+                .map(|cs| cs.iter().map(|c| c.bytes).sum())
+                .collect(),
+            None => vec![0; self.cluster.num_nodes()],
+        }
+    }
+
+    /// Read and decode every container of `table` on `node`, charging cold
+    /// disk reads (or cached re-reads) and decode CPU to `rec`.
+    pub fn scan_node(
+        &self,
+        table: &str,
+        node: NodeId,
+        rec: &PhaseRecorder,
+        cached: bool,
+    ) -> Result<Vec<Batch>> {
+        self.scan_node_slice(table, node, 0, 1, rec, cached)
+    }
+
+    /// Read the containers assigned to UDx instance `slice` of `num_slices`
+    /// on `node` (containers are dealt round-robin to instances, so
+    /// concurrent instances never share a container).
+    pub fn scan_node_slice(
+        &self,
+        table: &str,
+        node: NodeId,
+        slice: usize,
+        num_slices: usize,
+        rec: &PhaseRecorder,
+        cached: bool,
+    ) -> Result<Vec<Batch>> {
+        assert!(slice < num_slices, "slice index out of range");
+        let containers = self.containers(table, node);
+        let disk = self.cluster.node(node).disk();
+        let scan_cost = self.cluster.profile().costs.db_scan_ns_per_value;
+        let mut out = Vec::new();
+        for c in containers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % num_slices == slice)
+            .map(|(_, c)| c)
+        {
+            let raw = disk.read(&c.path)?;
+            if cached {
+                rec.disk_cached_read(node, c.bytes);
+            } else {
+                rec.disk_read(node, c.bytes);
+            }
+            let batch = decode_batch(&raw)?;
+            rec.cpu_work(node, batch.num_values() as f64, scan_cost);
+            out.push(batch);
+        }
+        Ok(out)
+    }
+
+    /// Remove `table`'s containers everywhere.
+    pub fn drop_table(&self, table: &str) {
+        let key = Self::key(table);
+        if let Some(tm) = self.meta.write().remove(&key) {
+            for (node_idx, containers) in tm.segments.iter().enumerate() {
+                let disk = self.cluster.node(NodeId(node_idx)).disk();
+                for c in containers {
+                    disk.delete(&c.path);
+                }
+            }
+        }
+    }
+
+    /// Load a stream of batches into a table according to its segmentation,
+    /// chunking each node's share into containers. Returns rows loaded.
+    pub fn load(
+        &self,
+        def: &TableDef,
+        batches: impl IntoIterator<Item = Batch>,
+        rec: &PhaseRecorder,
+    ) -> Result<u64> {
+        let n = self.cluster.num_nodes();
+        let mut start_row = self.total_rows(&def.name);
+        let mut loaded = 0u64;
+        for batch in batches {
+            let parts = def.segmentation.split(&batch, n, start_row)?;
+            for (node_idx, part) in parts.into_iter().enumerate() {
+                self.append(&def.name, NodeId(node_idx), &part, rec)?;
+            }
+            start_row += batch.num_rows() as u64;
+            loaded += batch.num_rows() as u64;
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segmentation::Segmentation;
+    use vdr_cluster::PhaseKind;
+    use vdr_columnar::{Column, DataType, Schema};
+
+    fn setup() -> (SimCluster, SegmentStore, TableDef) {
+        let cluster = SimCluster::for_tests(3);
+        let store = SegmentStore::new(cluster.clone());
+        let def = TableDef {
+            name: "T".into(),
+            schema: Schema::of(&[("id", DataType::Int64)]),
+            segmentation: Segmentation::RoundRobin,
+        };
+        (cluster, store, def)
+    }
+
+    fn rec(n: usize) -> PhaseRecorder {
+        PhaseRecorder::new("t", PhaseKind::Sequential, n)
+    }
+
+    fn ids(n: i64) -> Batch {
+        Batch::new(
+            Schema::of(&[("id", DataType::Int64)]),
+            vec![Column::from_i64((0..n).collect())],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn load_and_scan_roundtrip() {
+        let (cluster, store, def) = setup();
+        let r = rec(cluster.num_nodes());
+        let loaded = store.load(&def, vec![ids(90), ids(9)], &r).unwrap();
+        assert_eq!(loaded, 99);
+        assert_eq!(store.total_rows("t"), 99);
+        assert_eq!(store.segment_rows("T"), vec![33, 33, 33]);
+
+        let mut all = 0;
+        for node in cluster.node_ids() {
+            for b in store.scan_node("t", node, &r, false).unwrap() {
+                all += b.num_rows();
+            }
+        }
+        assert_eq!(all, 99);
+    }
+
+    #[test]
+    fn scan_charges_disk_and_cpu() {
+        let (cluster, store, def) = setup();
+        let load_rec = rec(3);
+        store.load(&def, vec![ids(3000)], &load_rec).unwrap();
+        let r = rec(3);
+        store.scan_node("t", NodeId(0), &r, false).unwrap();
+        let report = r.finish(cluster.profile());
+        assert!(report.total_disk_read > 0);
+        assert!(report.total_cpu_core_ns > 0.0);
+    }
+
+    #[test]
+    fn slices_partition_containers_exactly_once() {
+        let (cluster, store, def) = setup();
+        let r = rec(3);
+        // 5 containers per node.
+        for _ in 0..5 {
+            store.load(&def, vec![ids(300)], &r).unwrap();
+        }
+        let node = NodeId(1);
+        let full: usize = store
+            .scan_node("t", node, &r, false)
+            .unwrap()
+            .iter()
+            .map(Batch::num_rows)
+            .sum();
+        let mut sliced = 0;
+        for s in 0..4 {
+            sliced += store
+                .scan_node_slice("t", node, s, 4, &r, false)
+                .unwrap()
+                .iter()
+                .map(Batch::num_rows)
+                .sum::<usize>();
+        }
+        assert_eq!(full, sliced);
+        let _ = cluster;
+    }
+
+    #[test]
+    fn empty_batches_create_no_containers() {
+        let (_, store, def) = setup();
+        let r = rec(3);
+        store.load(&def, vec![ids(0)], &r).unwrap();
+        assert_eq!(store.total_rows("t"), 0);
+        assert!(store.containers("t", NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn drop_table_frees_disk() {
+        let (cluster, store, def) = setup();
+        let r = rec(3);
+        store.load(&def, vec![ids(300)], &r).unwrap();
+        assert!(cluster.node(NodeId(0)).disk().used_bytes() > 0);
+        store.drop_table("T");
+        assert_eq!(cluster.node(NodeId(0)).disk().used_bytes(), 0);
+        assert_eq!(store.total_rows("t"), 0);
+    }
+
+    #[test]
+    fn skewed_load_produces_uneven_segments() {
+        let cluster = SimCluster::for_tests(2);
+        let store = SegmentStore::new(cluster.clone());
+        let def = TableDef {
+            name: "S".into(),
+            schema: Schema::of(&[("id", DataType::Int64)]),
+            segmentation: Segmentation::Skewed {
+                weights: vec![4.0, 1.0],
+            },
+        };
+        let r = rec(2);
+        store.load(&def, vec![ids(5000)], &r).unwrap();
+        let rows = store.segment_rows("s");
+        assert!(rows[0] > rows[1] * 3, "{rows:?}");
+        assert_eq!(rows[0] + rows[1], 5000);
+    }
+}

@@ -1,0 +1,138 @@
+//! Raw in-memory dataset generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Linear-model data around known coefficients: returns `(features, y)`
+/// with `features` row-major `rows × coefficients.len()` and
+/// `y = intercept + X·β + uniform(−noise, noise)`.
+pub fn linear_data(
+    rows: usize,
+    intercept: f64,
+    coefficients: &[f64],
+    noise: f64,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let d = coefficients.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(rows * d);
+    let mut y = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut acc = intercept;
+        for &beta in coefficients {
+            let v: f64 = rng.gen_range(-2.0..2.0);
+            acc += beta * v;
+            x.push(v);
+        }
+        let eps = if noise > 0.0 {
+            rng.gen_range(-noise..noise)
+        } else {
+            0.0
+        };
+        y.push(acc + eps);
+    }
+    (x, y)
+}
+
+/// Logistic-model data around known coefficients: labels drawn Bernoulli
+/// with `p = σ(intercept + X·β)`.
+pub fn logistic_data(
+    rows: usize,
+    intercept: f64,
+    coefficients: &[f64],
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let d = coefficients.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(rows * d);
+    let mut y = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mut eta = intercept;
+        for &beta in coefficients {
+            let v: f64 = rng.gen_range(-2.0..2.0);
+            eta += beta * v;
+            x.push(v);
+        }
+        let p = 1.0 / (1.0 + (-eta).exp());
+        y.push(f64::from(rng.gen_range(0.0..1.0) < p));
+    }
+    (x, y)
+}
+
+/// A mixture of spherical Gaussian-ish blobs (uniform box noise around each
+/// center — sufficient for cluster-recovery checks and cheap to generate).
+/// Returns `(points, labels)`, points row-major, label = center index.
+pub fn gaussian_mixture(
+    rows_per_center: usize,
+    centers: &[Vec<f64>],
+    spread: f64,
+    seed: u64,
+) -> (Vec<f64>, Vec<usize>) {
+    assert!(!centers.is_empty(), "need at least one center");
+    let d = centers[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = rows_per_center * centers.len();
+    let mut points = Vec::with_capacity(total * d);
+    let mut labels = Vec::with_capacity(total);
+    // Interleave centers so any prefix of the data covers all clusters.
+    for i in 0..total {
+        let c = i % centers.len();
+        labels.push(c);
+        for &coord in &centers[c] {
+            points.push(coord + rng.gen_range(-spread..spread));
+        }
+    }
+    (points, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_data_is_exact_without_noise() {
+        let (x, y) = linear_data(100, 1.0, &[2.0, -1.0], 0.0, 1);
+        assert_eq!(x.len(), 200);
+        assert_eq!(y.len(), 100);
+        for (row, &yy) in x.chunks(2).zip(&y) {
+            assert!((1.0 + 2.0 * row[0] - row[1] - yy).abs() < 1e-12);
+        }
+        // Deterministic.
+        let (x2, _) = linear_data(100, 1.0, &[2.0, -1.0], 0.0, 1);
+        assert_eq!(x, x2);
+        let (x3, _) = linear_data(100, 1.0, &[2.0, -1.0], 0.0, 2);
+        assert_ne!(x, x3);
+    }
+
+    #[test]
+    fn logistic_labels_track_probabilities() {
+        // Strong positive coefficient ⇒ labels correlate with the feature.
+        let (x, y) = logistic_data(4000, 0.0, &[4.0], 3);
+        let mut pos_when_big = 0;
+        let mut big = 0;
+        for (row, &yy) in x.chunks(1).zip(&y) {
+            if row[0] > 1.0 {
+                big += 1;
+                pos_when_big += (yy > 0.5) as usize;
+            }
+            assert!(yy == 0.0 || yy == 1.0);
+        }
+        assert!(big > 500);
+        assert!(pos_when_big as f64 / big as f64 > 0.9);
+    }
+
+    #[test]
+    fn mixture_labels_match_proximity() {
+        let centers = vec![vec![0.0, 0.0], vec![50.0, 50.0]];
+        let (pts, labels) = gaussian_mixture(200, &centers, 0.5, 7);
+        assert_eq!(pts.len(), 800);
+        assert_eq!(labels.len(), 400);
+        for (row, &l) in pts.chunks(2).zip(&labels) {
+            let d0 = row[0].powi(2) + row[1].powi(2);
+            let d1 = (row[0] - 50.0).powi(2) + (row[1] - 50.0).powi(2);
+            assert_eq!(l, usize::from(d1 < d0));
+        }
+        // Interleaving: the first two rows belong to different clusters.
+        assert_ne!(labels[0], labels[1]);
+    }
+}

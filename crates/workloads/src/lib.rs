@@ -1,0 +1,12 @@
+//! # vdr-workloads — synthetic workload generators
+//!
+//! The paper's own methodology (Section 7.3.1): "we synthetically generated
+//! datasets by creating vectors around coefficients that we expect to fit
+//! the data. This methodology ensures that we can check for accuracy of the
+//! answers." Everything here is seeded and deterministic.
+
+pub mod data;
+pub mod tables;
+
+pub use data::{gaussian_mixture, linear_data, logistic_data};
+pub use tables::{clusters_table, regression_table, transfer_table};

@@ -1,0 +1,218 @@
+//! Database table populators built on the raw generators.
+
+use crate::data::{gaussian_mixture, linear_data};
+use vdr_columnar::{Batch, Column, DataType, Field, Schema};
+use vdr_verticadb::{Result, Segmentation, TableDef, VerticaDb};
+
+/// Batch size used when loading generated data (several containers per node
+/// so `PARTITION BEST` has slices to hand out).
+const LOAD_CHUNK: usize = 8_192;
+
+/// Create and populate a regression table `name(x1..xd FLOAT, y FLOAT)`
+/// around the given true coefficients. Returns rows loaded.
+#[allow(clippy::too_many_arguments)] // the generator's knobs map to the paper's workload parameters
+pub fn regression_table(
+    db: &VerticaDb,
+    name: &str,
+    rows: usize,
+    intercept: f64,
+    coefficients: &[f64],
+    noise: f64,
+    seg: Segmentation,
+    seed: u64,
+) -> Result<u64> {
+    let d = coefficients.len();
+    let mut fields: Vec<Field> = (1..=d)
+        .map(|i| Field::new(format!("x{i}"), DataType::Float64))
+        .collect();
+    fields.push(Field::new("y", DataType::Float64));
+    let schema = Schema::new(fields);
+    db.create_table(TableDef {
+        name: name.to_string(),
+        schema: schema.clone(),
+        segmentation: seg,
+    })?;
+    let (x, y) = linear_data(rows, intercept, coefficients, noise, seed);
+    let mut loaded = 0u64;
+    for (chunk_idx, ychunk) in y.chunks(LOAD_CHUNK).enumerate() {
+        let start = chunk_idx * LOAD_CHUNK;
+        let mut columns: Vec<Column> = (0..d)
+            .map(|j| {
+                Column::from_f64(
+                    (0..ychunk.len())
+                        .map(|r| x[(start + r) * d + j])
+                        .collect(),
+                )
+            })
+            .collect();
+        columns.push(Column::from_f64(ychunk.to_vec()));
+        loaded += db.copy(name, vec![Batch::new(schema.clone(), columns)?])?;
+    }
+    Ok(loaded)
+}
+
+/// Create and populate a clustering table `name(id INTEGER, f1..fd FLOAT,
+/// true_label INTEGER)` from a blob mixture. Returns rows loaded.
+pub fn clusters_table(
+    db: &VerticaDb,
+    name: &str,
+    rows_per_center: usize,
+    centers: &[Vec<f64>],
+    spread: f64,
+    seg: Segmentation,
+    seed: u64,
+) -> Result<u64> {
+    let d = centers.first().map_or(0, Vec::len);
+    let mut fields = vec![Field::new("id", DataType::Int64)];
+    fields.extend((1..=d).map(|i| Field::new(format!("f{i}"), DataType::Float64)));
+    fields.push(Field::new("true_label", DataType::Int64));
+    let schema = Schema::new(fields);
+    db.create_table(TableDef {
+        name: name.to_string(),
+        schema: schema.clone(),
+        segmentation: seg,
+    })?;
+    let (pts, labels) = gaussian_mixture(rows_per_center, centers, spread, seed);
+    let total = labels.len();
+    let mut loaded = 0u64;
+    let mut start = 0usize;
+    while start < total {
+        let end = (start + LOAD_CHUNK).min(total);
+        let ids: Vec<i64> = (start as i64..end as i64).collect();
+        let mut columns = vec![Column::from_i64(ids)];
+        for j in 0..d {
+            columns.push(Column::from_f64(
+                (start..end).map(|r| pts[r * d + j]).collect(),
+            ));
+        }
+        columns.push(Column::from_i64(
+            (start..end).map(|r| labels[r] as i64).collect(),
+        ));
+        loaded += db.copy(name, vec![Batch::new(schema.clone(), columns)?])?;
+        start = end;
+    }
+    Ok(loaded)
+}
+
+/// Create and populate the paper's transfer-benchmark table shape: an id
+/// plus five float features (≈50 B/row raw), like the 50–400 GB tables of
+/// Figures 1 and 12–14. Returns rows loaded.
+pub fn transfer_table(
+    db: &VerticaDb,
+    name: &str,
+    rows: usize,
+    seg: Segmentation,
+    seed: u64,
+) -> Result<u64> {
+    let schema = Schema::of(&[
+        ("id", DataType::Int64),
+        ("a", DataType::Float64),
+        ("b", DataType::Float64),
+        ("c", DataType::Float64),
+        ("d", DataType::Float64),
+        ("e", DataType::Float64),
+    ]);
+    db.create_table(TableDef {
+        name: name.to_string(),
+        schema: schema.clone(),
+        segmentation: seg,
+    })?;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut loaded = 0u64;
+    let mut start = 0usize;
+    while start < rows {
+        let end = (start + LOAD_CHUNK).min(rows);
+        let n = end - start;
+        let ids: Vec<i64> = (start as i64..end as i64).collect();
+        let mut columns = vec![Column::from_i64(ids)];
+        for _ in 0..5 {
+            columns.push(Column::from_f64(
+                (0..n).map(|_| rng.gen_range(-1000.0..1000.0)).collect(),
+            ));
+        }
+        loaded += db.copy(name, vec![Batch::new(schema.clone(), columns)?])?;
+        start = end;
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdr_cluster::SimCluster;
+    use vdr_columnar::Value;
+
+    fn db() -> std::sync::Arc<VerticaDb> {
+        VerticaDb::new(SimCluster::for_tests(3))
+    }
+
+    #[test]
+    fn regression_table_round_trips_relationship() {
+        let db = db();
+        let n = regression_table(
+            &db,
+            "reg",
+            2000,
+            3.0,
+            &[1.5, -0.5],
+            0.0,
+            Segmentation::RoundRobin,
+            11,
+        )
+        .unwrap();
+        assert_eq!(n, 2000);
+        assert_eq!(db.storage().total_rows("reg"), 2000);
+        // Check y = 3 + 1.5·x1 − 0.5·x2 through SQL.
+        let out = db
+            .query("SELECT count(*) FROM reg WHERE y - (3.0 + 1.5 * x1 - 0.5 * x2) > 0.000001")
+            .unwrap()
+            .batch;
+        assert_eq!(out.row(0)[0], Value::Int64(0));
+    }
+
+    #[test]
+    fn clusters_table_labels_and_ids() {
+        let db = db();
+        let centers = vec![vec![0.0, 0.0], vec![20.0, 20.0], vec![-20.0, 5.0]];
+        let n = clusters_table(&db, "pts", 100, &centers, 0.5, Segmentation::Hash { column: "id".into() }, 5)
+            .unwrap();
+        assert_eq!(n, 300);
+        let out = db
+            .query("SELECT true_label, count(*) AS n FROM pts GROUP BY true_label ORDER BY true_label")
+            .unwrap()
+            .batch;
+        assert_eq!(out.num_rows(), 3);
+        for r in 0..3 {
+            assert_eq!(out.row(r)[1], Value::Int64(100));
+        }
+        // Ids are unique: max = n-1 and count(distinct)… approximate via sum.
+        let out = db.query("SELECT min(id), max(id), count(id) FROM pts").unwrap().batch;
+        assert_eq!(out.row(0)[0], Value::Int64(0));
+        assert_eq!(out.row(0)[1], Value::Int64(299));
+        assert_eq!(out.row(0)[2], Value::Int64(300));
+    }
+
+    #[test]
+    fn transfer_table_shape_and_chunking() {
+        let db = db();
+        // More rows than one chunk to force multiple containers per node.
+        let n = transfer_table(&db, "big", 20_000, Segmentation::RoundRobin, 1).unwrap();
+        assert_eq!(n, 20_000);
+        let per_node = db.storage().segment_rows("big");
+        assert_eq!(per_node.iter().sum::<u64>(), 20_000);
+        // Multiple containers per node (several COPY chunks).
+        assert!(db.storage().containers("big", vdr_cluster::NodeId(0)).len() >= 2);
+        // Six columns, ≈48 B of raw values per row.
+        let def = db.catalog().get("big").unwrap();
+        assert_eq!(def.schema.len(), 6);
+    }
+
+    #[test]
+    fn duplicate_table_creation_fails_cleanly() {
+        let db = db();
+        transfer_table(&db, "t", 100, Segmentation::RoundRobin, 1).unwrap();
+        assert!(transfer_table(&db, "t", 100, Segmentation::RoundRobin, 1).is_err());
+    }
+}

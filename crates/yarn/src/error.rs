@@ -1,0 +1,50 @@
+//! Error type for the resource manager.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, YarnError>;
+
+/// Resource-management failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YarnError {
+    /// No queue with that name.
+    NoSuchQueue(String),
+    /// Unknown application or container id.
+    NotFound(String),
+    /// The request can never be satisfied (bigger than a node).
+    Unsatisfiable(String),
+    /// The cluster (or the queue's capacity share) is currently exhausted.
+    InsufficientResources(String),
+    /// A container exceeded its cgroup memory limit and was killed.
+    MemoryLimitExceeded {
+        container: u64,
+        used_mb: u64,
+        limit_mb: u64,
+    },
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl fmt::Display for YarnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YarnError::NoSuchQueue(q) => write!(f, "no such queue: {q}"),
+            YarnError::NotFound(what) => write!(f, "not found: {what}"),
+            YarnError::Unsatisfiable(m) => write!(f, "unsatisfiable request: {m}"),
+            YarnError::InsufficientResources(m) => {
+                write!(f, "insufficient resources: {m}")
+            }
+            YarnError::MemoryLimitExceeded {
+                container,
+                used_mb,
+                limit_mb,
+            } => write!(
+                f,
+                "container {container} killed: {used_mb} MB used > {limit_mb} MB limit"
+            ),
+            YarnError::Config(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for YarnError {}

@@ -1,0 +1,24 @@
+//! # vdr-yarn — resource management (Section 6)
+//!
+//! "We use Hadoop's YARN resource manager for allocating and isolating
+//! resources. YARN uses a two level scheduler, supports different allocation
+//! policies such as capacity and fairness, and is cognizant of data
+//! locality. … Vertica requests resources from YARN for long term use.
+//! Distributed R, on the other hand, requests resources from YARN whenever a
+//! user starts a session. … When scheduled on the same nodes, Vertica and
+//! Distributed R processes are isolated using Linux cgroups."
+//!
+//! * [`rm::ResourceManager`] — queues, applications, container allocation
+//!   with capacity/fair policies and locality preference.
+//! * [`cgroups`] — per-container CPU/memory enforcement.
+
+pub mod cgroups;
+pub mod error;
+pub mod rm;
+
+pub use cgroups::{CgroupController, CgroupStats};
+pub use error::{Result, YarnError};
+pub use rm::{
+    AppId, Application, Container, ContainerId, Lifetime, ResourceManager, ResourceRequest,
+    SchedulingPolicy,
+};

@@ -1,0 +1,158 @@
+//! The paper's Figure 3 workflow, end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Steps (numbers match Figure 3's lines):
+//! 1–3  start a Distributed R session against the database
+//! 5    db2darray: fast-transfer features out of a table
+//! 6    hpdglm: distributed logistic regression
+//! 7    cv.hpdglm: cross validation
+//! 8    inspect coefficients
+//! 9    deploy.model: serialize into the database DFS + R_Models
+//! 10   glmPredict(...) OVER (PARTITION BEST): in-database prediction
+
+use std::sync::Arc;
+use vertica_dr::cluster::SimCluster;
+use vertica_dr::core::{Model, Session, SessionOptions};
+use vertica_dr::ml::{cv_hpdglm, hpdglm, Family, GlmOptions};
+use vertica_dr::verticadb::{Segmentation, TableDef, VerticaDb};
+use vertica_dr::workloads::logistic_data;
+
+fn main() {
+    // ------------------------------------------------------------ setup
+    // A 5-node cluster (the paper's transfer experiments use 5 nodes).
+    let cluster = SimCluster::new(
+        5,
+        vertica_dr::cluster::HardwareProfile::paper_testbed(),
+        2,
+    );
+    let db = VerticaDb::new(cluster);
+
+    // ETL: "customers use standard ETL processes to first load data into
+    // Vertica" — a table of two features and a binary response generated
+    // around known coefficients β = (0.5, 2.0, −1.5).
+    let schema = vertica_dr::columnar::Schema::of(&[
+        ("y", vertica_dr::columnar::DataType::Float64),
+        ("a", vertica_dr::columnar::DataType::Float64),
+        ("b", vertica_dr::columnar::DataType::Float64),
+    ]);
+    db.create_table(TableDef {
+        name: "mytable".into(),
+        schema: schema.clone(),
+        segmentation: Segmentation::RoundRobin,
+    })
+    .unwrap();
+    let (x, y) = logistic_data(20_000, 0.5, &[2.0, -1.5], 42);
+    let a: Vec<f64> = x.chunks(2).map(|r| r[0]).collect();
+    let b: Vec<f64> = x.chunks(2).map(|r| r[1]).collect();
+    db.copy(
+        "mytable",
+        vec![vertica_dr::columnar::Batch::new(
+            schema,
+            vec![
+                vertica_dr::columnar::Column::from_f64(y),
+                vertica_dr::columnar::Column::from_f64(a),
+                vertica_dr::columnar::Column::from_f64(b),
+            ],
+        )
+        .unwrap()],
+    )
+    .unwrap();
+    println!("loaded mytable: {} rows", db.storage().total_rows("mytable"));
+
+    // -------------------------------------------- 1–3: start the session
+    let session = Session::connect_colocated(
+        Arc::clone(&db),
+        SessionOptions {
+            r_instances_per_node: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // ------------------------------------------------- 5: fast transfer
+    let (data, report) = session.db2darray("mytable", &["y", "a", "b"]).unwrap();
+    println!(
+        "db2darray: {} rows / {} values in {} simulated (db {} + R {})",
+        report.rows,
+        report.values,
+        report.total(),
+        report.db_time,
+        report.client_time
+    );
+    let data_y = data.split_columns(&[0]).unwrap();
+    let data_x = data.split_columns(&[1, 2]).unwrap();
+
+    // ------------------------------------- 6: distributed model creation
+    let model = hpdglm(
+        &data_x,
+        &data_y,
+        Family::Binomial,
+        &GlmOptions::default(),
+    )
+    .unwrap();
+    println!(
+        "hpdglm: converged in {} Newton-Raphson iterations, deviance {:.1}",
+        model.iterations, model.deviance
+    );
+
+    // ------------------------------------------- 7: cross validation
+    let cv = cv_hpdglm(
+        session.dr(),
+        &data_x,
+        &data_y,
+        Family::Binomial,
+        &GlmOptions::default(),
+        5,
+    )
+    .unwrap();
+    println!(
+        "cv.hpdglm: mean held-out deviance {:.4} over {} folds",
+        cv.mean_deviance(),
+        cv.fold_deviance.len()
+    );
+
+    // ------------------------------------------------- 8: coefficients
+    println!("coef(model):");
+    for (name, c) in ["(intercept)", "a", "b"].iter().zip(&model.coefficients) {
+        println!("  {name:>12}  {c:+.4}");
+    }
+
+    // ---------------------------------------------- 9: deploy to Vertica
+    session
+        .deploy_model(&Model::Glm(model), "rModel", "figure-3 logistic model")
+        .unwrap();
+    let models = session.sql("SELECT * FROM R_Models").unwrap().batch;
+    println!("R_Models:");
+    for r in 0..models.num_rows() {
+        let row = models.row(r);
+        println!(
+            "  model={} owner={} type={} size={} description={}",
+            row[0], row[1], row[2], row[3], row[4]
+        );
+    }
+
+    // --------------------------------------- 10: in-database prediction
+    let out = session
+        .sql(
+            "SELECT glmPredict(a, b USING PARAMETERS model='rModel') \
+             OVER (PARTITION BEST) FROM mytable",
+        )
+        .unwrap();
+    let preds = out.batch.column(0);
+    let positive = (0..out.batch.num_rows())
+        .filter(|&i| preds.get(i).as_f64().unwrap_or(0.0) > 0.5)
+        .count();
+    println!(
+        "glmPredict scored {} rows in {} simulated; {} predicted positive",
+        out.batch.num_rows(),
+        out.sim_time,
+        positive
+    );
+    println!(
+        "session total simulated cost: {}",
+        session.total_sim_time()
+    );
+}

@@ -1,0 +1,70 @@
+//! # vertica-dr — Large-scale Predictive Analytics in Vertica, reproduced
+//!
+//! A from-scratch Rust reproduction of *"Large-scale Predictive Analytics in
+//! Vertica: Fast Data Transfer, Distributed Model Creation, and In-database
+//! Prediction"* (SIGMOD 2015): an MPP columnar database integrated with a
+//! distributed R-like runtime through a fast parallel transfer path,
+//! distributed machine learning, in-database model deployment/prediction,
+//! and YARN-style resource management — all running against a simulated
+//! cluster with a deterministic cost model calibrated to the paper's
+//! testbed.
+//!
+//! The umbrella crate re-exports every subsystem; see each module's docs:
+//!
+//! * [`cluster`] — simulated nodes, disks, network, and the cost ledger.
+//! * [`columnar`] — typed columns, encodings, and the block format.
+//! * [`verticadb`] — the MPP database: SQL, segmentation, UDx framework, DFS.
+//! * [`distr`] — the Distributed R runtime: darray/dframe/dlist.
+//! * [`transfer`] — ODBC baselines and Vertica Fast Transfer.
+//! * [`ml`] — hpdglm, hpdkmeans, hpdrf, cross-validation, serial baselines.
+//! * [`sparksim`] — the Spark-on-HDFS comparator.
+//! * [`yarn`] — capacity/fair scheduling and cgroup enforcement.
+//! * [`core`] — sessions, model codec, prediction UDxs (the Figure 3 API).
+//! * [`workloads`] — seeded synthetic data and table generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vertica_dr::cluster::SimCluster;
+//! use vertica_dr::core::{Model, Session, SessionOptions};
+//! use vertica_dr::ml::{hpdglm, Family, GlmOptions};
+//! use vertica_dr::verticadb::{Segmentation, VerticaDb};
+//! use vertica_dr::workloads::regression_table;
+//!
+//! // A 4-node cluster running the database.
+//! let db = VerticaDb::new(SimCluster::for_tests(4));
+//! regression_table(&db, "sales", 2_000, 1.0, &[2.0, -0.5], 0.01,
+//!                  Segmentation::Hash { column: "y".into() }, 7).unwrap();
+//!
+//! // Connect Distributed R co-located with the database.
+//! let session = Session::connect_colocated(
+//!     Arc::clone(&db),
+//!     SessionOptions { r_instances_per_node: 4, ..Default::default() },
+//! ).unwrap();
+//!
+//! // Fast transfer + distributed training + in-database deployment.
+//! let (x, _) = session.db2darray("sales", &["x1", "x2"]).unwrap();
+//! let (y, _) = session.db2darray("sales", &["y"]).unwrap();
+//! let model = hpdglm(&x, &y, Family::Gaussian, &GlmOptions::default()).unwrap();
+//! assert!((model.coefficients[1] - 2.0).abs() < 0.1);
+//! session.deploy_model(&Model::Glm(model), "sales_model", "docs example").unwrap();
+//!
+//! // Score new rows inside the database.
+//! let out = session.sql(
+//!     "SELECT glmPredict(x1, x2 USING PARAMETERS model='sales_model') \
+//!      OVER (PARTITION BEST) FROM sales",
+//! ).unwrap();
+//! assert_eq!(out.batch.num_rows(), 2_000);
+//! ```
+
+pub use vdr_cluster as cluster;
+pub use vdr_columnar as columnar;
+pub use vdr_core as core;
+pub use vdr_distr as distr;
+pub use vdr_ml as ml;
+pub use vdr_sparksim as sparksim;
+pub use vdr_transfer as transfer;
+pub use vdr_verticadb as verticadb;
+pub use vdr_workloads as workloads;
+pub use vdr_yarn as yarn;

@@ -1,0 +1,173 @@
+//! End-to-end integration test of the paper's Figure 3 workflow, plus the
+//! Table 1 language constructs and the Figure 10 `R_Models` catalog.
+
+use std::sync::Arc;
+use vertica_dr::cluster::SimCluster;
+use vertica_dr::columnar::Value;
+use vertica_dr::core::{Model, Session, SessionOptions};
+use vertica_dr::ml::{cv_hpdglm, hpdglm, Family, GlmOptions};
+use vertica_dr::verticadb::{Segmentation, VerticaDb};
+use vertica_dr::workloads::regression_table;
+
+fn setup() -> (Arc<VerticaDb>, Session) {
+    let db = VerticaDb::new(SimCluster::for_tests(5));
+    regression_table(
+        &db,
+        "mytable",
+        10_000,
+        4.0,
+        &[2.5, -1.0],
+        0.01,
+        Segmentation::RoundRobin,
+        77,
+    )
+    .unwrap();
+    // A second table of newly arriving data for in-db prediction (Figure 3
+    // line 10 predicts over `mytable2`).
+    regression_table(
+        &db,
+        "mytable2",
+        25_000,
+        4.0,
+        &[2.5, -1.0],
+        0.01,
+        Segmentation::RoundRobin,
+        78,
+    )
+    .unwrap();
+    let session = Session::connect_colocated(
+        Arc::clone(&db),
+        SessionOptions {
+            r_instances_per_node: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (db, session)
+}
+
+#[test]
+fn figure3_full_workflow() {
+    let (db, session) = setup();
+
+    // Line 5: db2darray.
+    let (data, report) = session.db2darray("mytable", &["y", "x1", "x2"]).unwrap();
+    assert_eq!(report.rows, 10_000);
+    assert!(report.total().as_secs() > 0.0);
+    let y = data.split_columns(&[0]).unwrap();
+    let x = data.split_columns(&[1, 2]).unwrap();
+
+    // Line 6: hpdglm.
+    let model = hpdglm(&x, &y, Family::Gaussian, &GlmOptions::default()).unwrap();
+    assert!((model.coefficients[0] - 4.0).abs() < 0.01);
+    assert!((model.coefficients[1] - 2.5).abs() < 0.01);
+    assert!((model.coefficients[2] + 1.0).abs() < 0.01);
+
+    // Line 7: cv.hpdglm.
+    let cv = cv_hpdglm(session.dr(), &x, &y, Family::Gaussian, &GlmOptions::default(), 4).unwrap();
+    assert!(cv.mean_deviance() < 0.001);
+    assert_eq!(cv.fold_rows.iter().sum::<u64>(), 10_000);
+
+    // Line 9: deploy.model.
+    let coefficients = model.coefficients.clone();
+    session.deploy_model(&Model::Glm(model), "rModel", "forecasting").unwrap();
+    assert!(db.models().exists("rModel"));
+
+    // Figure 10: the R_Models catalog row.
+    let rows = session.sql("SELECT * FROM R_Models").unwrap().batch;
+    assert_eq!(rows.num_rows(), 1);
+    assert_eq!(rows.row(0)[0], Value::Varchar("rModel".into()));
+    assert_eq!(rows.row(0)[2], Value::Varchar("regression".into()));
+
+    // Lines 10–11: in-db prediction over the second table, PARTITION BEST.
+    let out = session
+        .sql(
+            "SELECT glmPredict(x1, x2 USING PARAMETERS model='rModel') \
+             OVER (PARTITION BEST) FROM mytable2",
+        )
+        .unwrap();
+    assert_eq!(out.batch.num_rows(), 25_000);
+
+    // In-database predictions must equal applying the model in "R".
+    let (data2, _) = session.db2darray("mytable2", &["x1", "x2", "y"]).unwrap();
+    let reloaded = match session.load_model("rModel").unwrap() {
+        Model::Glm(m) => m,
+        other => panic!("wrong model family: {other:?}"),
+    };
+    assert_eq!(reloaded.coefficients, coefficients);
+    let (_, _, flat) = data2.gather().unwrap();
+    // Spot-check the first 100 rows: prediction ≈ y (noise 0.01).
+    let preds = out.batch.column(0);
+    let mut close = 0;
+    for r in 0..100 {
+        let y_true = flat[r * 3 + 2];
+        let p = preds.get(r).as_f64().unwrap();
+        if (p - y_true).abs() < 0.05 {
+            close += 1;
+        }
+    }
+    assert!(close >= 95, "{close}/100 predictions near the truth");
+}
+
+#[test]
+fn table1_constructs_behave_as_documented() {
+    let (_, session) = setup();
+    let dr = session.dr();
+
+    // darray(npartitions=) / dframe(npartitions=) / dlist(npartitions=).
+    let a = dr.darray(4).unwrap();
+    assert_eq!(a.npartitions(), 4);
+    assert!(!a.is_materialized());
+    let f = dr.dframe(3).unwrap();
+    assert_eq!(f.npartitions(), 3);
+    let l = dr.dlist(2).unwrap();
+    assert_eq!(l.npartitions(), 2);
+
+    // partitionsize(A, i) and partitionsize(A) on a loaded array.
+    let (data, _) = session.db2darray("mytable", &["x1"]).unwrap();
+    let sizes = data.partition_sizes();
+    assert_eq!(sizes.len(), dr.num_workers());
+    let total: u64 = sizes.iter().map(|s| s.0).sum();
+    assert_eq!(total, 10_000);
+    for (i, s) in sizes.iter().enumerate() {
+        assert_eq!(data.partitionsize(i).unwrap(), *s);
+    }
+    assert!(data.partitionsize(99).is_err());
+
+    // clone(A, ncol=1): same structure, co-located.
+    let cloned = data.clone_structure(1, 0.0).unwrap();
+    data.check_copartitioned(&cloned).unwrap();
+    assert_eq!(cloned.dim(), (10_000, 1));
+}
+
+#[test]
+fn dframe_transfer_round_trips_mixed_types() {
+    let (db, session) = setup();
+    db.query("CREATE TABLE people (id INTEGER, name VARCHAR, score FLOAT)")
+        .unwrap();
+    db.query("INSERT INTO people VALUES (1, 'ada', 9.5), (2, 'grace', 9.9), (3, NULL, NULL)")
+        .unwrap();
+    let (frame, report) = session.db2dframe("people", &["id", "name", "score"]).unwrap();
+    assert_eq!(report.rows, 3);
+    let all = frame.gather().unwrap();
+    assert_eq!(all.num_rows(), 3);
+    // Find the NULL row.
+    let nulls = (0..3)
+        .filter(|&r| all.row(r)[1] == Value::Null)
+        .count();
+    assert_eq!(nulls, 1);
+}
+
+#[test]
+fn sql_pre_processing_before_transfer() {
+    // "pre-processing steps such as feature extraction can be accomplished
+    // inside Vertica itself using SQL operators" — aggregate before loading.
+    let (db, _session) = setup();
+    let out = db
+        .query("SELECT count(*), avg(y), min(x1), max(x1) FROM mytable WHERE x1 > 0")
+        .unwrap()
+        .batch;
+    let n = out.row(0)[0].as_i64().unwrap();
+    assert!(n > 3_000 && n < 7_000, "half-ish of the rows: {n}");
+    assert!(out.row(0)[2].as_f64().unwrap() >= 0.0);
+}

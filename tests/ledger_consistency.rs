@@ -1,0 +1,128 @@
+//! Cost-model consistency: the byte counts the *real* small-scale runs
+//! record in the ledger must match what the analytic paper-scale model
+//! assumes, and the simulated-time orderings that constitute the paper's
+//! headline results must hold at any scale.
+
+use std::sync::Arc;
+use vertica_dr::cluster::{HardwareProfile, Ledger, SimCluster};
+use vertica_dr::distr::DistributedR;
+use vertica_dr::transfer::model::{model_parallel_odbc, model_single_odbc, model_vft};
+use vertica_dr::transfer::{install_export_function, ClusterShape, OdbcLoader, TableShape, TransferPolicy};
+use vertica_dr::verticadb::{Segmentation, VerticaDb};
+use vertica_dr::workloads::transfer_table;
+
+fn setup(rows: usize) -> (Arc<VerticaDb>, DistributedR, Ledger) {
+    let cluster = SimCluster::for_tests(3);
+    let db = VerticaDb::new(cluster.clone());
+    transfer_table(&db, "t", rows, Segmentation::Hash { column: "id".into() }, 5).unwrap();
+    let dr = DistributedR::on_all_nodes(cluster, 4).unwrap();
+    (db, dr, Ledger::new())
+}
+
+#[test]
+fn real_vft_disk_reads_equal_table_bytes() {
+    // The analytic model assumes VFT reads the on-disk table exactly once.
+    // Verify the real path records exactly that.
+    let (db, dr, ledger) = setup(6_000);
+    let vft = install_export_function(&db);
+    let table_bytes: u64 = db.storage().segment_bytes("t").iter().sum();
+    vft.db2darray(&db, &dr, "t", &["id", "a", "b", "c", "d", "e"], TransferPolicy::Locality, &ledger)
+        .unwrap();
+    let disk_read: u64 = ledger.reports().iter().map(|r| r.total_disk_read).sum();
+    assert_eq!(disk_read, table_bytes);
+}
+
+#[test]
+fn real_vft_moves_no_network_bytes_when_colocated_with_locality() {
+    // Locality policy + co-located workers ⇒ loopback transfers only.
+    let (db, dr, ledger) = setup(3_000);
+    let vft = install_export_function(&db);
+    vft.db2darray(&db, &dr, "t", &["a"], TransferPolicy::Locality, &ledger)
+        .unwrap();
+    let moved: u64 = ledger.reports().iter().map(|r| r.total_bytes_moved).sum();
+    assert_eq!(moved, 0, "co-located locality transfer must not touch the NIC");
+
+    // Uniform policy does cross nodes.
+    let ledger2 = Ledger::new();
+    vft.db2darray(&db, &dr, "t", &["a"], TransferPolicy::Uniform, &ledger2)
+        .unwrap();
+    let moved: u64 = ledger2.reports().iter().map(|r| r.total_bytes_moved).sum();
+    assert!(moved > 0);
+}
+
+#[test]
+fn simulated_orderings_hold_at_small_scale_too() {
+    // The paper's qualitative results should not depend on scale: even on a
+    // laptop-sized table, simulated VFT beats parallel ODBC beats(≈) single
+    // ODBC per-row cost.
+    let (db, dr, ledger) = setup(8_000);
+    let vft = install_export_function(&db);
+    let (_, vft_report) = vft
+        .db2darray(&db, &dr, "t", &["id", "a", "b"], TransferPolicy::Locality, &ledger)
+        .unwrap();
+    let (_, par_report) =
+        OdbcLoader::load_parallel(&db, &dr, "t", &["id", "a", "b"], "id", &ledger).unwrap();
+    let (_, single_report) =
+        OdbcLoader::load_single(&db, &dr, "t", &["id", "a", "b"], &ledger).unwrap();
+    assert!(
+        vft_report.total().as_secs() < par_report.total().as_secs(),
+        "VFT {} must beat parallel ODBC {}",
+        vft_report.total(),
+        par_report.total()
+    );
+    assert!(
+        vft_report.total().as_secs() < single_report.total().as_secs(),
+        "VFT {} must beat single ODBC {}",
+        vft_report.total(),
+        single_report.total()
+    );
+}
+
+#[test]
+fn analytic_model_scales_linearly_in_table_size() {
+    // Figures 12–13 show near-linear growth with table size for both
+    // systems; the analytic projections must too.
+    let p = HardwareProfile::paper_testbed();
+    let shape = ClusterShape {
+        db_nodes: 5,
+        r_nodes: 5,
+        r_instances_per_node: 24,
+        colocated: false,
+    };
+    for model in [model_vft, model_parallel_odbc, model_single_odbc] {
+        let t50 = model(&p, TableShape::transfer_table_gb(50), shape).total();
+        let t100 = model(&p, TableShape::transfer_table_gb(100), shape).total();
+        let t150 = model(&p, TableShape::transfer_table_gb(150), shape).total();
+        let r1 = t100 / t50;
+        let r2 = t150 / t100;
+        assert!((1.8..2.2).contains(&r1), "50→100 GB ratio {r1}");
+        assert!((1.4..1.6).contains(&r2), "100→150 GB ratio {r2}");
+    }
+}
+
+#[test]
+fn query_sim_times_are_monotone_in_data_size() {
+    let cluster = SimCluster::for_tests(2);
+    let db = VerticaDb::new(cluster);
+    transfer_table(&db, "small", 1_000, Segmentation::RoundRobin, 1).unwrap();
+    transfer_table(&db, "large", 30_000, Segmentation::RoundRobin, 2).unwrap();
+    let t_small = db.query("SELECT sum(a) FROM small").unwrap().sim_time;
+    let t_large = db.query("SELECT sum(a) FROM large").unwrap().sim_time;
+    assert!(
+        t_large.as_secs() > t_small.as_secs() * 5.0,
+        "30× data must cost noticeably more simulated time ({t_small} vs {t_large})"
+    );
+}
+
+#[test]
+fn db_ledger_accumulates_every_statement() {
+    let cluster = SimCluster::for_tests(2);
+    let db = VerticaDb::new(cluster);
+    let before = db.ledger().reports().len();
+    db.query("CREATE TABLE x (a INTEGER)").unwrap();
+    db.query("INSERT INTO x VALUES (1), (2)").unwrap();
+    db.query("SELECT count(*) FROM x").unwrap();
+    db.query("DROP TABLE x").unwrap();
+    assert_eq!(db.ledger().reports().len(), before + 4);
+    assert!(db.ledger().total().as_secs() >= 0.0);
+}

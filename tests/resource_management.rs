@@ -1,0 +1,153 @@
+//! Section 6 integration: YARN-brokered sessions, capacity isolation
+//! between the database and Distributed R, cgroup enforcement, and the
+//! runtime's aggregate-memory limit.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use vertica_dr::cluster::SimCluster;
+use vertica_dr::core::{Session, SessionOptions};
+use vertica_dr::verticadb::{Segmentation, VerticaDb};
+use vertica_dr::workloads::transfer_table;
+use vertica_dr::yarn::{
+    CgroupController, Lifetime, ResourceManager, ResourceRequest, SchedulingPolicy, YarnError,
+};
+
+fn capacity_rm(db: &VerticaDb) -> Arc<ResourceManager> {
+    let mut shares = HashMap::new();
+    shares.insert("vertica".to_string(), 0.5);
+    shares.insert("dr".to_string(), 0.5);
+    Arc::new(ResourceManager::new(db.cluster(), SchedulingPolicy::Capacity(shares)).unwrap())
+}
+
+#[test]
+fn full_deployment_database_reservation_plus_dr_sessions() {
+    let db = VerticaDb::new(SimCluster::for_tests(4));
+    transfer_table(&db, "t", 4_000, Segmentation::RoundRobin, 1).unwrap();
+    let rm = capacity_rm(&db);
+
+    // The database registers long-term, one container per node.
+    let vertica_app = rm.register("vertica", "vertica", Lifetime::LongRunning).unwrap();
+    rm.allocate(
+        vertica_app.id,
+        &ResourceRequest {
+            vcores: 12,
+            mem_mb: 90_000,
+            count: 4,
+            preferred_nodes: db.cluster().node_ids(),
+        },
+    )
+    .unwrap();
+
+    // Two concurrent Distributed R sessions share the dr queue.
+    let s1 = Session::connect_with_yarn(
+        Arc::clone(&db),
+        Arc::clone(&rm),
+        "dr-1",
+        4,
+        8_000,
+        SessionOptions::default(),
+    )
+    .unwrap();
+    let s2 = Session::connect_with_yarn(
+        Arc::clone(&db),
+        Arc::clone(&rm),
+        "dr-2",
+        4,
+        8_000,
+        SessionOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(rm.queue_usage("dr").0, 32); // 2 sessions × 4 nodes × 4 vcores
+    assert_eq!(rm.queue_usage("vertica").0, 48);
+
+    // Both sessions can transfer concurrently.
+    let (a1, _) = s1.db2darray("t", &["a"]).unwrap();
+    let (a2, _) = s2.db2darray("t", &["a"]).unwrap();
+    assert_eq!(a1.dim().0, 4_000);
+    assert_eq!(a2.dim().0, 4_000);
+
+    // A third session would exceed the dr queue's 48-vcore share.
+    let err = Session::connect_with_yarn(
+        Arc::clone(&db),
+        Arc::clone(&rm),
+        "dr-3",
+        8,
+        8_000,
+        SessionOptions::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("capacity"), "{err}");
+
+    drop(s1);
+    drop(s2);
+    assert_eq!(rm.queue_usage("dr"), (0, 0));
+    // The database's long-running reservation is untouched.
+    assert_eq!(rm.queue_usage("vertica").0, 48);
+}
+
+#[test]
+fn cgroups_isolate_processes_on_shared_nodes() {
+    let db = VerticaDb::new(SimCluster::for_tests(2));
+    let rm = capacity_rm(&db);
+    let app = rm.register("dr", "dr", Lifetime::Session).unwrap();
+    let containers = rm
+        .allocate(
+            app.id,
+            &ResourceRequest {
+                vcores: 6,
+                mem_mb: 2_048,
+                count: 2,
+                preferred_nodes: db.cluster().node_ids(),
+            },
+        )
+        .unwrap();
+
+    let cg = CgroupController::new();
+    for c in &containers {
+        cg.attach(c);
+    }
+    let id = containers[0].id.0;
+    // An R job wanting 24 cores inside a 6-vcore container is throttled 4×.
+    assert_eq!(cg.throttle_factor(id, 24).unwrap(), 0.25);
+    // Memory overrun kills the container.
+    cg.charge_memory(id, 2_000).unwrap();
+    let err = cg.charge_memory(id, 3_000).unwrap_err();
+    assert!(matches!(err, YarnError::MemoryLimitExceeded { .. }));
+    // The other container is unaffected.
+    cg.charge_memory(containers[1].id.0, 1_000).unwrap();
+}
+
+#[test]
+fn runtime_memory_manager_rejects_oversized_loads() {
+    // "Distributed R currently handles only data that fits in the aggregate
+    // memory of the cluster" (Section 2): a session with tiny worker memory
+    // fails the transfer cleanly instead of thrashing.
+    let db = VerticaDb::new(SimCluster::for_tests(2));
+    transfer_table(&db, "big", 50_000, Segmentation::RoundRobin, 2).unwrap();
+    let session = Session::connect(
+        Arc::clone(&db),
+        db.cluster().node_ids(),
+        SessionOptions {
+            r_instances_per_node: 2,
+            worker_mem_bytes: 64 * 1024, // 64 KiB per worker: ~8k doubles
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let err = session.db2darray("big", &["id", "a", "b", "c", "d", "e"]).unwrap_err();
+    assert!(err.to_string().contains("memory"), "{err}");
+    // A small slice still fits.
+    let db2 = VerticaDb::new(SimCluster::for_tests(2));
+    transfer_table(&db2, "small", 200, Segmentation::RoundRobin, 2).unwrap();
+    let session2 = Session::connect(
+        Arc::clone(&db2),
+        db2.cluster().node_ids(),
+        SessionOptions {
+            r_instances_per_node: 2,
+            worker_mem_bytes: 64 * 1024,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(session2.db2darray("small", &["a"]).is_ok());
+}
