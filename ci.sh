@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI entry point: formatting, lints, release build, full test suite.
+#
+# The build environment may have no reachable crates registry (all
+# third-party deps are vendored as in-tree shims under third_party/), so
+# every cargo invocation defaults to --offline. Set VDR_CI_ONLINE=1 to let
+# cargo touch the network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+OFFLINE="--offline"
+if [[ "${VDR_CI_ONLINE:-0}" == "1" ]]; then
+  OFFLINE=""
+fi
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+if cargo fmt --version >/dev/null 2>&1; then
+  run cargo fmt --all -- --check
+else
+  echo "==> rustfmt not installed; skipping format check"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+  run cargo clippy --workspace --all-targets $OFFLINE -- -D warnings
+else
+  echo "==> clippy not installed; skipping lints"
+fi
+
+run cargo build --release $OFFLINE
+run cargo test --workspace -q $OFFLINE
+
+echo "==> CI green"

@@ -32,7 +32,16 @@ pub struct TransferBench {
 pub fn transfer_bench(nodes: usize, rows: usize, instances: usize) -> TransferBench {
     let cluster = vdr_cluster::SimCluster::for_tests(nodes);
     let db = VerticaDb::new(cluster.clone());
-    transfer_table(&db, "t", rows, Segmentation::Hash { column: "id".into() }, 5).unwrap();
+    transfer_table(
+        &db,
+        "t",
+        rows,
+        Segmentation::Hash {
+            column: "id".into(),
+        },
+        5,
+    )
+    .unwrap();
     let dr = DistributedR::on_all_nodes(cluster, instances).unwrap();
     let vft = install_export_function(&db);
     TransferBench { db, dr, vft }

@@ -18,8 +18,8 @@ fn bench(c: &mut Criterion) {
     let vft = install_export_function(&db);
     let mut g = c.benchmark_group("fig14_vft_breakdown");
     for instances in [2usize, 8] {
-        let dr = DistributedR::start(cluster.clone(), cluster.node_ids(), instances, u64::MAX)
-            .unwrap();
+        let dr =
+            DistributedR::start(cluster.clone(), cluster.node_ids(), instances, u64::MAX).unwrap();
         g.bench_function(format!("instances_{instances}"), |b| {
             b.iter(|| {
                 let ledger = Ledger::new();

@@ -14,7 +14,16 @@ fn bench(c: &mut Criterion) {
     let cluster = SimCluster::for_tests(3);
     let db = VerticaDb::new(cluster);
     register_prediction_functions(&db);
-    transfer_table(&db, "t", 30_000, Segmentation::Hash { column: "id".into() }, 4).unwrap();
+    transfer_table(
+        &db,
+        "t",
+        30_000,
+        Segmentation::Hash {
+            column: "id".into(),
+        },
+        4,
+    )
+    .unwrap();
     let model = Model::Kmeans(KmeansModel {
         centers: (0..10).map(|i| vec![i as f64 * 150.0 - 700.0; 5]).collect(),
         iterations: 1,
@@ -22,7 +31,15 @@ fn bench(c: &mut Criterion) {
     });
     let rec = PhaseRecorder::new("save", PhaseKind::Sequential, 3);
     db.models()
-        .save(NodeId(0), "km", "dbadmin", "kmeans", "bench", model.to_bytes(), &rec)
+        .save(
+            NodeId(0),
+            "km",
+            "dbadmin",
+            "kmeans",
+            "bench",
+            model.to_bytes(),
+            &rec,
+        )
         .unwrap();
     c.bench_function("fig15_kmeans_predict_30k_rows", |b| {
         b.iter(|| {

@@ -14,7 +14,16 @@ fn bench(c: &mut Criterion) {
     let cluster = SimCluster::for_tests(3);
     let db = VerticaDb::new(cluster);
     register_prediction_functions(&db);
-    transfer_table(&db, "t", 30_000, Segmentation::Hash { column: "id".into() }, 4).unwrap();
+    transfer_table(
+        &db,
+        "t",
+        30_000,
+        Segmentation::Hash {
+            column: "id".into(),
+        },
+        4,
+    )
+    .unwrap();
     let model = Model::Glm(GlmModel {
         coefficients: vec![0.5, 0.1, -0.2, 0.3, -0.4, 0.5],
         intercept: true,
@@ -25,7 +34,15 @@ fn bench(c: &mut Criterion) {
     });
     let rec = PhaseRecorder::new("save", PhaseKind::Sequential, 3);
     db.models()
-        .save(NodeId(0), "g", "dbadmin", "regression", "bench", model.to_bytes(), &rec)
+        .save(
+            NodeId(0),
+            "g",
+            "dbadmin",
+            "regression",
+            "bench",
+            model.to_bytes(),
+            &rec,
+        )
         .unwrap();
     c.bench_function("fig16_glm_predict_30k_rows", |b| {
         b.iter(|| {

@@ -27,8 +27,13 @@ fn bench(c: &mut Criterion) {
     let x = dr.darray(4).unwrap();
     let per = pts.len() / 10 / 4;
     for part in 0..4 {
-        x.fill_partition(part, per, 10, pts[part * per * 10..(part + 1) * per * 10].to_vec())
-            .unwrap();
+        x.fill_partition(
+            part,
+            per,
+            10,
+            pts[part * per * 10..(part + 1) * per * 10].to_vec(),
+        )
+        .unwrap();
     }
     g.bench_function("distributed_kernel_50k_rows_k20", |b| {
         b.iter(|| {

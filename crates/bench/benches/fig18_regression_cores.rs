@@ -24,8 +24,13 @@ fn bench(c: &mut Criterion) {
     let xa = dr.darray(4).unwrap();
     let rows = 10_000;
     for part in 0..4 {
-        xa.fill_partition(part, rows, 6, x[part * rows * 6..(part + 1) * rows * 6].to_vec())
-            .unwrap();
+        xa.fill_partition(
+            part,
+            rows,
+            6,
+            x[part * rows * 6..(part + 1) * rows * 6].to_vec(),
+        )
+        .unwrap();
     }
     let ya = xa.clone_structure(1, 0.0).unwrap();
     for part in 0..4 {

@@ -17,8 +17,13 @@ fn dataset(nodes: usize, rows: usize) -> (DistributedR, DArray, DArray) {
     let xa = dr.darray(nodes).unwrap();
     let per = rows / nodes;
     for part in 0..nodes {
-        xa.fill_partition(part, per, 20, x[part * per * 20..(part + 1) * per * 20].to_vec())
-            .unwrap();
+        xa.fill_partition(
+            part,
+            per,
+            20,
+            x[part * per * 20..(part + 1) * per * 20].to_vec(),
+        )
+        .unwrap();
     }
     let ya = xa.clone_structure(1, 0.0).unwrap();
     for part in 0..nodes {

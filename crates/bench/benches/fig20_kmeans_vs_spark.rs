@@ -24,8 +24,13 @@ fn bench(c: &mut Criterion) {
     let x = dr.darray(3).unwrap();
     let per = pts.len() / 4 / 3;
     for part in 0..3 {
-        x.fill_partition(part, per, 4, pts[part * per * 4..(part + 1) * per * 4].to_vec())
-            .unwrap();
+        x.fill_partition(
+            part,
+            per,
+            4,
+            pts[part * per * 4..(part + 1) * per * 4].to_vec(),
+        )
+        .unwrap();
     }
     // Spark side: same rows via HDFS.
     let hdfs = Arc::new(HdfsSim::new(cluster.clone(), 3));
@@ -41,11 +46,17 @@ fn bench(c: &mut Criterion) {
                 let partials = x
                     .map_partitions(|_, p| assign_partial(&p.data, 4, &cs))
                     .unwrap();
-                let merged = partials.into_iter().reduce(|a, b| merge_partials(a, &b)).unwrap();
+                let merged = partials
+                    .into_iter()
+                    .reduce(|a, b| merge_partials(a, &b))
+                    .unwrap();
                 for k in 0..6 {
                     if merged.counts[k] > 0 {
                         let n = merged.counts[k] as f64;
-                        cs[k] = merged.sums[k * 4..(k + 1) * 4].iter().map(|s| s / n).collect();
+                        cs[k] = merged.sums[k * 4..(k + 1) * 4]
+                            .iter()
+                            .map(|s| s / n)
+                            .collect();
                     }
                 }
             }

@@ -19,7 +19,14 @@ fn bench(c: &mut Criterion) {
             let ledger = Ledger::new();
             let (arr, report) = tb
                 .vft
-                .db2darray(&tb.db, &tb.dr, "t", &COLS, TransferPolicy::Locality, &ledger)
+                .db2darray(
+                    &tb.db,
+                    &tb.dr,
+                    "t",
+                    &COLS,
+                    TransferPolicy::Locality,
+                    &ledger,
+                )
                 .unwrap();
             assert_eq!(report.rows, 9_000);
             drop(arr);

@@ -5,9 +5,7 @@
 use crate::report::FigureReport;
 use std::sync::Arc;
 use std::time::Instant;
-use vdr_cluster::{
-    HardwareProfile, Ledger, NodeId, PhaseKind, PhaseRecorder, SimCluster,
-};
+use vdr_cluster::{HardwareProfile, Ledger, NodeId, PhaseKind, PhaseRecorder, SimCluster};
 use vdr_columnar::encoding::Encoding;
 use vdr_columnar::{encode_batch_with, Batch, Column, DataType, Schema};
 use vdr_distr::DistributedR;
@@ -42,18 +40,17 @@ pub fn policy_skew() -> FigureReport {
     let dr = DistributedR::on_all_nodes(cluster, 2).unwrap();
     let vft = install_export_function(&db);
 
-    r.header(&["policy", "partition rows", "straggler ratio", "k-means iters", "wall"]);
+    r.header(&[
+        "policy",
+        "partition rows",
+        "straggler ratio",
+        "k-means iters",
+        "wall",
+    ]);
     for policy in [TransferPolicy::Locality, TransferPolicy::Uniform] {
         let ledger = Ledger::new();
         let (arr, _) = vft
-            .db2darray(
-                &db,
-                &dr,
-                "pts",
-                &["f1", "f2", "f3", "f4"],
-                policy,
-                &ledger,
-            )
+            .db2darray(&db, &dr, "pts", &["f1", "f2", "f3", "f4"], policy, &ledger)
             .unwrap();
         let rows: Vec<u64> = arr.partition_sizes().iter().map(|s| s.0).collect();
         let max = *rows.iter().max().unwrap() as f64;
@@ -241,13 +238,22 @@ pub fn dfs_replication() -> FigureReport {
         "abl-replication",
         "DFS replication factor vs model availability under node failures (4-node cluster)",
     );
-    r.header(&["replication", "survives any 1 failure", "survives any 2 failures"]);
+    r.header(&[
+        "replication",
+        "survives any 1 failure",
+        "survives any 2 failures",
+    ]);
     for k in [1usize, 2, 3] {
         let cluster = SimCluster::for_tests(4);
         let dfs = Dfs::new(cluster.clone(), k);
         let rec = PhaseRecorder::new("w", PhaseKind::Sequential, 4);
-        dfs.write(NodeId(0), "models/m", bytes::Bytes::from_static(b"blob"), &rec)
-            .unwrap();
+        dfs.write(
+            NodeId(0),
+            "models/m",
+            bytes::Bytes::from_static(b"blob"),
+            &rec,
+        )
+        .unwrap();
         let survives = |down: &[NodeId]| {
             for n in down {
                 dfs.set_node_down(*n);

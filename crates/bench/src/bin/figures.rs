@@ -4,30 +4,55 @@
 //! cargo run -p vdr-bench --release --bin figures            # everything
 //! cargo run -p vdr-bench --release --bin figures -- fig12   # one figure
 //! cargo run -p vdr-bench --release --bin figures -- --markdown > out.md
+//! cargo run -p vdr-bench --release --bin figures -- --json  # JSON to stdout
 //! ```
+//!
+//! Besides the requested rendering, every run writes the full machine-readable
+//! result set to `BENCH_obs.json` (override the path with `--out <file>`).
 
-use vdr_bench::report::to_markdown;
+use serde_json::Value;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
-    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_obs.json");
+    let mut skip_next = false;
+    let selected: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
 
     let figures = vdr_bench::all_figures();
-    let mut ran = 0;
+    let mut rendered = Vec::new();
     for (id, f) in &figures {
         if !selected.is_empty() && !selected.iter().any(|s| s.as_str() == *id) {
             continue;
         }
-        ran += 1;
         let report = f();
+        let table = report.to_table();
         if markdown {
-            print!("{}", to_markdown(&report));
-        } else {
-            println!("{report}");
+            println!("{}", table.to_markdown());
+        } else if !json {
+            println!("{}", table.to_text());
         }
+        rendered.push(serde_json::to_value(&report).expect("figure serializes"));
     }
-    if ran == 0 {
+    if rendered.is_empty() {
         eprintln!(
             "no figure matched {selected:?}; available: {}",
             figures
@@ -37,5 +62,17 @@ fn main() {
                 .join(", ")
         );
         std::process::exit(2);
+    }
+
+    let doc = Value::Object(vec![("figures".to_string(), Value::Array(rendered))]);
+    let text = serde_json::to_string_pretty(&doc).expect("figures serialize");
+    // Persist before printing: a reader closing stdout early (`| head`)
+    // must not lose the artifact.
+    if let Err(e) = std::fs::write(out_path, format!("{text}\n")) {
+        eprintln!("could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    if json {
+        println!("{text}");
     }
 }

@@ -68,7 +68,8 @@ pub fn figure17() -> FigureReport {
     for part in 0..4 {
         let s = part * chunk;
         let e = if part == 3 { pts.len() } else { s + chunk };
-        x.fill_partition(part, (e - s) / 8, 8, pts[s..e].to_vec()).unwrap();
+        x.fill_partition(part, (e - s) / 8, 8, pts[s..e].to_vec())
+            .unwrap();
     }
     let t = Instant::now();
     let distributed = hpdkmeans(
@@ -96,7 +97,11 @@ pub fn figure18() -> FigureReport {
         "fig18",
         "Linear regression on one node, 100M rows × 7 columns (paper: R >25 min; DR <10 min at 1 core, <1 min at 24; 9×)",
     );
-    r.header(&["cores", "model R (QR)", "model Distributed R (Newton-Raphson)"]);
+    r.header(&[
+        "cores",
+        "model R (QR)",
+        "model Distributed R (Newton-Raphson)",
+    ]);
     let r_time = r_lm(&p, 100_000_000, 6);
     for cores in [1usize, 2, 4, 8, 12, 24] {
         // Gaussian Newton-Raphson: solve pass + deviance pass ≈ 2 passes.
@@ -114,8 +119,13 @@ pub fn figure18() -> FigureReport {
     let xa = dr_rt.darray(4).unwrap();
     let rows = 30_000 / 4;
     for part in 0..4 {
-        xa.fill_partition(part, rows, 6, x[part * rows * 6..(part + 1) * rows * 6].to_vec())
-            .unwrap();
+        xa.fill_partition(
+            part,
+            rows,
+            6,
+            x[part * rows * 6..(part + 1) * rows * 6].to_vec(),
+        )
+        .unwrap();
     }
     let ya = xa.clone_structure(1, 0.0).unwrap();
     for part in 0..4 {
@@ -151,7 +161,13 @@ pub fn figure19() -> FigureReport {
         "fig19",
         "Distributed regression weak scaling, 100 features (paper: <2 min/iter at 30M rows/node; converges in 4 min / 2 iterations)",
     );
-    r.header(&["nodes", "rows", "paper per-iter", "model per-iter", "model converge (2 iters)"]);
+    r.header(&[
+        "nodes",
+        "rows",
+        "paper per-iter",
+        "model per-iter",
+        "model converge (2 iters)",
+    ]);
     for (nodes, rows) in [(1usize, 30_000_000u64), (4, 120_000_000), (8, 240_000_000)] {
         let iter = glm_iteration(&p, KernelRegime::Native, rows, 100, nodes, 24);
         r.row(vec![
@@ -176,8 +192,13 @@ pub fn figure19() -> FigureReport {
         let xa = dr.darray(nodes).unwrap();
         let per = rows / nodes;
         for part in 0..nodes {
-            xa.fill_partition(part, per, 20, x[part * per * 20..(part + 1) * per * 20].to_vec())
-                .unwrap();
+            xa.fill_partition(
+                part,
+                per,
+                20,
+                x[part * per * 20..(part + 1) * per * 20].to_vec(),
+            )
+            .unwrap();
         }
         let ya = xa.clone_structure(1, 0.0).unwrap();
         for part in 0..nodes {
@@ -209,7 +230,13 @@ pub fn figure20() -> FigureReport {
         "fig20",
         "K-means per-iteration vs Spark, K=1000, 100 features (paper: ~16 min vs ~21 min at 8 nodes; DR ≈20% faster; both weak-scale)",
     );
-    r.header(&["nodes", "rows", "model Distributed R", "model Spark", "DR advantage"]);
+    r.header(&[
+        "nodes",
+        "rows",
+        "model Distributed R",
+        "model Spark",
+        "DR advantage",
+    ]);
     for (nodes, rows) in [(1usize, 60_000_000u64), (4, 240_000_000), (8, 480_000_000)] {
         let dr = kmeans_iteration(
             &p,

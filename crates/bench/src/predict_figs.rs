@@ -24,7 +24,16 @@ fn run_small_predict(kmeans: bool) -> (u64, SimDuration, f64) {
     let cluster = SimCluster::for_tests(3);
     let db = VerticaDb::new(cluster);
     register_prediction_functions(&db);
-    transfer_table(&db, "t", 60_000, Segmentation::Hash { column: "id".into() }, 4).unwrap();
+    transfer_table(
+        &db,
+        "t",
+        60_000,
+        Segmentation::Hash {
+            column: "id".into(),
+        },
+        4,
+    )
+    .unwrap();
     let rec = vdr_cluster::PhaseRecorder::new("save", vdr_cluster::PhaseKind::Sequential, 3);
     let (sql, model): (String, Model) = if kmeans {
         (
@@ -32,9 +41,7 @@ fn run_small_predict(kmeans: bool) -> (u64, SimDuration, f64) {
              OVER (PARTITION BEST) FROM t"
                 .into(),
             Model::Kmeans(KmeansModel {
-                centers: (0..10)
-                    .map(|i| vec![i as f64 * 100.0 - 500.0; 5])
-                    .collect(),
+                centers: (0..10).map(|i| vec![i as f64 * 100.0 - 500.0; 5]).collect(),
                 iterations: 1,
                 total_withinss: 0.0,
             }),
@@ -68,7 +75,11 @@ fn run_small_predict(kmeans: bool) -> (u64, SimDuration, f64) {
     let t = Instant::now();
     let out = db.query(&sql).unwrap();
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(out.batch.num_rows(), 60_000, "prediction must score every row");
+    assert_eq!(
+        out.batch.num_rows(),
+        60_000,
+        "prediction must score every row"
+    );
     (60_000, out.sim_time, wall_ms)
 }
 
@@ -87,7 +98,11 @@ pub fn figure15() -> FigureReport {
         .enumerate()
     {
         let t = indb_predict(&p, kind, *rows, 5);
-        r.row(vec![format!("{}M", rows / 1_000_000), paper[i].into(), secs(t)]);
+        r.row(vec![
+            format!("{}M", rows / 1_000_000),
+            paper[i].into(),
+            secs(t),
+        ]);
     }
     let big = indb_predict(&p, kind, 1_000_000_000, 5);
     let small = indb_predict(&p, kind, 10_000_000, 5);
@@ -118,7 +133,11 @@ pub fn figure16() -> FigureReport {
         .enumerate()
     {
         let t = indb_predict(&p, kind, *rows, 5);
-        r.row(vec![format!("{}M", rows / 1_000_000), paper[i].into(), secs(t)]);
+        r.row(vec![
+            format!("{}M", rows / 1_000_000),
+            paper[i].into(),
+            secs(t),
+        ]);
     }
     r.note("GLM prediction is cheaper than K-means per row (coefficients vs K distance computations) — same ordering as the paper");
     let (rows, sim, wall) = run_small_predict(false);

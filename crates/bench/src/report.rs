@@ -1,6 +1,8 @@
-//! Report formatting for the figure harness.
+//! Report formatting for the figure harness, rendered through the shared
+//! [`vdr_obs::Table`] reporter (aligned text, markdown, and JSON).
 
 use std::fmt;
+use vdr_obs::Table;
 
 /// One regenerated figure: a table plus free-form validation notes.
 #[derive(Debug, Clone)]
@@ -38,57 +40,45 @@ impl FigureReport {
         self.notes.push(line.into());
         self
     }
+
+    /// The figure as a [`vdr_obs::Table`] — one reporter for the aligned
+    /// text, markdown, and JSON outputs.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(format!("{} — {}", self.id, self.title));
+        if let Some(header) = self.table.first() {
+            t = t.header(header.iter().cloned());
+        }
+        for row in self.table.iter().skip(1) {
+            t.row(row.iter().cloned());
+        }
+        for n in &self.notes {
+            t.note(n.clone());
+        }
+        t
+    }
 }
 
 impl fmt::Display for FigureReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
-        if !self.table.is_empty() {
-            // Column widths.
-            let ncols = self.table.iter().map(Vec::len).max().unwrap_or(0);
-            let mut widths = vec![0usize; ncols];
-            for row in &self.table {
-                for (i, cell) in row.iter().enumerate() {
-                    widths[i] = widths[i].max(cell.len());
-                }
-            }
-            for (ri, row) in self.table.iter().enumerate() {
-                write!(f, "  ")?;
-                for (i, cell) in row.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, " | ")?;
-                    }
-                    write!(f, "{cell:>width$}", width = widths[i])?;
-                }
-                writeln!(f)?;
-                if ri == 0 {
-                    let total: usize = widths.iter().sum::<usize>() + 3 * (ncols - 1) + 2;
-                    writeln!(f, "  {}", "-".repeat(total))?;
-                }
-            }
-        }
-        for n in &self.notes {
-            writeln!(f, "  • {n}")?;
-        }
-        Ok(())
+        f.write_str(&self.to_table().to_text())
+    }
+}
+
+impl serde::Serialize for FigureReport {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("id".into(), serde::Content::Str(self.id.to_string())),
+            (
+                "figure".into(),
+                serde::Serialize::serialize(&self.to_table()),
+            ),
+        ])
     }
 }
 
 /// Markdown rendering (used to regenerate EXPERIMENTS.md).
 pub fn to_markdown(report: &FigureReport) -> String {
-    let mut out = format!("### {} — {}\n\n", report.id, report.title);
-    if !report.table.is_empty() {
-        let header = &report.table[0];
-        out.push_str(&format!("| {} |\n", header.join(" | ")));
-        out.push_str(&format!("|{}\n", "---|".repeat(header.len())));
-        for row in &report.table[1..] {
-            out.push_str(&format!("| {} |\n", row.join(" | ")));
-        }
-        out.push('\n');
-    }
-    for n in &report.notes {
-        out.push_str(&format!("- {n}\n"));
-    }
+    let mut out = report.to_table().to_markdown();
     out.push('\n');
     out
 }
@@ -106,7 +96,7 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("figX"));
         assert!(text.contains("50 GB"));
-        assert!(text.contains("• validated"));
+        assert!(text.contains("* validated"));
         let md = to_markdown(&r);
         assert!(md.starts_with("### figX"));
         assert!(md.contains("| 50 GB |"));

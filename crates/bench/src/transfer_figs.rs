@@ -7,9 +7,7 @@ use vdr_cluster::{HardwareProfile, Ledger, SimCluster, SimDuration};
 use vdr_distr::DistributedR;
 use vdr_sparksim::model_spark_load;
 use vdr_transfer::model::{model_dr_disk, model_parallel_odbc, model_single_odbc, model_vft};
-use vdr_transfer::{
-    install_export_function, ClusterShape, OdbcLoader, TableShape, TransferPolicy,
-};
+use vdr_transfer::{install_export_function, ClusterShape, OdbcLoader, TableShape, TransferPolicy};
 use vdr_verticadb::{Segmentation, VerticaDb};
 use vdr_workloads::transfer_table;
 
@@ -55,7 +53,16 @@ pub struct SmallScaleTransfer {
 pub fn run_small_scale(nodes: usize, rows: usize) -> SmallScaleTransfer {
     let cluster = SimCluster::for_tests(nodes);
     let db = VerticaDb::new(cluster.clone());
-    transfer_table(&db, "t", rows, Segmentation::Hash { column: "id".into() }, 5).unwrap();
+    transfer_table(
+        &db,
+        "t",
+        rows,
+        Segmentation::Hash {
+            column: "id".into(),
+        },
+        5,
+    )
+    .unwrap();
     let dr = DistributedR::on_all_nodes(cluster, 4).unwrap();
     let vft = install_export_function(&db);
     let cols = ["id", "a", "b", "c", "d", "e"];
@@ -64,7 +71,11 @@ pub fn run_small_scale(nodes: usize, rows: usize) -> SmallScaleTransfer {
         let sums = arr
             .map_partitions(|_, p| (0..p.nrow).map(|r| p.row(r)[0]).sum::<f64>())
             .unwrap();
-        assert_eq!(sums.iter().sum::<f64>(), expect, "loader lost or duplicated rows");
+        assert_eq!(
+            sums.iter().sum::<f64>(),
+            expect,
+            "loader lost or duplicated rows"
+        );
     };
 
     let ledger = Ledger::new();
@@ -118,7 +129,13 @@ fn small_scale_notes(report: &mut FigureReport, s: &SmallScaleTransfer) {
 pub fn figure1() -> FigureReport {
     let p = profile();
     let mut r = FigureReport::new("fig1", "Extracting data over ODBC (5 nodes; paper: ~1 h for 50 GB single-R, ~40 min for 150 GB with 120 connections)");
-    r.header(&["table", "paper single-R", "model single-R", "paper 120-conn", "model 120-conn"]);
+    r.header(&[
+        "table",
+        "paper single-R",
+        "model single-R",
+        "paper 120-conn",
+        "model 120-conn",
+    ]);
     let paper_single = ["~55 min", "~110 min", "~165 min"];
     let paper_par = ["~13 min", "~27 min", "~40 min"];
     for (i, gb) in [50u64, 100, 150].iter().enumerate() {
@@ -133,7 +150,9 @@ pub fn figure1() -> FigureReport {
             mins(par.total()),
         ]);
     }
-    r.note("paper values for 100/150 GB single-R and 50/100 GB parallel are read off the chart (~)");
+    r.note(
+        "paper values for 100/150 GB single-R and 50/100 GB parallel are read off the chart (~)",
+    );
     small_scale_notes(&mut r, &run_small_scale(3, 12_000));
     r
 }
@@ -145,7 +164,14 @@ pub fn figure12() -> FigureReport {
         "fig12",
         "ODBC vs Vertica Fast Transfer, 5-node cluster (paper: 150 GB in <6 min vs ~40 min, ≈6×)",
     );
-    r.header(&["table", "paper ODBC", "model ODBC", "paper VFT", "model VFT", "model speedup"]);
+    r.header(&[
+        "table",
+        "paper ODBC",
+        "model ODBC",
+        "paper VFT",
+        "model VFT",
+        "model speedup",
+    ]);
     let paper_odbc = ["~13 min", "~27 min", "~40 min"];
     let paper_vft = ["~2 min", "~4 min", "<6 min"];
     for (i, gb) in [50u64, 100, 150].iter().enumerate() {
@@ -172,7 +198,14 @@ pub fn figure13() -> FigureReport {
         "fig13",
         "ODBC vs Vertica Fast Transfer, 12-node cluster (paper: 400 GB in <10 min vs ~1 h)",
     );
-    r.header(&["table", "paper ODBC", "model ODBC", "paper VFT", "model VFT", "model speedup"]);
+    r.header(&[
+        "table",
+        "paper ODBC",
+        "model ODBC",
+        "paper VFT",
+        "model VFT",
+        "model speedup",
+    ]);
     let paper_odbc = ["~18 min", "~30 min", "~45 min", "~55 min"];
     let paper_vft = ["~3 min", "~5 min", "~8 min", "<10 min"];
     for (i, gb) in [100u64, 200, 300, 400].iter().enumerate() {
@@ -201,7 +234,13 @@ pub fn figure14() -> FigureReport {
         "fig14",
         "VFT time breakdown, 400 GB on 12 nodes (paper: DB part constant; R part shrinks with instances, ≈half the total at 2/server)",
     );
-    r.header(&["R instances/server", "model DB part", "model R part", "model total", "R share"]);
+    r.header(&[
+        "R instances/server",
+        "model DB part",
+        "model R part",
+        "model total",
+        "R share",
+    ]);
     for instances in [2usize, 4, 8, 12, 16, 24] {
         let shape = ClusterShape {
             r_instances_per_node: instances,
@@ -213,7 +252,10 @@ pub fn figure14() -> FigureReport {
             mins(rep.db_time),
             mins(rep.client_time),
             mins(rep.total()),
-            format!("{:.0}%", 100.0 * rep.client_time.as_secs() / rep.total().as_secs()),
+            format!(
+                "{:.0}%",
+                100.0 * rep.client_time.as_secs() / rep.total().as_secs()
+            ),
         ]);
     }
     // Small-scale validation: the real split also shows a shrinking R part.
@@ -223,8 +265,8 @@ pub fn figure14() -> FigureReport {
     let vft = install_export_function(&db);
     let mut parts = Vec::new();
     for instances in [2usize, 8] {
-        let dr = DistributedR::start(cluster.clone(), cluster.node_ids(), instances, u64::MAX)
-            .unwrap();
+        let dr =
+            DistributedR::start(cluster.clone(), cluster.node_ids(), instances, u64::MAX).unwrap();
         let ledger = Ledger::new();
         let (_, rep) = vft
             .db2darray(
@@ -269,7 +311,13 @@ pub fn figure21() -> FigureReport {
         "fig21",
         "End-to-end K-means on 4 nodes, 240M×100 (paper: DR loads 15 min + 16 min/iter ≈ Spark 11 min + 21 min/iter; DR-disk loads in 5 min)",
     );
-    r.header(&["stack", "paper load", "model load", "paper per-iter", "model per-iter"]);
+    r.header(&[
+        "stack",
+        "paper load",
+        "model load",
+        "paper per-iter",
+        "model per-iter",
+    ]);
     let vft_load = model_vft(&p, t, shape).total();
     let spark_load = model_spark_load(&p, t.rows, t.cols, t.raw_bytes(), 4, 24);
     let disk_load = model_dr_disk(&p, t, shape).total();
@@ -325,13 +373,28 @@ pub fn figure21() -> FigureReport {
     let cluster = SimCluster::for_tests(3);
     let db = VerticaDb::new(cluster.clone());
     let centers = vec![vec![0.0, 0.0], vec![15.0, 15.0]];
-    vdr_workloads::clusters_table(&db, "pts", 1_500, &centers, 0.5, Segmentation::RoundRobin, 9)
-        .unwrap();
+    vdr_workloads::clusters_table(
+        &db,
+        "pts",
+        1_500,
+        &centers,
+        0.5,
+        Segmentation::RoundRobin,
+        9,
+    )
+    .unwrap();
     let dr = DistributedR::on_all_nodes(cluster.clone(), 2).unwrap();
     let vft = install_export_function(&db);
     let ledger = Ledger::new();
     let (arr, _) = vft
-        .db2darray(&db, &dr, "pts", &["f1", "f2"], TransferPolicy::Uniform, &ledger)
+        .db2darray(
+            &db,
+            &dr,
+            "pts",
+            &["f1", "f2"],
+            TransferPolicy::Uniform,
+            &ledger,
+        )
         .unwrap();
     let init = vec![vec![1.0, 1.0], vec![10.0, 10.0]];
     let dr_model = {
@@ -348,7 +411,10 @@ pub fn figure21() -> FigureReport {
             for c in 0..2 {
                 if merged.counts[c] > 0 {
                     let count = merged.counts[c] as f64;
-                    cs[c] = merged.sums[c * 2..(c + 1) * 2].iter().map(|s| s / count).collect();
+                    cs[c] = merged.sums[c * 2..(c + 1) * 2]
+                        .iter()
+                        .map(|s| s / count)
+                        .collect();
                 }
             }
         }
@@ -363,7 +429,11 @@ pub fn figure21() -> FigureReport {
         vdr_sparksim::mllib::spark_kmeans_with_centers(&cluster, &matrix, init, 20).unwrap();
     for (a, b) in dr_model.iter().zip(&spark_model.centers) {
         for (x, y) in a.iter().zip(b) {
-            assert!((x - y).abs() < 1e-9, "stacks diverged: {dr_model:?} vs {:?}", spark_model.centers);
+            assert!(
+                (x - y).abs() < 1e-9,
+                "stacks diverged: {dr_model:?} vs {:?}",
+                spark_model.centers
+            );
         }
     }
     r.note("small-scale validation: identical K-means centers from both stacks on the same data (apples-to-apples kernel confirmed)");

@@ -389,7 +389,10 @@ mod tests {
     #[test]
     fn synthetic_report() {
         let ledger = Ledger::new();
-        ledger.push(PhaseReport::synthetic("queue", SimDuration::from_secs(42.0)));
+        ledger.push(PhaseReport::synthetic(
+            "queue",
+            SimDuration::from_secs(42.0),
+        ));
         assert_eq!(ledger.total().as_secs(), 42.0);
     }
 }

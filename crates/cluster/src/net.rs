@@ -128,7 +128,8 @@ mod tests {
         let net = Network::new(4);
         let r = rec();
         let (tx, rx) = net.connect(&r, NodeId(0), NodeId(2)).unwrap();
-        tx.send(Bytes::from(vec![0u8; 1_150_000_000 / 1000])).unwrap();
+        tx.send(Bytes::from(vec![0u8; 1_150_000_000 / 1000]))
+            .unwrap();
         drop(tx);
         let _ = rx.recv_all();
         let p = HardwareProfile::paper_testbed();

@@ -368,7 +368,9 @@ mod tests {
     #[test]
     fn kernel_regime_selection() {
         let c = EngineCosts::paper_calibrated();
-        assert!(c.kmeans_ns_per_unit(KernelRegime::RBound) > c.kmeans_ns_per_unit(KernelRegime::Native));
+        assert!(
+            c.kmeans_ns_per_unit(KernelRegime::RBound) > c.kmeans_ns_per_unit(KernelRegime::Native)
+        );
         assert!(c.glm_ns_per_unit(KernelRegime::RBound) > c.glm_ns_per_unit(KernelRegime::Native));
     }
 }

@@ -175,7 +175,10 @@ impl Batch {
                 b.push(v.clone())?;
             }
         }
-        Batch::new(schema, builders.into_iter().map(ColumnBuilder::finish).collect())
+        Batch::new(
+            schema,
+            builders.into_iter().map(ColumnBuilder::finish).collect(),
+        )
     }
 
     /// Approximate in-memory footprint.
@@ -230,10 +233,7 @@ mod tests {
         assert_eq!(b.num_columns(), 2);
         assert_eq!(b.num_values(), 6);
         assert_eq!(b.row(1), vec![Value::Int64(2), Value::Float64(0.2)]);
-        assert_eq!(
-            b.column_by_name("x").unwrap().get(2),
-            Value::Float64(0.3)
-        );
+        assert_eq!(b.column_by_name("x").unwrap().get(2), Value::Float64(0.3));
         assert!(b.column_by_name("nope").is_err());
     }
 

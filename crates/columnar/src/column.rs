@@ -120,7 +120,11 @@ impl Column {
         match self {
             Column::Int64 { data, validity } => {
                 for i in 0..n {
-                    out.push(if validity.get(i) { data[i] as f64 } else { f64::NAN });
+                    out.push(if validity.get(i) {
+                        data[i] as f64
+                    } else {
+                        f64::NAN
+                    });
                 }
             }
             Column::Float64 { data, validity } => {
@@ -455,7 +459,12 @@ mod tests {
 
     #[test]
     fn empty_columns() {
-        for dt in [DataType::Int64, DataType::Float64, DataType::Bool, DataType::Varchar] {
+        for dt in [
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Bool,
+            DataType::Varchar,
+        ] {
             let c = Column::empty(dt);
             assert!(c.is_empty());
             assert_eq!(c.data_type(), dt);

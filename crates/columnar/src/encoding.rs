@@ -96,7 +96,9 @@ pub fn encode_column(col: &Column, enc: Encoding, out: &mut Vec<u8>) -> Result<(
             }
         }
         (Column::Int64 { data, .. }, Encoding::Rle) => {
-            encode_runs(data.iter().copied(), out, |v, o| write_uvarint(zigzag(v), o));
+            encode_runs(data.iter().copied(), out, |v, o| {
+                write_uvarint(zigzag(v), o)
+            });
         }
         (Column::Int64 { data, .. }, Encoding::DeltaVarint) => {
             let mut prev = 0i64;
@@ -234,9 +236,7 @@ pub fn decode_column(
             Column::Float64 { data, validity }
         }
         (DataType::Float64, Encoding::Rle) => {
-            let bits = decode_runs(rows, bytes, pos, |b, p| {
-                read_i64_le(b, p).map(|v| v as u64)
-            })?;
+            let bits = decode_runs(rows, bytes, pos, |b, p| read_i64_le(b, p).map(|v| v as u64))?;
             Column::Float64 {
                 data: bits.into_iter().map(f64::from_bits).collect(),
                 validity,
@@ -279,9 +279,9 @@ pub fn decode_column(
             let mut data = Vec::with_capacity(rows);
             for _ in 0..rows {
                 let code = read_uvarint(bytes, pos)? as usize;
-                let s = dict
-                    .get(code)
-                    .ok_or_else(|| ColumnarError::Corrupt(format!("dict code {code} out of range")))?;
+                let s = dict.get(code).ok_or_else(|| {
+                    ColumnarError::Corrupt(format!("dict code {code} out of range"))
+                })?;
                 data.push(s.clone());
             }
             Column::Varchar { data, validity }
@@ -432,8 +432,18 @@ mod tests {
         for enc in [Encoding::Plain, Encoding::Rle] {
             let back = roundtrip(&col, enc);
             // NaN != NaN under PartialEq; compare bit patterns.
-            let a: Vec<u64> = col.f64_data().unwrap().iter().map(|v| v.to_bits()).collect();
-            let b: Vec<u64> = back.f64_data().unwrap().iter().map(|v| v.to_bits()).collect();
+            let a: Vec<u64> = col
+                .f64_data()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let b: Vec<u64> = back
+                .f64_data()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
             assert_eq!(a, b, "{enc:?}");
         }
     }
@@ -471,7 +481,12 @@ mod tests {
         encode_column(&col, Encoding::Plain, &mut plain).unwrap();
         let mut rle = Vec::new();
         encode_column(&col, Encoding::Rle, &mut rle).unwrap();
-        assert!(rle.len() * 10 < plain.len(), "rle {} plain {}", rle.len(), plain.len());
+        assert!(
+            rle.len() * 10 < plain.len(),
+            "rle {} plain {}",
+            rle.len(),
+            plain.len()
+        );
     }
 
     #[test]
@@ -496,13 +511,18 @@ mod tests {
             choose_encoding(&Column::from_i64((0..5000).collect())),
             Encoding::DeltaVarint
         );
-        let random: Vec<i64> = (0..5000).map(|i| (i * 2_654_435_761i64) % 4999 - 2500).collect();
+        let random: Vec<i64> = (0..5000)
+            .map(|i| (i * 2_654_435_761i64) % 4999 - 2500)
+            .collect();
         assert_eq!(choose_encoding(&Column::from_i64(random)), Encoding::Plain);
         assert_eq!(
             choose_encoding(&Column::from_strings(vec!["x"; 1000])),
             Encoding::Dictionary
         );
-        assert_eq!(choose_encoding(&Column::empty(DataType::Int64)), Encoding::Plain);
+        assert_eq!(
+            choose_encoding(&Column::empty(DataType::Int64)),
+            Encoding::Plain
+        );
     }
 
     #[test]

@@ -29,11 +29,17 @@ impl fmt::Display for ColumnarError {
                 write!(f, "type mismatch: expected {expected:?}, found {found:?}")
             }
             ColumnarError::LengthMismatch { expected, found } => {
-                write!(f, "column length mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "column length mismatch: expected {expected}, found {found}"
+                )
             }
             ColumnarError::BadBlockHeader(msg) => write!(f, "bad block header: {msg}"),
             ColumnarError::ChecksumMismatch { expected, found } => {
-                write!(f, "checksum mismatch: expected {expected:#010x}, found {found:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, found {found:#010x}"
+                )
             }
             ColumnarError::Corrupt(msg) => write!(f, "corrupt block: {msg}"),
             ColumnarError::NoSuchColumn(name) => write!(f, "no such column: {name}"),

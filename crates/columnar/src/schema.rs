@@ -130,9 +130,6 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(
-            schema().to_string(),
-            "(id INTEGER, x FLOAT, name VARCHAR)"
-        );
+        assert_eq!(schema().to_string(), "(id INTEGER, x FLOAT, name VARCHAR)");
     }
 }

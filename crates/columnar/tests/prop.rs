@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 use vdr_columnar::encoding::{decode_column, encode_column, Encoding};
-use vdr_columnar::{decode_batch, encode_batch, Batch, Column, ColumnBuilder, DataType, Schema, Value};
+use vdr_columnar::{
+    decode_batch, encode_batch, Batch, Column, ColumnBuilder, DataType, Schema, Value,
+};
 
 fn int_column() -> impl Strategy<Value = Column> {
     prop::collection::vec(prop::option::of(any::<i64>()), 0..300).prop_map(|vals| {

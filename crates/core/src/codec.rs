@@ -130,7 +130,10 @@ impl Model {
             return Err(CoreError::Codec("bad magic".into()));
         }
         if bytes[4] != VERSION {
-            return Err(CoreError::Codec(format!("unsupported version {}", bytes[4])));
+            return Err(CoreError::Codec(format!(
+                "unsupported version {}",
+                bytes[4]
+            )));
         }
         let expected = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes"));
         let body = &bytes[9..];

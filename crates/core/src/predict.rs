@@ -146,9 +146,7 @@ impl TransformFunction for PredictFunction {
                     Model::Kmeans(m) => (m.k() * d) as f64 * costs.indb_kmeans_unit_ns,
                     Model::Glm(m) => m.coefficients.len() as f64 * costs.indb_glm_unit_ns,
                     // Tree walks average ~depth comparisons per tree.
-                    Model::RandomForest(m) => {
-                        (m.trees.len() * 8) as f64 * costs.indb_glm_unit_ns
-                    }
+                    Model::RandomForest(m) => (m.trees.len() * 8) as f64 * costs.indb_glm_unit_ns,
                 };
             ctx.rec.cpu_work(ctx.node, rows as f64, per_row);
 
@@ -157,10 +155,7 @@ impl TransformFunction for PredictFunction {
                     Some(i) => {
                         let id_field = batch.schema().field(i).clone();
                         Batch::new(
-                            Schema::new(vec![
-                                id_field,
-                                vdr_columnar::Field::new(name, dtype),
-                            ]),
+                            Schema::new(vec![id_field, vdr_columnar::Field::new(name, dtype)]),
                             vec![batch.column(i).clone(), pred_col],
                         )
                         .map_err(DbError::from)
@@ -198,7 +193,11 @@ impl TransformFunction for PredictFunction {
                         }
                         classes.push(m.predict(&features));
                     }
-                    wrap(Column::from_i64(classes), "predicted_class", DataType::Int64)?
+                    wrap(
+                        Column::from_i64(classes),
+                        "predicted_class",
+                        DataType::Int64,
+                    )?
                 }
             };
             emit(out);
@@ -262,7 +261,15 @@ mod tests {
         });
         let rec = PhaseRecorder::new("save", PhaseKind::Sequential, 3);
         db.models()
-            .save(NodeId(0), name, "tester", "kmeans", "test", model.to_bytes(), &rec)
+            .save(
+                NodeId(0),
+                name,
+                "tester",
+                "kmeans",
+                "test",
+                model.to_bytes(),
+                &rec,
+            )
             .unwrap();
     }
 
@@ -332,7 +339,8 @@ mod tests {
         // `a` doubles as the row id here; it is passed through, and only `b`
         // would be scored — which mismatches the 2-feature model, so use a
         // fresh id column instead.
-        db.query("CREATE TABLE pts2 (rowid INTEGER, a FLOAT, b FLOAT)").unwrap();
+        db.query("CREATE TABLE pts2 (rowid INTEGER, a FLOAT, b FLOAT)")
+            .unwrap();
         db.query("INSERT INTO pts2 VALUES (1, 0.1, 0.1), (2, 9.9, 9.9), (3, 0.2, 0.0)")
             .unwrap();
         let out = db

@@ -45,6 +45,19 @@ pub struct Session {
     ledger: Arc<Ledger>,
     opts: SessionOptions,
     yarn: Option<(Arc<ResourceManager>, AppId)>,
+    /// Span sequence watermark at connect: [`Session::trace_report`] only
+    /// shows spans recorded after it.
+    obs_base_seq: u64,
+    /// Metrics levels at connect: [`Session::metrics`] diffs against it so
+    /// counters read as "since this session connected".
+    obs_base_metrics: vdr_obs::MetricsSnapshot,
+}
+
+/// The (span watermark, metric levels) pair that scopes a session's
+/// observability to "everything after this point".
+fn obs_baseline() -> (u64, vdr_obs::MetricsSnapshot) {
+    let obs = vdr_obs::global();
+    (obs.trace().current_seq(), obs.metrics().snapshot())
 }
 
 impl Session {
@@ -56,6 +69,7 @@ impl Session {
         worker_nodes: Vec<NodeId>,
         opts: SessionOptions,
     ) -> Result<Session> {
+        let (obs_base_seq, obs_base_metrics) = obs_baseline();
         let dr = DistributedR::start(
             db.cluster().clone(),
             worker_nodes,
@@ -71,6 +85,8 @@ impl Session {
             ledger: Arc::new(Ledger::new()),
             opts,
             yarn: None,
+            obs_base_seq,
+            obs_base_metrics,
         })
     }
 
@@ -92,6 +108,9 @@ impl Session {
         mem_mb_per_worker: u64,
         mut opts: SessionOptions,
     ) -> Result<Session> {
+        // Baseline before the YARN negotiation so the container lifecycle
+        // counters land inside this session's metrics window.
+        let (obs_base_seq, obs_base_metrics) = obs_baseline();
         let app = rm.register(queue_app_name, "dr", Lifetime::Session)?;
         let preferred = db.cluster().node_ids();
         let granted = match rm.allocate(
@@ -116,6 +135,8 @@ impl Session {
         opts.worker_mem_bytes = mem_mb_per_worker << 20;
         let mut session = Session::connect(db, worker_nodes, opts)?;
         session.yarn = Some((rm, app.id));
+        session.obs_base_seq = obs_base_seq;
+        session.obs_base_metrics = obs_base_metrics;
         Ok(session)
     }
 
@@ -156,15 +177,23 @@ impl Session {
 
     /// Load arbitrary columns as a distributed data frame.
     pub fn db2dframe(&self, table: &str, columns: &[&str]) -> Result<(DFrame, TransferReport)> {
-        Ok(self
-            .vft
-            .db2dframe(&self.db, &self.dr, table, columns, self.opts.policy, &self.ledger)?)
+        Ok(self.vft.db2dframe(
+            &self.db,
+            &self.dr,
+            table,
+            columns,
+            self.opts.policy,
+            &self.ledger,
+        )?)
     }
 
     /// Figure 3 line 9 / Figure 11: `deploy.model(model, 'name')` — gather
     /// to the master, serialize, ship to a database node, store in the DFS,
     /// and record in `R_Models`.
     pub fn deploy_model(&self, model: &Model, name: &str, description: &str) -> Result<()> {
+        let mut deploy_span = vdr_obs::span("session.deploy");
+        deploy_span.record("model", name);
+        deploy_span.record("type", model.type_name());
         let blob = model.to_bytes();
         let rec = PhaseRecorder::new(
             format!("deploy.model {name}"),
@@ -186,12 +215,16 @@ impl Session {
             blob,
             &rec,
         )?;
-        self.ledger.push(rec.finish(self.db.cluster().profile()));
+        let report = rec.finish(self.db.cluster().profile());
+        deploy_span.set_sim_time(report.duration());
+        self.ledger.push(report);
         Ok(())
     }
 
     /// Fetch a deployed model back (e.g. to inspect coefficients).
     pub fn load_model(&self, name: &str) -> Result<Model> {
+        let mut load_span = vdr_obs::span("session.load_model");
+        load_span.record("model", name);
         let rec = PhaseRecorder::new(
             format!("load model {name}"),
             PhaseKind::Sequential,
@@ -201,19 +234,66 @@ impl Session {
             .db
             .models()
             .load(NodeId(0), name, &self.opts.user, &rec)?;
-        self.ledger.push(rec.finish(self.db.cluster().profile()));
+        let report = rec.finish(self.db.cluster().profile());
+        load_span.set_sim_time(report.duration());
+        self.ledger.push(report);
         Model::from_bytes(&blob)
     }
 
-    /// Run SQL (Figure 3 lines 10–11: predictions are plain queries).
+    /// Run SQL (Figure 3 lines 10–11: predictions are plain queries). The
+    /// statement is charged as a phase of the *session* ledger, so it shows
+    /// up in [`Session::trace_report`] alongside transfers and deploys.
     pub fn sql(&self, query: &str) -> Result<QueryOutput> {
-        Ok(self.db.query(query)?)
+        let mut sql_span = vdr_obs::span("session.sql");
+        let verb = query
+            .split_whitespace()
+            .next()
+            .unwrap_or("?")
+            .to_uppercase();
+        let rec = Arc::new(PhaseRecorder::new(
+            format!("sql {verb}"),
+            PhaseKind::Pipelined,
+            self.db.cluster().num_nodes(),
+        ));
+        let batch = self.db.query_with(query, &rec)?;
+        let report = Arc::into_inner(rec)
+            .expect("no stray phase references after execution")
+            .finish(self.db.cluster().profile());
+        let sim_time = report.duration();
+        self.ledger.push(report);
+        sql_span.record("stmt", &verb);
+        sql_span.record("rows", batch.num_rows());
+        sql_span.set_sim_time(sim_time);
+        Ok(QueryOutput { batch, sim_time })
     }
 
     /// Total simulated time this session has spent in transfers, deploys,
     /// and model loads.
     pub fn total_sim_time(&self) -> SimDuration {
         self.ledger.total()
+    }
+
+    /// Everything measured since this session connected: counters, gauges,
+    /// and histograms from every instrumented layer (VFT, ODBC, SQL executor,
+    /// DFS, Distributed R runtime, ML algorithms, YARN).
+    pub fn metrics(&self) -> vdr_obs::MetricsSnapshot {
+        vdr_obs::global()
+            .metrics()
+            .snapshot()
+            .diff(&self.obs_base_metrics)
+    }
+
+    /// `EXPLAIN ANALYZE` for the session: the ledger's phase breakdown (the
+    /// authoritative simulated-time accounting — phase durations sum to
+    /// [`Session::total_sim_time`]) joined with the span tree recorded since
+    /// connect. Render with [`vdr_obs::TraceReport::render`] or export with
+    /// [`vdr_obs::TraceReport::to_json`].
+    pub fn trace_report(&self) -> vdr_obs::TraceReport {
+        vdr_obs::TraceReport::new(
+            self.ledger.reports(),
+            vdr_obs::global().trace().spans_since(self.obs_base_seq),
+            self.ledger.total(),
+        )
     }
 }
 
@@ -260,11 +340,7 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
         db.copy(
             "samples",
-            vec![Batch::new(
-                schema,
-                vec![Column::from_f64(xs), Column::from_f64(ys)],
-            )
-            .unwrap()],
+            vec![Batch::new(schema, vec![Column::from_f64(xs), Column::from_f64(ys)]).unwrap()],
         )
         .unwrap();
         db
@@ -290,11 +366,22 @@ mod tests {
             iterations: 2,
             total_withinss: 9.0,
         });
-        session.deploy_model(&model, "clusters", "session test").unwrap();
+        session
+            .deploy_model(&model, "clusters", "session test")
+            .unwrap();
         // Visible in R_Models with the session user as owner.
-        let rows = session.sql("SELECT owner, type FROM R_Models").unwrap().batch;
-        assert_eq!(rows.row(0)[0], vdr_columnar::Value::Varchar("dbadmin".into()));
-        assert_eq!(rows.row(0)[1], vdr_columnar::Value::Varchar("kmeans".into()));
+        let rows = session
+            .sql("SELECT owner, type FROM R_Models")
+            .unwrap()
+            .batch;
+        assert_eq!(
+            rows.row(0)[0],
+            vdr_columnar::Value::Varchar("dbadmin".into())
+        );
+        assert_eq!(
+            rows.row(0)[1],
+            vdr_columnar::Value::Varchar("kmeans".into())
+        );
         // Round-trips through the DFS.
         let back = session.load_model("clusters").unwrap();
         assert_eq!(back, model);

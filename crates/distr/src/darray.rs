@@ -261,7 +261,10 @@ impl DArray {
                 out[p] = Some(r);
             }
         }
-        Ok(out.into_iter().map(|r| r.expect("all partitions ran")).collect())
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("all partitions ran"))
+            .collect())
     }
 
     /// Run `f(part_index, &x_part, &y_part)` over co-partitioned arrays
@@ -373,7 +376,8 @@ mod tests {
         a.fill_partition(0, 1, 2, vec![1.0, 2.0]).unwrap();
         a.fill_partition(1, 3, 2, vec![3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
             .unwrap();
-        a.fill_partition(2, 2, 2, vec![9.0, 10.0, 11.0, 12.0]).unwrap();
+        a.fill_partition(2, 2, 2, vec![9.0, 10.0, 11.0, 12.0])
+            .unwrap();
         a
     }
 

@@ -106,10 +106,7 @@ impl DFrame {
     }
 
     /// Parallel map over partitions on their owning workers.
-    pub fn map_partitions<R: Send>(
-        &self,
-        f: impl Fn(usize, &Batch) -> R + Sync,
-    ) -> Result<Vec<R>> {
+    pub fn map_partitions<R: Send>(&self, f: impl Fn(usize, &Batch) -> R + Sync) -> Result<Vec<R>> {
         let metas = self.rt.all_meta(self.id);
         for (i, m) in metas.iter().enumerate() {
             if !m.filled {
@@ -139,7 +136,10 @@ impl DFrame {
                 out[p] = Some(r);
             }
         }
-        Ok(out.into_iter().map(|r| r.expect("all partitions ran")).collect())
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("all partitions ran"))
+            .collect())
     }
 
     /// Gather all rows to the master as one batch.

@@ -115,7 +115,8 @@ mod tests {
     fn lists_hold_variable_length_partitions() {
         let dr = DistributedR::on_all_nodes(SimCluster::for_tests(2), 1).unwrap();
         let l = dr.dlist(2).unwrap();
-        l.fill_partition(0, vec![b"one".to_vec(), b"two".to_vec()]).unwrap();
+        l.fill_partition(0, vec![b"one".to_vec(), b"two".to_vec()])
+            .unwrap();
         l.fill_partition(1, vec![b"three".to_vec()]).unwrap();
         assert_eq!(l.len(), 3);
         assert_eq!(l.partitionsize(0).unwrap(), 2);

@@ -33,7 +33,10 @@ impl fmt::Display for DistrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DistrError::NoSuchPartition { index, npartitions } => {
-                write!(f, "partition {index} out of range ({npartitions} partitions)")
+                write!(
+                    f,
+                    "partition {index} out of range ({npartitions} partitions)"
+                )
             }
             DistrError::Conformity(m) => write!(f, "conformity violation: {m}"),
             DistrError::NotCoPartitioned(m) => write!(f, "arrays not co-partitioned: {m}"),

@@ -264,6 +264,10 @@ impl DistributedR {
                 self.num_workers()
             )));
         }
+        let mut load_span = vdr_obs::span("distr.partition.load");
+        load_span.set_node(self.inner.workers[worker].node.0);
+        load_span.record("partition", part);
+        load_span.record("bytes", bytes);
         let mut symbols = self.inner.symbols.write();
         let obj = symbols
             .get_mut(&id)
@@ -279,7 +283,10 @@ impl DistributedR {
         // Memory accounting: release the old allocation, claim the new one.
         let mut used = self.inner.mem_used.lock();
         used[meta.worker] = used[meta.worker].saturating_sub(meta.bytes);
-        let available = self.inner.mem_capacity_per_worker.saturating_sub(used[worker]);
+        let available = self
+            .inner
+            .mem_capacity_per_worker
+            .saturating_sub(used[worker]);
         if bytes > available {
             // Roll back nothing: the old allocation was already released,
             // matching a failed realloc that freed the original buffer.
@@ -292,6 +299,16 @@ impl DistributedR {
             });
         }
         used[worker] += bytes;
+        vdr_obs::counter_on(
+            "distr.partition.commits",
+            self.inner.workers[worker].node.0,
+            1,
+        );
+        vdr_obs::gauge_on(
+            "distr.worker.mem_bytes",
+            self.inner.workers[worker].node.0,
+            used[worker] as f64,
+        );
         *meta = PartMeta {
             worker,
             nrow,
@@ -350,13 +367,30 @@ impl DistributedR {
         worker_set: &[usize],
         f: impl Fn(usize) -> R + Sync,
     ) -> Vec<(usize, R)> {
+        // Tasks dispatched but not yet finished, across every concurrent
+        // run_on_workers call in the process — the runtime's queue depth.
+        static TASKS_IN_FLIGHT: AtomicU64 = AtomicU64::new(0);
+        let parent_span = vdr_obs::current_span_id();
         std::thread::scope(|scope| {
             let handles: Vec<_> = worker_set
                 .iter()
                 .map(|&w| {
                     let node = self.inner.cluster.node(self.inner.workers[w].node);
+                    let node_id = self.inner.workers[w].node;
                     let f = &f;
-                    scope.spawn(move || (w, node.run(|| f(w))))
+                    scope.spawn(move || {
+                        let depth = TASKS_IN_FLIGHT.fetch_add(1, Ordering::SeqCst) + 1;
+                        vdr_obs::gauge("distr.task_queue.depth", depth as f64);
+                        vdr_obs::observe("distr.task_queue.depth.hist", depth as f64);
+                        let mut task_span = vdr_obs::span_with_parent("distr.task", parent_span);
+                        task_span.set_node(node_id.0);
+                        task_span.record("worker", w);
+                        let out = (w, node.run(|| f(w)));
+                        drop(task_span);
+                        let depth = TASKS_IN_FLIGHT.fetch_sub(1, Ordering::SeqCst) - 1;
+                        vdr_obs::gauge("distr.task_queue.depth", depth as f64);
+                        out
+                    })
                 })
                 .collect();
             handles
@@ -398,13 +432,8 @@ mod tests {
         // Vertica database or on remote nodes" (Section 2): model the remote
         // layout with workers on the upper half of a larger cluster.
         let cluster = SimCluster::for_tests(6);
-        let dr = DistributedR::start(
-            cluster,
-            vec![NodeId(3), NodeId(4), NodeId(5)],
-            2,
-            u64::MAX,
-        )
-        .unwrap();
+        let dr = DistributedR::start(cluster, vec![NodeId(3), NodeId(4), NodeId(5)], 2, u64::MAX)
+            .unwrap();
         assert_eq!(dr.num_workers(), 3);
         assert_eq!(dr.worker_node(0), NodeId(3));
     }
@@ -442,7 +471,7 @@ mod tests {
         let dr = DistributedR::start(cluster, vec![NodeId(0)], 1, 1000).unwrap();
         let a = dr.darray(1).unwrap();
         a.fill_partition(0, 10, 10, vec![1.0; 100]).unwrap(); // 800 B
-        // Refilling the same partition must not double-count.
+                                                              // Refilling the same partition must not double-count.
         a.fill_partition(0, 10, 10, vec![2.0; 100]).unwrap();
         assert_eq!(dr.memory_used(), vec![800]);
     }

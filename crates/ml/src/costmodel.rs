@@ -114,7 +114,10 @@ mod tests {
     fn fig17_r_takes_about_35_minutes_per_iteration() {
         let t = r_kmeans_iteration(&p(), 1_000_000, 1000, 100);
         let mins = t.as_minutes();
-        assert!((30.0..40.0).contains(&mins), "R K-means iter ≈ {mins:.1} min");
+        assert!(
+            (30.0..40.0).contains(&mins),
+            "R K-means iter ≈ {mins:.1} min"
+        );
     }
 
     #[test]
@@ -130,7 +133,11 @@ mod tests {
             1,
             12,
         );
-        assert!(dr12.as_minutes() < 4.0, "DR @12 cores ≈ {:.1} min", dr12.as_minutes());
+        assert!(
+            dr12.as_minutes() < 4.0,
+            "DR @12 cores ≈ {:.1} min",
+            dr12.as_minutes()
+        );
         let r = r_kmeans_iteration(&prof, 1_000_000, 1000, 100);
         let speedup = r / dr12;
         assert!((8.0..10.0).contains(&speedup), "speedup {speedup:.1}×");
@@ -171,11 +178,22 @@ mod tests {
         assert!(r.as_minutes() > 25.0, "R lm ≈ {:.1} min", r.as_minutes());
         // DR converges in ~2 Newton passes for gaussian (solve + deviance).
         let dr1 = glm_iteration(&prof, KernelRegime::RBound, 100_000_000, 6, 1, 1) * 2.0;
-        assert!(dr1.as_minutes() < 10.0, "DR @1 core ≈ {:.1} min", dr1.as_minutes());
+        assert!(
+            dr1.as_minutes() < 10.0,
+            "DR @1 core ≈ {:.1} min",
+            dr1.as_minutes()
+        );
         let dr24 = glm_iteration(&prof, KernelRegime::RBound, 100_000_000, 6, 1, 24) * 2.0;
-        assert!(dr24.as_minutes() < 1.0, "DR @24 cores ≈ {:.2} min", dr24.as_minutes());
+        assert!(
+            dr24.as_minutes() < 1.0,
+            "DR @24 cores ≈ {:.2} min",
+            dr24.as_minutes()
+        );
         let speedup = dr1 / dr24;
-        assert!((8.0..10.0).contains(&speedup), "1→24 core speedup {speedup:.1}×");
+        assert!(
+            (8.0..10.0).contains(&speedup),
+            "1→24 core speedup {speedup:.1}×"
+        );
     }
 
     // -- Figure 19: distributed regression weak scaling, 100 features -------
@@ -184,14 +202,7 @@ mod tests {
     fn fig19_iterations_under_2_minutes_convergence_about_4() {
         let prof = p();
         for (nodes, rows) in [(1u64, 30_000_000u64), (4, 120_000_000), (8, 240_000_000)] {
-            let iter = glm_iteration(
-                &prof,
-                KernelRegime::Native,
-                rows,
-                100,
-                nodes as usize,
-                24,
-            );
+            let iter = glm_iteration(&prof, KernelRegime::Native, rows, 100, nodes as usize, 24);
             assert!(
                 iter.as_minutes() < 2.0,
                 "{nodes} nodes: {:.2} min/iter",
@@ -245,7 +256,10 @@ mod tests {
         );
         // "Distributed R faster about 20%".
         let advantage = spark / dr;
-        assert!((1.15..1.35).contains(&advantage), "DR advantage {advantage:.2}×");
+        assert!(
+            (1.15..1.35).contains(&advantage),
+            "DR advantage {advantage:.2}×"
+        );
     }
 
     #[test]
@@ -253,10 +267,24 @@ mod tests {
         let prof = p();
         for engine in [KmeansEngine::DistributedR, KmeansEngine::Spark] {
             let t1 = kmeans_iteration(
-                &prof, engine, KernelRegime::Native, 60_000_000, 1000, 100, 1, 24,
+                &prof,
+                engine,
+                KernelRegime::Native,
+                60_000_000,
+                1000,
+                100,
+                1,
+                24,
             );
             let t8 = kmeans_iteration(
-                &prof, engine, KernelRegime::Native, 480_000_000, 1000, 100, 8, 24,
+                &prof,
+                engine,
+                KernelRegime::Native,
+                480_000_000,
+                1000,
+                100,
+                8,
+                24,
             );
             let ratio = t8 / t1;
             assert!((0.95..1.05).contains(&ratio), "{engine:?} ratio {ratio}");

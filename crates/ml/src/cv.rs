@@ -54,7 +54,9 @@ pub fn cv_hpdglm(
     }
     let (n, d) = x.dim();
     if n < folds as u64 * 2 {
-        return Err(MlError::Invalid(format!("{n} rows is too few for {folds} folds")));
+        return Err(MlError::Invalid(format!(
+            "{n} rows is too few for {folds} folds"
+        )));
     }
     x.check_copartitioned(y)?;
     let d = d as usize;
@@ -125,7 +127,11 @@ pub fn cv_hpdglm(
             }
         }
         fold_rows.push(rows);
-        fold_deviance.push(if rows == 0 { 0.0 } else { deviance / rows as f64 });
+        fold_deviance.push(if rows == 0 {
+            0.0
+        } else {
+            deviance / rows as f64
+        });
     }
     Ok(CvResult {
         fold_deviance,
@@ -169,10 +175,24 @@ mod tests {
         let dr = DistributedR::on_all_nodes(SimCluster::for_tests(3), 2).unwrap();
         let (x_clean, y_clean) = dataset(&dr, 0.0);
         let (x_noisy, y_noisy) = dataset(&dr, 1.0);
-        let clean = cv_hpdglm(&dr, &x_clean, &y_clean, Family::Gaussian, &GlmOptions::default(), 5)
-            .unwrap();
-        let noisy = cv_hpdglm(&dr, &x_noisy, &y_noisy, Family::Gaussian, &GlmOptions::default(), 5)
-            .unwrap();
+        let clean = cv_hpdglm(
+            &dr,
+            &x_clean,
+            &y_clean,
+            Family::Gaussian,
+            &GlmOptions::default(),
+            5,
+        )
+        .unwrap();
+        let noisy = cv_hpdglm(
+            &dr,
+            &x_noisy,
+            &y_noisy,
+            Family::Gaussian,
+            &GlmOptions::default(),
+            5,
+        )
+        .unwrap();
         assert_eq!(clean.fold_deviance.len(), 5);
         assert!(clean.mean_deviance() < 1e-12, "{clean:?}");
         assert!(noisy.mean_deviance() > 0.1, "{noisy:?}");

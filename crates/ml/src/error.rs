@@ -23,8 +23,14 @@ impl fmt::Display for MlError {
         match self {
             MlError::Invalid(m) => write!(f, "invalid input: {m}"),
             MlError::Singular(m) => write!(f, "singular system: {m}"),
-            MlError::NoConvergence { iterations, deviance } => {
-                write!(f, "no convergence after {iterations} iterations (deviance {deviance})")
+            MlError::NoConvergence {
+                iterations,
+                deviance,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (deviance {deviance})"
+                )
             }
             MlError::Distr(e) => write!(f, "runtime error: {e}"),
         }

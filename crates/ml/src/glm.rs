@@ -168,11 +168,18 @@ pub fn hpdglm(x: &DArray, y: &DArray, family: Family, opts: &GlmOptions) -> Resu
         beta[0] = (rate / (1.0 - rate)).ln();
     }
 
+    let mut fit_span = vdr_obs::span("ml.glm.fit");
+    fit_span.record("family", family.name());
+    fit_span.record("n", n);
+    fit_span.record("p", p);
+
     let mut last_deviance = f64::INFINITY;
     let mut iterations = 0usize;
     let mut converged = false;
     while iterations < opts.max_iterations {
         iterations += 1;
+        let mut iter_span = vdr_obs::span("ml.glm.iteration");
+        iter_span.record("iter", iterations);
         // Map: per-partition partials, in parallel on the owning workers.
         let partials = x.zip_map(y, |_, xp, yp| {
             accumulate_partition(xp, yp, &beta, family, opts.add_intercept)
@@ -198,6 +205,9 @@ pub fn hpdglm(x: &DArray, y: &DArray, family: Family, opts: &GlmOptions) -> Resu
                 })?
                 .into_iter()
                 .sum();
+            iter_span.record("deviance", final_dev);
+            vdr_obs::observe("ml.glm.deviance", final_dev);
+            fit_span.record("iterations", iterations);
             return Ok(GlmModel {
                 coefficients: beta,
                 intercept: opts.add_intercept,
@@ -208,6 +218,11 @@ pub fn hpdglm(x: &DArray, y: &DArray, family: Family, opts: &GlmOptions) -> Resu
             });
         }
         let rel = (deviance - last_deviance).abs() / (deviance.abs() + 0.1);
+        // The per-iteration objective trace: exact values on the span,
+        // iteration counts and magnitudes in the histogram.
+        iter_span.record("deviance", deviance);
+        iter_span.record("delta", rel);
+        vdr_obs::observe("ml.glm.deviance", deviance);
         if rel < opts.tolerance {
             converged = true;
             last_deviance = deviance;
@@ -215,6 +230,8 @@ pub fn hpdglm(x: &DArray, y: &DArray, family: Family, opts: &GlmOptions) -> Resu
         }
         last_deviance = deviance;
     }
+    fit_span.record("iterations", iterations);
+    fit_span.record("converged", converged);
 
     if !converged && iterations >= opts.max_iterations {
         return Err(MlError::NoConvergence {
@@ -269,7 +286,8 @@ mod tests {
         let y = x.clone_structure(1, 0.0).unwrap();
         for (part, yd) in ydata.into_iter().enumerate() {
             let worker = y.worker_of(part).unwrap();
-            y.fill_partition_on(worker, part, rows_per_part, 1, yd).unwrap();
+            y.fill_partition_on(worker, part, rows_per_part, 1, yd)
+                .unwrap();
         }
         (x, y)
     }
@@ -281,7 +299,9 @@ mod tests {
         // data. This methodology ensures that we can check for accuracy of
         // the answers" (Section 7.3.1).
         let dr = runtime(3);
-        let (x, y) = dataset(&dr, 3, 200, 3, |_, f| 4.0 + 1.5 * f[0] - 2.0 * f[1] + 0.5 * f[2]);
+        let (x, y) = dataset(&dr, 3, 200, 3, |_, f| {
+            4.0 + 1.5 * f[0] - 2.0 * f[1] + 0.5 * f[2]
+        });
         let m = hpdglm(&x, &y, Family::Gaussian, &GlmOptions::default()).unwrap();
         assert!(m.converged);
         assert_eq!(m.iterations, 1, "gaussian/identity is a single Newton step");
@@ -318,7 +338,11 @@ mod tests {
         assert!(m.converged);
         assert!(m.iterations > 1, "logit needs several Newton steps");
         for (c, e) in m.coefficients.iter().zip(true_beta) {
-            assert!((c - e).abs() < 0.25, "{:?} vs {true_beta:?}", m.coefficients);
+            assert!(
+                (c - e).abs() < 0.25,
+                "{:?} vs {true_beta:?}",
+                m.coefficients
+            );
         }
         // Predictions are probabilities.
         let p = m.predict(&[2.0, -2.0]);
@@ -347,7 +371,11 @@ mod tests {
             k as f64
         });
         let m = hpdglm(&x, &y, Family::Poisson, &GlmOptions::default()).unwrap();
-        assert!((m.coefficients[0] - 0.8).abs() < 0.1, "{:?}", m.coefficients);
+        assert!(
+            (m.coefficients[0] - 0.8).abs() < 0.1,
+            "{:?}",
+            m.coefficients
+        );
         assert!((m.coefficients[1] - 0.6).abs() < 0.1);
     }
 

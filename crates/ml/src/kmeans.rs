@@ -178,12 +178,18 @@ pub fn hpdkmeans(x: &DArray, opts: &KmeansOptions) -> Result<KmeansModel> {
     if opts.k == 0 || opts.k > n {
         return Err(MlError::Invalid(format!("k={} with n={n}", opts.k)));
     }
+    let mut fit_span = vdr_obs::span("ml.kmeans.fit");
+    fit_span.record("k", opts.k);
+    fit_span.record("n", n);
+
     let mut centers = init_centers(x, opts)?;
     let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5eed);
     let mut iterations = 0usize;
     let mut wss = f64::INFINITY;
     while iterations < opts.max_iterations {
         iterations += 1;
+        let mut iter_span = vdr_obs::span("ml.kmeans.iteration");
+        iter_span.record("iter", iterations);
         // Map: every partition assigns its rows against the broadcast
         // centers, in parallel on its worker.
         let partials = x.map_partitions(|_, part| assign_partial(&part.data, d, &centers))?;
@@ -223,10 +229,17 @@ pub fn hpdkmeans(x: &DArray, opts: &KmeansOptions) -> Result<KmeansModel> {
         }
         centers = new_centers;
         wss = merged.wss;
+        // The per-iteration objective trace: exact values on the span,
+        // iteration counts and magnitudes in the histogram.
+        iter_span.record("wss", wss);
+        iter_span.record("moved", moved);
+        vdr_obs::observe("ml.kmeans.wss", wss);
         if moved <= opts.tolerance {
             break;
         }
     }
+    fit_span.record("iterations", iterations);
+    fit_span.record("wss", wss);
     Ok(KmeansModel {
         centers,
         iterations,
@@ -251,10 +264,7 @@ mod tests {
         let mut all: Vec<[f64; 2]> = Vec::new();
         for &(cx, cy) in &centers {
             for _ in 0..per_blob {
-                all.push([
-                    cx + rng.gen_range(-0.5..0.5),
-                    cy + rng.gen_range(-0.5..0.5),
-                ]);
+                all.push([cx + rng.gen_range(-0.5..0.5), cy + rng.gen_range(-0.5..0.5)]);
             }
         }
         // Shuffle so blobs span partitions.
@@ -380,7 +390,8 @@ mod tests {
         // can produce an empty cluster mid-run; centers must stay finite.
         let dr = runtime(1);
         let x = dr.darray(1).unwrap();
-        x.fill_partition(0, 4, 1, vec![0.0, 0.0, 0.0, 100.0]).unwrap();
+        x.fill_partition(0, 4, 1, vec![0.0, 0.0, 0.0, 100.0])
+            .unwrap();
         let m = hpdkmeans(
             &x,
             &KmeansOptions {

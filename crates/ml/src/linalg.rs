@@ -64,9 +64,7 @@ impl Matrix {
         if v.len() != self.ncol {
             return Err(MlError::Invalid("matvec shape mismatch".into()));
         }
-        Ok((0..self.nrow)
-            .map(|r| dot(self.row(r), v))
-            .collect())
+        Ok((0..self.nrow).map(|r| dot(self.row(r), v)).collect())
     }
 }
 
@@ -154,7 +152,9 @@ pub fn qr_least_squares(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
         return Err(MlError::Invalid("qr shapes".into()));
     }
     if n < p {
-        return Err(MlError::Invalid(format!("underdetermined: {n} rows < {p} cols")));
+        return Err(MlError::Invalid(format!(
+            "underdetermined: {n} rows < {p} cols"
+        )));
     }
     let mut r = x.data.clone(); // n×p, transformed in place
     let mut qty = y.to_vec();
@@ -170,9 +170,7 @@ pub fn qr_least_squares(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
         }
         // Relative rank check: a column whose remaining mass is negligible
         // against the matrix scale is linearly dependent on earlier columns.
-        let col_scale: f64 = (0..n)
-            .map(|i| x.data[i * p + k].abs())
-            .fold(0.0, f64::max);
+        let col_scale: f64 = (0..n).map(|i| x.data[i * p + k].abs()).fold(0.0, f64::max);
         if norm < 1e-10 * col_scale.max(1e-300) {
             return Err(MlError::Singular(format!("rank-deficient column {k}")));
         }
@@ -318,7 +316,7 @@ mod tests {
         let x = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
         assert!(qr_least_squares(&x, &[1.0, 2.0]).is_err()); // y wrong len
         assert!(qr_least_squares(&x, &[1.0]).is_err()); // n < p
-        // Rank-deficient.
+                                                        // Rank-deficient.
         let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         assert!(qr_least_squares(&x, &[1.0, 2.0, 3.0]).is_err());
     }

@@ -236,9 +236,13 @@ mod tests {
         assert_eq!(tree.depth(), 2);
 
         let forest = RandomForestModel {
-            trees: vec![tree.clone(), tree.clone(), DecisionTree {
-                nodes: vec![TreeNode::Leaf { class: 0 }],
-            }],
+            trees: vec![
+                tree.clone(),
+                tree.clone(),
+                DecisionTree {
+                    nodes: vec![TreeNode::Leaf { class: 0 }],
+                },
+            ],
             num_features: 1,
             classes: vec![0, 1],
         };

@@ -57,7 +57,10 @@ pub fn hpdpagerank(
         )));
     }
     if !(0.0..1.0).contains(&opts.damping) {
-        return Err(MlError::Invalid(format!("damping {} not in [0, 1)", opts.damping)));
+        return Err(MlError::Invalid(format!(
+            "damping {} not in [0, 1)",
+            opts.damping
+        )));
     }
 
     // Pass 1 (distributed): out-degrees, with id validation.
@@ -266,7 +269,12 @@ mod tests {
         let serial = serial_pagerank(&edges, 6, &opts).unwrap();
         assert_eq!(distributed.iterations, serial.iterations);
         for (a, b) in distributed.ranks.iter().zip(&serial.ranks) {
-            assert!((a - b).abs() < 1e-12, "{:?} vs {:?}", distributed.ranks, serial.ranks);
+            assert!(
+                (a - b).abs() < 1e-12,
+                "{:?} vs {:?}",
+                distributed.ranks,
+                serial.ranks
+            );
         }
         // Mass conserved despite the dangling vertex.
         let total: f64 = distributed.ranks.iter().sum();

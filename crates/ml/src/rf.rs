@@ -155,8 +155,10 @@ fn build_node(
         for _ in 0..8 {
             let pivot_row = rows[rng.gen_range(0..rows.len())];
             let threshold = xp.row(pivot_row)[feature];
-            let mut left: std::collections::BTreeMap<i64, usize> = std::collections::BTreeMap::new();
-            let mut right: std::collections::BTreeMap<i64, usize> = std::collections::BTreeMap::new();
+            let mut left: std::collections::BTreeMap<i64, usize> =
+                std::collections::BTreeMap::new();
+            let mut right: std::collections::BTreeMap<i64, usize> =
+                std::collections::BTreeMap::new();
             let mut nl = 0usize;
             for (&r, &l) in rows.iter().zip(labels) {
                 if xp.row(r)[feature] <= threshold {
@@ -170,8 +172,8 @@ fn build_node(
             if nl == 0 || nr == 0 {
                 continue;
             }
-            let impurity = (nl as f64 * gini(&left, nl) + nr as f64 * gini(&right, nr))
-                / parent_total as f64;
+            let impurity =
+                (nl as f64 * gini(&left, nl) + nr as f64 * gini(&right, nr)) / parent_total as f64;
             if best.is_none_or(|(_, _, b)| impurity < b) {
                 best = Some((feature, threshold, impurity));
             }

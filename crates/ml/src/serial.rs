@@ -39,11 +39,14 @@ pub fn serial_kmeans(
     while iterations < max_iterations {
         iterations += 1;
         let partial = assign_partial(data, d, &centers);
-        let merged = merge_partials(partial, &crate::kmeans::KmeansPartial {
-            sums: vec![0.0; k * d],
-            counts: vec![0; k],
-            wss: 0.0,
-        });
+        let merged = merge_partials(
+            partial,
+            &crate::kmeans::KmeansPartial {
+                sums: vec![0.0; k * d],
+                counts: vec![0; k],
+                wss: 0.0,
+            },
+        );
         let mut moved = 0.0;
         for c in 0..k {
             if merged.counts[c] == 0 {
@@ -78,7 +81,10 @@ pub fn serial_lm(features: &[f64], d: usize, y: &[f64]) -> Result<GlmModel> {
     }
     let n = features.len() / d;
     if y.len() != n {
-        return Err(MlError::Invalid(format!("{n} rows but {} responses", y.len())));
+        return Err(MlError::Invalid(format!(
+            "{n} rows but {} responses",
+            y.len()
+        )));
     }
     let mut design = Matrix::zeros(n, d + 1);
     for r in 0..n {
@@ -161,8 +167,10 @@ mod tests {
         let dr = DistributedR::on_all_nodes(SimCluster::for_tests(2), 2).unwrap();
         let x = dr.darray(2).unwrap();
         let half = n / 2;
-        x.fill_partition(0, half, d, feats[..half * d].to_vec()).unwrap();
-        x.fill_partition(1, n - half, d, feats[half * d..].to_vec()).unwrap();
+        x.fill_partition(0, half, d, feats[..half * d].to_vec())
+            .unwrap();
+        x.fill_partition(1, n - half, d, feats[half * d..].to_vec())
+            .unwrap();
         let ya = x.clone_structure(1, 0.0).unwrap();
         ya.fill_partition_on(ya.worker_of(0).unwrap(), 0, half, 1, y[..half].to_vec())
             .unwrap();

@@ -1,0 +1,230 @@
+//! # vdr-obs — workspace-wide observability
+//!
+//! The paper's evaluation is a per-phase breakdown of one pipeline (Vertica
+//! segments → VFT export → distributed partitions → model training →
+//! in-database prediction). This crate is the measurement substrate for
+//! that breakdown, mirroring how Vertica itself exposes per-operator
+//! execution statistics:
+//!
+//! * **Spans** ([`trace`]) — nested regions carrying wall-clock *and*
+//!   simulated time, node labels, and key=value fields, recorded into a
+//!   sharded bounded ring buffer.
+//! * **Metrics** ([`metrics`]) — named counters, gauges, and log-bucketed
+//!   histograms with per-node labels, order-independent aggregation, and
+//!   snapshot/diff support.
+//! * **Reports** ([`report`]) — an `EXPLAIN ANALYZE`-style renderer joining
+//!   the trace with the cost ledger's `PhaseReport`s, as text or JSON.
+//!
+//! ## Verbosity
+//!
+//! The `VDR_OBS` environment variable gates recording:
+//!
+//! | value     | effect                                                    |
+//! |-----------|-----------------------------------------------------------|
+//! | `off`     | spans and metrics are no-ops (near-zero overhead)         |
+//! | `summary` | record everything; text reports show the phase table      |
+//! | `trace`   | as `summary`, plus the full span tree in text reports     |
+//!
+//! Unset behaves as `summary`.
+//!
+//! ## Recording
+//!
+//! All recording flows through one process-global [`Obs`] instance
+//! ([`global()`]); sessions scope their view with a span-sequence watermark
+//! plus a metrics-snapshot diff (see `vdr-core::Session::{metrics,
+//! trace_report}`).
+//!
+//! ```
+//! let mut span = vdr_obs::span("vft.export");
+//! span.record("rows", 4096u64);
+//! drop(span); // recorded into the global trace ring
+//!
+//! vdr_obs::counter_on("vft.segment.rows", 2, 4096);
+//! let snap = vdr_obs::global().metrics().snapshot();
+//! assert!(snap.counter_total("vft.segment.rows") >= 4096);
+//! ```
+
+pub mod metrics;
+pub mod report;
+pub mod table;
+pub mod trace;
+
+pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use report::TraceReport;
+pub use table::Table;
+pub use trace::{SpanGuard, SpanRecord, TraceSink};
+
+use std::sync::OnceLock;
+
+/// How much the observability layer records and renders. Parsed once from
+/// `VDR_OBS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verbosity {
+    /// Record nothing.
+    Off,
+    /// Record everything; reports render the phase summary table.
+    Summary,
+    /// Record everything; reports also render the nested span tree.
+    Trace,
+}
+
+impl Verbosity {
+    /// Parse a `VDR_OBS` value. Unknown strings fall back to `Summary` so a
+    /// typo never silently disables measurement.
+    pub fn parse(value: &str) -> Verbosity {
+        match value.to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" => Verbosity::Off,
+            "trace" | "full" => Verbosity::Trace,
+            _ => Verbosity::Summary,
+        }
+    }
+
+    /// The process-wide verbosity from the `VDR_OBS` environment variable,
+    /// read once.
+    pub fn from_env() -> Verbosity {
+        static VERBOSITY: OnceLock<Verbosity> = OnceLock::new();
+        *VERBOSITY.get_or_init(|| match std::env::var("VDR_OBS") {
+            Ok(v) => Verbosity::parse(&v),
+            Err(_) => Verbosity::Summary,
+        })
+    }
+
+    pub fn recording(self) -> bool {
+        self != Verbosity::Off
+    }
+}
+
+/// The process-global observability state: one trace sink plus one metrics
+/// registry.
+pub struct Obs {
+    trace: TraceSink,
+    metrics: MetricsRegistry,
+}
+
+impl Obs {
+    pub fn new() -> Self {
+        Obs {
+            trace: TraceSink::new(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+/// The process-global [`Obs`] instance every instrumented crate records
+/// into.
+pub fn global() -> &'static Obs {
+    static GLOBAL: OnceLock<Obs> = OnceLock::new();
+    GLOBAL.get_or_init(Obs::new)
+}
+
+/// Open a span under the current thread's innermost open span (no-op when
+/// `VDR_OBS=off`). Close by dropping the guard.
+pub fn span(name: &str) -> SpanGuard<'static> {
+    global().trace().span(name)
+}
+
+/// Open a span under an explicit parent — for work handed to another thread
+/// (pass `SpanGuard::id()` of the parent across).
+pub fn span_with_parent(name: &str, parent: u64) -> SpanGuard<'static> {
+    global().trace().span_with_parent(name, parent)
+}
+
+/// The innermost open span on this thread (0 if none) — the value to pass
+/// to [`span_with_parent`] from spawned workers.
+pub fn current_span_id() -> u64 {
+    trace::current_span_id()
+}
+
+/// Add to a global counter.
+pub fn counter(name: &str, delta: u64) {
+    global().metrics().counter(name, None, delta);
+}
+
+/// Add to a per-node counter.
+pub fn counter_on(name: &str, node: usize, delta: u64) {
+    global().metrics().counter(name, Some(node), delta);
+}
+
+/// Set a global gauge to its current level.
+pub fn gauge(name: &str, value: f64) {
+    global().metrics().gauge(name, None, value);
+}
+
+/// Set a per-node gauge to its current level.
+pub fn gauge_on(name: &str, node: usize, value: f64) {
+    global().metrics().gauge(name, Some(node), value);
+}
+
+/// Record one observation into a global log-bucketed histogram.
+pub fn observe(name: &str, value: f64) {
+    global().metrics().observe(name, None, value);
+}
+
+/// Record one observation into a per-node log-bucketed histogram.
+pub fn observe_on(name: &str, node: usize, value: f64) {
+    global().metrics().observe(name, Some(node), value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_parses_all_documented_values() {
+        assert_eq!(Verbosity::parse("off"), Verbosity::Off);
+        assert_eq!(Verbosity::parse("OFF"), Verbosity::Off);
+        assert_eq!(Verbosity::parse("summary"), Verbosity::Summary);
+        assert_eq!(Verbosity::parse("trace"), Verbosity::Trace);
+        assert_eq!(Verbosity::parse("garbage"), Verbosity::Summary);
+        assert!(!Verbosity::Off.recording());
+        assert!(Verbosity::Trace.recording());
+    }
+
+    #[test]
+    fn global_helpers_record() {
+        let before = global().metrics().snapshot();
+        counter("lib.test.counter", 2);
+        counter_on("lib.test.counter", 1, 3);
+        observe("lib.test.hist", 4.0);
+        gauge("lib.test.gauge", 9.0);
+        let diff = global().metrics().snapshot().diff(&before);
+        assert_eq!(diff.counter_total("lib.test.counter"), 5);
+        assert_eq!(
+            diff.histogram_total("lib.test.hist").map(|h| h.count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn span_helpers_nest_through_the_global_sink() {
+        let seq = global().trace().current_seq();
+        {
+            let outer = span("lib.test.outer");
+            let outer_id = outer.id();
+            assert_eq!(current_span_id(), outer_id);
+            {
+                let inner = span("lib.test.inner");
+                assert_ne!(inner.id(), outer_id);
+            }
+        }
+        let spans = global().trace().spans_since(seq);
+        let outer = spans.iter().find(|s| s.name == "lib.test.outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "lib.test.inner").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(current_span_id(), 0);
+    }
+}

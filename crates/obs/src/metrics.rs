@@ -1,0 +1,584 @@
+//! Metrics: named counters, gauges, and log-bucketed histograms with
+//! optional per-node labels.
+//!
+//! The registry is sharded by key hash; snapshots are plain values with
+//! order-independent `merge` (counters and histogram buckets add, gauges
+//! add — a gauge in a snapshot is a level contribution, so per-node levels
+//! sum to the cluster level) and `diff` (counters and histograms subtract,
+//! yielding the activity between two snapshots).
+
+use parking_lot::Mutex;
+use serde::{Content, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+
+const SHARDS: usize = 8;
+
+/// Power-of-two histogram bucket count: bucket `i` covers `[2^(i-1), 2^i)`
+/// (bucket 0 covers `[0, 1)`).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A metric key: name plus optional node label.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MetricKey {
+    pub name: String,
+    pub node: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
+/// The log₂ bucket a value falls into: 0 for `[0, 1)`, then bucket `i`
+/// covers `[2^(i-1), 2^i)`. Negative and NaN observations clamp to bucket
+/// 0; huge values clamp to the last bucket.
+pub fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value < 1.0 {
+        return 0;
+    }
+    let exp = value.log2().floor() as i64 + 1;
+    exp.clamp(1, HISTOGRAM_BUCKETS as i64 - 1) as usize
+}
+
+/// Inclusive-exclusive bounds `[lo, hi)` of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    assert!(i < HISTOGRAM_BUCKETS);
+    if i == 0 {
+        (0.0, 1.0)
+    } else {
+        (2f64.powi(i as i32 - 1), 2f64.powi(i as i32))
+    }
+}
+
+/// Live, shared metrics store.
+pub struct MetricsRegistry {
+    shards: Vec<Mutex<HashMap<MetricKey, Metric>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &MetricKey) -> &Mutex<HashMap<MetricKey, Metric>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn with_metric(
+        &self,
+        name: &str,
+        node: Option<usize>,
+        f: impl FnOnce(&mut Metric),
+        init: fn() -> Metric,
+    ) {
+        if !crate::Verbosity::from_env().recording() {
+            return;
+        }
+        let key = MetricKey {
+            name: name.to_string(),
+            node,
+        };
+        let mut shard = self.shard(&key).lock();
+        f(shard.entry(key).or_insert_with(init))
+    }
+
+    /// Add `delta` to a monotone counter.
+    pub fn counter(&self, name: &str, node: Option<usize>, delta: u64) {
+        self.with_metric(
+            name,
+            node,
+            |m| {
+                if let Metric::Counter(c) = m {
+                    *c += delta;
+                }
+            },
+            || Metric::Counter(0),
+        );
+    }
+
+    /// Set a gauge to its current level.
+    pub fn gauge(&self, name: &str, node: Option<usize>, value: f64) {
+        self.with_metric(
+            name,
+            node,
+            |m| {
+                if let Metric::Gauge(g) = m {
+                    *g = value;
+                }
+            },
+            || Metric::Gauge(0.0),
+        );
+    }
+
+    /// Record one observation into a log-bucketed histogram.
+    pub fn observe(&self, name: &str, node: Option<usize>, value: f64) {
+        self.with_metric(
+            name,
+            node,
+            |m| {
+                if let Metric::Histogram(h) = m {
+                    h.observe(value);
+                }
+            },
+            || Metric::Histogram(Histogram::new()),
+        );
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries = BTreeMap::new();
+        for shard in &self.shards {
+            for (key, metric) in shard.lock().iter() {
+                entries.insert(key.clone(), MetricValue::from(metric));
+            }
+        }
+        MetricsSnapshot { entries }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+/// A frozen histogram within a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Count per log₂ bucket (see [`bucket_bounds`]).
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One frozen metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+impl From<&Metric> for MetricValue {
+    fn from(m: &Metric) -> Self {
+        match m {
+            Metric::Counter(c) => MetricValue::Counter(*c),
+            Metric::Gauge(g) => MetricValue::Gauge(*g),
+            Metric::Histogram(h) => MetricValue::Histogram(HistogramSnapshot {
+                buckets: h.buckets.clone(),
+                count: h.count,
+                sum: h.sum,
+                min: h.min,
+                max: h.max,
+            }),
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, supporting order-independent
+/// merge, diff, and per-name aggregation across nodes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &MetricValue)> {
+        self.entries.iter()
+    }
+
+    pub fn get(&self, name: &str, node: Option<usize>) -> Option<&MetricValue> {
+        self.entries.get(&MetricKey {
+            name: name.to_string(),
+            node,
+        })
+    }
+
+    /// Insert or overwrite one entry (used by tests and by code that builds
+    /// synthetic snapshots).
+    pub fn insert(&mut self, name: &str, node: Option<usize>, value: MetricValue) {
+        self.entries.insert(
+            MetricKey {
+                name: name.to_string(),
+                node,
+            },
+            value,
+        );
+    }
+
+    /// Sum of a counter across all node labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| match v {
+                MetricValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Per-node values of a counter, for skew inspection.
+    pub fn counter_by_node(&self, name: &str) -> BTreeMap<Option<usize>, u64> {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .filter_map(|(k, v)| match v {
+                MetricValue::Counter(c) => Some((k.node, *c)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Histograms for `name` merged across all node labels.
+    pub fn histogram_total(&self, name: &str) -> Option<HistogramSnapshot> {
+        let mut out: Option<HistogramSnapshot> = None;
+        for (_, v) in self.entries.iter().filter(|(k, _)| k.name == name) {
+            if let MetricValue::Histogram(h) = v {
+                out = Some(match out {
+                    None => h.clone(),
+                    Some(acc) => merge_histograms(&acc, h),
+                });
+            }
+        }
+        out
+    }
+
+    /// All distinct metric names.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.entries.keys().map(|k| k.name.as_str()).collect();
+        names.dedup();
+        names
+    }
+
+    /// Combine two snapshots. Commutative and associative: counters and
+    /// histogram buckets add, gauges add (per-node level contributions sum
+    /// to a cluster level). Mismatched kinds keep the left operand.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut entries = self.entries.clone();
+        for (key, value) in &other.entries {
+            match entries.get_mut(key) {
+                None => {
+                    entries.insert(key.clone(), value.clone());
+                }
+                Some(existing) => match (existing, value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                        *a = merge_histograms(a, b);
+                    }
+                    _ => {}
+                },
+            }
+        }
+        MetricsSnapshot { entries }
+    }
+
+    /// The activity between `prev` and `self`: counters and histograms
+    /// subtract (entries absent from `prev` pass through); gauges keep
+    /// their current level. `prev.merge(&diff)` reconstructs `self` for
+    /// counter/histogram entries.
+    pub fn diff(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut entries = BTreeMap::new();
+        for (key, value) in &self.entries {
+            let diffed = match (value, prev.entries.get(key)) {
+                (MetricValue::Counter(c), Some(MetricValue::Counter(p))) => {
+                    MetricValue::Counter(c.saturating_sub(*p))
+                }
+                (MetricValue::Histogram(h), Some(MetricValue::Histogram(p))) => {
+                    MetricValue::Histogram(diff_histograms(h, p))
+                }
+                (v, _) => v.clone(),
+            };
+            entries.insert(key.clone(), diffed);
+        }
+        MetricsSnapshot { entries }
+    }
+}
+
+fn merge_histograms(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    HistogramSnapshot {
+        buckets: a
+            .buckets
+            .iter()
+            .zip(&b.buckets)
+            .map(|(x, y)| x + y)
+            .collect(),
+        count: a.count + b.count,
+        sum: a.sum + b.sum,
+        min: a.min.min(b.min),
+        max: a.max.max(b.max),
+    }
+}
+
+fn diff_histograms(cur: &HistogramSnapshot, prev: &HistogramSnapshot) -> HistogramSnapshot {
+    HistogramSnapshot {
+        buckets: cur
+            .buckets
+            .iter()
+            .zip(&prev.buckets)
+            .map(|(c, p)| c.saturating_sub(*p))
+            .collect(),
+        count: cur.count.saturating_sub(prev.count),
+        sum: cur.sum - prev.sum,
+        // Min/max cannot be un-merged; keep the current window's view.
+        min: cur.min,
+        max: cur.max,
+    }
+}
+
+impl Serialize for HistogramSnapshot {
+    fn serialize(&self) -> Content {
+        // Sparse buckets: only non-zero, as [bucket_lo, count] pairs.
+        let buckets: Vec<Content> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| Content::Seq(vec![Content::F64(bucket_bounds(i).0), Content::U64(*c)]))
+            .collect();
+        Content::Map(vec![
+            ("count".into(), Content::U64(self.count)),
+            ("sum".into(), Content::F64(self.sum)),
+            (
+                "min".into(),
+                if self.count == 0 {
+                    Content::Null
+                } else {
+                    Content::F64(self.min)
+                },
+            ),
+            (
+                "max".into(),
+                if self.count == 0 {
+                    Content::Null
+                } else {
+                    Content::F64(self.max)
+                },
+            ),
+            ("buckets".into(), Content::Seq(buckets)),
+        ])
+    }
+}
+
+impl Serialize for MetricValue {
+    fn serialize(&self) -> Content {
+        match self {
+            MetricValue::Counter(c) => Content::Map(vec![
+                ("type".into(), Content::Str("counter".into())),
+                ("value".into(), Content::U64(*c)),
+            ]),
+            MetricValue::Gauge(g) => Content::Map(vec![
+                ("type".into(), Content::Str("gauge".into())),
+                ("value".into(), Content::F64(*g)),
+            ]),
+            MetricValue::Histogram(h) => Content::Map(vec![
+                ("type".into(), Content::Str("histogram".into())),
+                ("value".into(), h.serialize()),
+            ]),
+        }
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn serialize(&self) -> Content {
+        // Grouped by metric name: { name: { "node:2": {...}, "global": {...} } }
+        let mut groups: Vec<(String, Vec<(String, Content)>)> = Vec::new();
+        for (key, value) in &self.entries {
+            let label = match key.node {
+                Some(n) => format!("node:{n}"),
+                None => "global".to_string(),
+            };
+            match groups.iter_mut().find(|(name, _)| *name == key.name) {
+                Some((_, members)) => members.push((label, value.serialize())),
+                None => groups.push((key.name.clone(), vec![(label, value.serialize())])),
+            }
+        }
+        Content::Map(
+            groups
+                .into_iter()
+                .map(|(name, members)| (name, Content::Map(members)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(0.99), 0);
+        assert_eq!(bucket_index(1.0), 1);
+        assert_eq!(bucket_index(1.99), 1);
+        assert_eq!(bucket_index(2.0), 2);
+        assert_eq!(bucket_index(3.99), 2);
+        assert_eq!(bucket_index(4.0), 3);
+        assert_eq!(bucket_index(1024.0), 11);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Bounds agree with the index function at every edge.
+        for i in 0..20 {
+            let (lo, hi) = bucket_bounds(i);
+            if i > 0 {
+                assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
+            }
+            assert_eq!(
+                bucket_index(hi - hi / 1e9),
+                i,
+                "just under upper edge of {i}"
+            );
+            assert_eq!(bucket_index(hi), i + 1, "upper edge opens bucket {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_per_node() {
+        let r = MetricsRegistry::new();
+        r.counter("rows", Some(0), 10);
+        r.counter("rows", Some(1), 20);
+        r.counter("rows", Some(0), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_total("rows"), 35);
+        assert_eq!(snap.counter_by_node("rows")[&Some(0)], 15);
+        assert_eq!(snap.counter_by_node("rows")[&Some(1)], 20);
+    }
+
+    #[test]
+    fn gauges_keep_last_level() {
+        let r = MetricsRegistry::new();
+        r.gauge("depth", None, 3.0);
+        r.gauge("depth", None, 1.0);
+        assert_eq!(
+            r.snapshot().get("depth", None),
+            Some(&MetricValue::Gauge(1.0))
+        );
+    }
+
+    #[test]
+    fn histograms_track_distribution() {
+        let r = MetricsRegistry::new();
+        for v in [0.5, 1.5, 3.0, 3.5, 100.0] {
+            r.observe("lat", Some(2), v);
+        }
+        let h = r.snapshot().histogram_total("lat").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 108.5);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 100.0);
+        assert_eq!(h.buckets[0], 1); // 0.5
+        assert_eq!(h.buckets[1], 1); // 1.5
+        assert_eq!(h.buckets[2], 2); // 3.0, 3.5
+        assert_eq!(h.buckets[7], 1); // 100 in [64, 128)
+    }
+
+    #[test]
+    fn diff_isolates_a_window() {
+        let r = MetricsRegistry::new();
+        r.counter("c", None, 7);
+        r.observe("h", None, 2.0);
+        let before = r.snapshot();
+        r.counter("c", None, 3);
+        r.observe("h", None, 4.0);
+        let diff = r.snapshot().diff(&before);
+        assert_eq!(diff.counter_total("c"), 3);
+        let h = diff.histogram_total("h").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.buckets[3], 1);
+        // Round-trip: prev + diff == current for counters/histograms.
+        let rebuilt = before.merge(&diff);
+        assert_eq!(rebuilt.counter_total("c"), r.snapshot().counter_total("c"));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = MetricsSnapshot::default();
+        a.insert("c", Some(0), MetricValue::Counter(1));
+        let mut b = MetricsSnapshot::default();
+        b.insert("c", Some(0), MetricValue::Counter(2));
+        b.insert("g", None, MetricValue::Gauge(5.0));
+        let mut c = MetricsSnapshot::default();
+        c.insert("g", None, MetricValue::Gauge(3.0));
+        let abc = a.merge(&b).merge(&c);
+        let cba = c.merge(&b).merge(&a);
+        assert_eq!(abc, cba);
+        assert_eq!(abc.counter_total("c"), 3);
+        assert_eq!(abc.get("g", None), Some(&MetricValue::Gauge(8.0)));
+    }
+
+    #[test]
+    fn snapshots_serialize_to_json() {
+        let r = MetricsRegistry::new();
+        r.counter("vft.bytes", Some(0), 1024);
+        r.observe("exec.rows", None, 10.0);
+        let json = serde_json::to_value(&r.snapshot()).unwrap();
+        assert_eq!(
+            json.get("vft.bytes")
+                .and_then(|v| v.get("node:0"))
+                .and_then(|v| v.get("value"))
+                .and_then(|v| v.as_u64()),
+            Some(1024)
+        );
+        assert!(json.get("exec.rows").is_some());
+    }
+}

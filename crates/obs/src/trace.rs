@@ -1,0 +1,308 @@
+//! Span recording: nested regions with wall-clock and simulated time.
+//!
+//! Spans form a per-thread stack (the innermost open span is the implicit
+//! parent of the next one); cross-thread work passes an explicit parent id.
+//! Closed spans land in a sharded, bounded ring buffer — old records are
+//! dropped, never blocked on, so instrumentation can stay on hot paths.
+
+use crate::Verbosity;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use vdr_cluster::SimDuration;
+
+/// Shards reduce contention when many worker threads close spans at once.
+const SHARDS: usize = 8;
+
+/// Per-shard capacity; the sink retains at most `SHARDS * SHARD_CAPACITY`
+/// closed spans (oldest evicted first).
+const SHARD_CAPACITY: usize = 16 * 1024;
+
+/// One closed span.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SpanRecord {
+    /// Unique id (process-wide, never 0).
+    pub id: u64,
+    /// Enclosing span's id, 0 for roots.
+    pub parent: u64,
+    /// Dotted region name, e.g. `vft.transfer`.
+    pub name: String,
+    /// Node the work ran on, if it was node-scoped.
+    pub node: Option<usize>,
+    /// key=value annotations in recording order.
+    pub fields: Vec<(String, String)>,
+    /// Position in the global open order (monotone; used for sorting and
+    /// session watermarks).
+    pub start_seq: u64,
+    /// Real elapsed time between open and close, nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated time attributed to this span, seconds (0 when the span
+    /// only wraps bookkeeping).
+    pub sim_secs: f64,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost open span on the calling thread, or 0.
+pub fn current_span_id() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+/// Bounded in-memory store of closed spans.
+pub struct TraceSink {
+    shards: Vec<Mutex<VecDeque<SpanRecord>>>,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+}
+
+impl TraceSink {
+    pub fn new() -> Self {
+        TraceSink {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(VecDeque::with_capacity(64)))
+                .collect(),
+            next_id: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The sequence number the next opened span will receive. Record it
+    /// before a workload, then pass it to [`Self::spans_since`] to scope a
+    /// report to that workload.
+    pub fn current_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::SeqCst)
+    }
+
+    /// Open a span whose parent is the innermost open span on this thread.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        self.span_with_parent(name, current_span_id())
+    }
+
+    /// Open a span under an explicit parent id (0 for a root). Use when the
+    /// opening thread differs from the logical parent's thread.
+    pub fn span_with_parent(&self, name: &str, parent: u64) -> SpanGuard<'_> {
+        if !Verbosity::from_env().recording() {
+            return SpanGuard::disabled();
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let start_seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        SpanGuard {
+            sink: Some(self),
+            record: SpanRecord {
+                id,
+                parent,
+                name: name.to_string(),
+                node: None,
+                fields: Vec::new(),
+                start_seq,
+                wall_ns: 0,
+                sim_secs: 0.0,
+            },
+            started: Instant::now(),
+        }
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let shard = &self.shards[(record.id as usize) % SHARDS];
+        let mut q = shard.lock();
+        if q.len() >= SHARD_CAPACITY {
+            q.pop_front();
+        }
+        q.push_back(record);
+    }
+
+    /// All retained spans, ordered by open sequence.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.spans_since(0)
+    }
+
+    /// Retained spans opened at or after `seq`, ordered by open sequence.
+    pub fn spans_since(&self, seq: u64) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().iter().filter(|s| s.start_seq >= seq).cloned());
+        }
+        out.sort_by_key(|s| s.start_seq);
+        out
+    }
+
+    /// Drop all retained spans (ids and sequence numbers keep advancing).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+/// An open span; closing (dropping) it records a [`SpanRecord`].
+pub struct SpanGuard<'a> {
+    /// `None` for the disabled guard (`VDR_OBS=off`).
+    sink: Option<&'a TraceSink>,
+    record: SpanRecord,
+    started: Instant,
+}
+
+impl SpanGuard<'static> {
+    fn disabled() -> Self {
+        SpanGuard {
+            sink: None,
+            record: SpanRecord {
+                id: 0,
+                parent: 0,
+                name: String::new(),
+                node: None,
+                fields: Vec::new(),
+                start_seq: 0,
+                wall_ns: 0,
+                sim_secs: 0.0,
+            },
+            started: Instant::now(),
+        }
+    }
+}
+
+impl SpanGuard<'_> {
+    /// This span's id — pass to [`TraceSink::span_with_parent`] from worker
+    /// threads. 0 when recording is off.
+    pub fn id(&self) -> u64 {
+        self.record.id
+    }
+
+    /// Label the span with the node the work runs on.
+    pub fn set_node(&mut self, node: usize) {
+        self.record.node = Some(node);
+    }
+
+    /// Attach a key=value annotation (kept in recording order).
+    pub fn record(&mut self, key: &str, value: impl std::fmt::Display) {
+        if self.sink.is_some() {
+            self.record
+                .fields
+                .push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Attribute simulated time to this span.
+    pub fn set_sim_time(&mut self, sim: SimDuration) {
+        self.record.sim_secs = sim.as_secs();
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(sink) = self.sink else { return };
+        self.record.wall_ns = self.started.elapsed().as_nanos() as u64;
+        // Pop this span from the thread's stack. Guards drop LIFO under
+        // normal scoping; search from the end to stay correct if a guard
+        // outlived its scope (e.g. moved into a container).
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.record.id) {
+                stack.remove(pos);
+            }
+        });
+        sink.push(std::mem::replace(
+            &mut self.record,
+            SpanRecord {
+                id: 0,
+                parent: 0,
+                name: String::new(),
+                node: None,
+                fields: Vec::new(),
+                start_seq: 0,
+                wall_ns: 0,
+                sim_secs: 0.0,
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_links_parents() {
+        let sink = TraceSink::new();
+        {
+            let mut a = sink.span("a");
+            a.record("k", 1);
+            let b = sink.span("b");
+            let b_id = b.id();
+            drop(b);
+            let c = sink.span("c");
+            assert_ne!(c.id(), b_id);
+        }
+        let spans = sink.snapshot();
+        assert_eq!(spans.len(), 3);
+        // Ordered by open sequence: a, b, c — but closed b, c, a.
+        let (b, c, a) = (&spans[1], &spans[2], &spans[0]);
+        assert_eq!(a.name, "a");
+        assert_eq!(b.name, "b");
+        assert_eq!(c.name, "c");
+        assert_eq!(b.parent, a.id);
+        assert_eq!(c.parent, a.id);
+        assert_eq!(a.parent, 0);
+        assert_eq!(a.fields, vec![("k".to_string(), "1".to_string())]);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let sink = std::sync::Arc::new(TraceSink::new());
+        let root = sink.span("root");
+        let root_id = root.id();
+        let s2 = std::sync::Arc::clone(&sink);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut w = s2.span_with_parent("worker", root_id);
+                w.set_node(3);
+            });
+        });
+        drop(root);
+        let spans = sink.snapshot();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(worker.parent, root_id);
+        assert_eq!(worker.node, Some(3));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let sink = TraceSink::new();
+        for i in 0..(SHARDS * SHARD_CAPACITY + 100) {
+            drop(sink.span(&format!("s{i}")));
+        }
+        assert!(sink.snapshot().len() <= SHARDS * SHARD_CAPACITY);
+    }
+
+    #[test]
+    fn watermark_scopes_spans() {
+        let sink = TraceSink::new();
+        drop(sink.span("before"));
+        let seq = sink.current_seq();
+        drop(sink.span("after"));
+        let spans = sink.spans_since(seq);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "after");
+    }
+
+    #[test]
+    fn sim_time_is_attributed() {
+        let sink = TraceSink::new();
+        {
+            let mut s = sink.span("p");
+            s.set_sim_time(SimDuration::from_secs(2.5));
+        }
+        assert_eq!(sink.snapshot()[0].sim_secs, 2.5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the metrics layer: snapshot merge must be
+//! order-independent (per-node collectors can arrive in any order) and
+//! `snapshot().diff(prev)` must round-trip through `merge` so windowed
+//! reports lose nothing.
+//!
+//! Observations are integer-valued so `f64` sums stay exact and equality
+//! checks are meaningful.
+
+use proptest::prelude::*;
+use vdr_obs::{MetricValue, MetricsRegistry, MetricsSnapshot};
+
+/// One recording operation against a registry.
+#[derive(Debug, Clone)]
+enum Op {
+    Counter(usize, Option<usize>, u64),
+    Gauge(usize, Option<usize>, u32),
+    Observe(usize, Option<usize>, u32),
+}
+
+/// Each name has a fixed kind (as in real instrumentation): even indices
+/// are counters, odd indices histograms.
+const NAMES: [&str; 4] = ["vft.rows", "exec.rows", "ml.delta", "rm.wait"];
+
+fn apply(reg: &MetricsRegistry, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Counter(n, node, d) => reg.counter(NAMES[n], node, d),
+            Op::Gauge(n, node, v) => reg.gauge(NAMES[n], node, v as f64),
+            Op::Observe(n, node, v) => reg.observe(NAMES[n], node, v as f64),
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..NAMES.len(), 0..5usize, 0..10_000u32).prop_map(|(name, node, v)| {
+        let node = if node == 0 { None } else { Some(node) };
+        if name % 2 == 0 {
+            Op::Counter(name, node, v as u64)
+        } else {
+            Op::Observe(name, node, v)
+        }
+    })
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(op_strategy(), 0..40)
+}
+
+fn snapshot_of(ops: &[Op]) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    apply(&reg, ops);
+    reg.snapshot()
+}
+
+proptest! {
+    /// Merging per-collector snapshots gives the same aggregate no matter
+    /// the arrival order.
+    #[test]
+    fn merge_is_order_independent(a in ops_strategy(), b in ops_strategy(), c in ops_strategy()) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let abc = sa.merge(&sb).merge(&sc);
+        let cab = sc.merge(&sa).merge(&sb);
+        let bca = sb.merge(&sc).merge(&sa);
+        prop_assert_eq!(&abc, &cab);
+        prop_assert_eq!(&abc, &bca);
+    }
+
+    /// Merging all collectors equals recording every op into one registry.
+    #[test]
+    fn merge_equals_single_registry(a in ops_strategy(), b in ops_strategy()) {
+        let merged = snapshot_of(&a).merge(&snapshot_of(&b));
+        let mut all = a.clone();
+        all.extend(b.clone());
+        let single = snapshot_of(&all);
+        for name in NAMES {
+            prop_assert_eq!(merged.counter_total(name), single.counter_total(name));
+            prop_assert_eq!(
+                merged.histogram_total(name).map(|h| (h.buckets, h.count, h.sum)),
+                single.histogram_total(name).map(|h| (h.buckets, h.count, h.sum))
+            );
+        }
+    }
+
+    /// `prev.merge(current.diff(prev))` reconstructs `current` for counters
+    /// and histograms: a windowed diff loses no activity.
+    #[test]
+    fn diff_round_trips_through_merge(before in ops_strategy(), during in ops_strategy()) {
+        let reg = MetricsRegistry::new();
+        apply(&reg, &before);
+        let prev = reg.snapshot();
+        apply(&reg, &during);
+        let current = reg.snapshot();
+        let diff = current.diff(&prev);
+        let rebuilt = prev.merge(&diff);
+        for name in NAMES {
+            prop_assert_eq!(rebuilt.counter_total(name), current.counter_total(name));
+            prop_assert_eq!(
+                rebuilt.histogram_total(name).map(|h| (h.buckets, h.count, h.sum)),
+                current.histogram_total(name).map(|h| (h.buckets, h.count, h.sum))
+            );
+        }
+    }
+
+    /// A diff over an idle window is all-zero activity.
+    #[test]
+    fn idle_diff_is_empty_activity(ops in ops_strategy()) {
+        let reg = MetricsRegistry::new();
+        apply(&reg, &ops);
+        let snap = reg.snapshot();
+        let diff = reg.snapshot().diff(&snap);
+        for (_, v) in diff.iter() {
+            match v {
+                MetricValue::Counter(c) => prop_assert_eq!(*c, 0),
+                MetricValue::Histogram(h) => prop_assert_eq!(h.count, 0),
+                MetricValue::Gauge(_) => {} // gauges report levels, not activity
+            }
+        }
+    }
+
+    /// Gauge levels sum across snapshots (per-node contributions) and the
+    /// last write wins within one registry.
+    #[test]
+    fn gauge_merge_adds_levels(a in 0..10_000u32, b in 0..10_000u32) {
+        let mut sa = MetricsSnapshot::default();
+        sa.insert("g", Some(0), MetricValue::Gauge(a as f64));
+        let mut sb = MetricsSnapshot::default();
+        sb.insert("g", Some(0), MetricValue::Gauge(b as f64));
+        let merged = sa.merge(&sb);
+        prop_assert_eq!(merged.get("g", Some(0)), Some(&MetricValue::Gauge((a + b) as f64)));
+
+        let reg = MetricsRegistry::new();
+        apply(&reg, &[Op::Gauge(0, None, a), Op::Gauge(0, None, b)]);
+        let snap = reg.snapshot();
+        prop_assert_eq!(snap.get(NAMES[0], None), Some(&MetricValue::Gauge(b as f64)));
+    }
+}

@@ -37,9 +37,8 @@ pub fn model_spark_load(
     lanes: usize,
 ) -> SimDuration {
     let disk = SimDuration::from_secs(raw_bytes as f64 / (nodes as f64 * p.disk_read_bps));
-    let deser = SimDuration::from_nanos(
-        (rows * cols) as f64 * p.costs.spark_load_ns_per_value,
-    ) / (nodes as f64 * p.parallel_speedup(lanes));
+    let deser = SimDuration::from_nanos((rows * cols) as f64 * p.costs.spark_load_ns_per_value)
+        / (nodes as f64 * p.parallel_speedup(lanes));
     disk.max(deser)
 }
 
@@ -53,7 +52,10 @@ mod tests {
         let p = HardwareProfile::paper_testbed();
         let t = model_spark_load(&p, 240_000_000, 100, 192_000_000_000, 4, 24);
         let mins = t.as_minutes();
-        assert!((9.0..14.0).contains(&mins), "Spark load ≈ {mins:.1} min (paper: 11)");
+        assert!(
+            (9.0..14.0).contains(&mins),
+            "Spark load ≈ {mins:.1} min (paper: 11)"
+        );
     }
 
     #[test]

@@ -185,7 +185,10 @@ mod tests {
                     continue;
                 }
                 let count = p.counts[c] as f64;
-                let nc: Vec<f64> = p.sums[c * 2..(c + 1) * 2].iter().map(|s| s / count).collect();
+                let nc: Vec<f64> = p.sums[c * 2..(c + 1) * 2]
+                    .iter()
+                    .map(|s| s / count)
+                    .collect();
                 moved += vdr_ml::linalg::squared_distance(&nc, &centers[c]);
                 centers[c] = nc;
             }

@@ -58,10 +58,7 @@ impl SparkContext {
         let partitions: Vec<SparkPartition> = self
             .cluster
             .scatter(|node| {
-                let my_blocks: Vec<_> = blocks
-                    .iter()
-                    .filter(|b| b.primary == node.id())
-                    .collect();
+                let my_blocks: Vec<_> = blocks.iter().filter(|b| b.primary == node.id()).collect();
                 rec.set_lanes(node.id(), self.executor_lanes);
                 node.run(|| {
                     let mut data = Vec::new();
@@ -94,13 +91,7 @@ impl SparkContext {
         let report = rec.finish(self.cluster.profile());
         let load_time = report.duration();
         ledger.push(report);
-        Some((
-            SparkMatrix {
-                cols,
-                partitions,
-            },
-            load_time,
-        ))
+        Some((SparkMatrix { cols, partitions }, load_time))
     }
 }
 

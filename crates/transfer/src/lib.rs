@@ -40,11 +40,7 @@ use vdr_verticadb::{DbError, Result};
 /// a batch as a row-major `f64` matrix.
 pub(crate) fn batch_to_f64_rows(batch: &vdr_columnar::Batch) -> Result<Vec<f64>> {
     let n = batch.num_rows();
-    let cols: Vec<Vec<f64>> = batch
-        .columns()
-        .iter()
-        .map(|c| c.to_f64_vec())
-        .collect();
+    let cols: Vec<Vec<f64>> = batch.columns().iter().map(|c| c.to_f64_vec()).collect();
     let mut out = Vec::with_capacity(n * cols.len());
     for r in 0..n {
         for c in &cols {
@@ -55,10 +51,7 @@ pub(crate) fn batch_to_f64_rows(batch: &vdr_columnar::Batch) -> Result<Vec<f64>>
 }
 
 /// Validate that requested feature columns exist and are numeric.
-pub(crate) fn check_features(
-    schema: &vdr_columnar::Schema,
-    features: &[&str],
-) -> Result<()> {
+pub(crate) fn check_features(schema: &vdr_columnar::Schema, features: &[&str]) -> Result<()> {
     if features.is_empty() {
         return Err(DbError::Plan("no feature columns requested".into()));
     }

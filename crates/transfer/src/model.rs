@@ -59,11 +59,7 @@ impl ClusterShape {
 }
 
 /// Figure 1, "R" bars: one ODBC connection into a single R process.
-pub fn model_single_odbc(
-    p: &HardwareProfile,
-    t: TableShape,
-    c: ClusterShape,
-) -> TransferReport {
+pub fn model_single_odbc(p: &HardwareProfile, t: TableShape, c: ClusterShape) -> TransferReport {
     let values = t.values() as f64;
     let costs = &p.costs;
     // Database side: one full scan, text encode, and the initiator relay —
@@ -71,13 +67,10 @@ pub fn model_single_odbc(
     let disk = SimDuration::from_secs(t.disk_bytes as f64 / (c.db_nodes as f64 * p.disk_read_bps));
     let encode = SimDuration::from_nanos(values * costs.odbc_server_encode_ns_per_value)
         / (c.db_nodes as f64 * p.parallel_speedup(p.physical_cores));
-    let wire = SimDuration::from_secs(
-        t.raw_bytes() as f64 * costs.odbc_text_expansion / p.net_bps,
-    );
+    let wire = SimDuration::from_secs(t.raw_bytes() as f64 * costs.odbc_text_expansion / p.net_bps);
     let db_time = disk.max(encode).max(wire);
     // Client side: one R process parses everything on one core.
-    let client_time =
-        SimDuration::from_nanos(values * costs.odbc_client_parse_ns_per_value);
+    let client_time = SimDuration::from_nanos(values * costs.odbc_client_parse_ns_per_value);
     TransferReport {
         rows: t.rows,
         values: t.values(),
@@ -90,11 +83,7 @@ pub fn model_single_odbc(
 
 /// Figures 1, 12, 13, ODBC bars: one connection per R instance, each
 /// issuing an `ORDER BY … LIMIT/OFFSET` range query.
-pub fn model_parallel_odbc(
-    p: &HardwareProfile,
-    t: TableShape,
-    c: ClusterShape,
-) -> TransferReport {
+pub fn model_parallel_odbc(p: &HardwareProfile, t: TableShape, c: ClusterShape) -> TransferReport {
     let values = t.values() as f64;
     let costs = &p.costs;
     let conns = c.connections() as f64;
@@ -111,9 +100,7 @@ pub fn model_parallel_odbc(
     let encode = SimDuration::from_nanos(values * costs.odbc_server_encode_ns_per_value)
         / (c.db_nodes as f64 * p.parallel_speedup(p.physical_cores));
     // Ordered results flow through the initiator to the clients.
-    let wire = SimDuration::from_secs(
-        t.raw_bytes() as f64 * costs.odbc_text_expansion / p.net_bps,
-    );
+    let wire = SimDuration::from_secs(t.raw_bytes() as f64 * costs.odbc_text_expansion / p.net_bps);
     let db_time = disk.max(encode).max(wire);
     // Clients parse in parallel; a node's instances share its cores.
     let client_time = SimDuration::from_nanos(values * costs.odbc_client_parse_ns_per_value)
@@ -206,15 +193,20 @@ mod tests {
     fn figure1_single_odbc_50gb_takes_about_an_hour() {
         let r = model_single_odbc(&profile(), TableShape::transfer_table_gb(50), five_nodes());
         let mins = r.total().as_minutes();
-        assert!((45.0..70.0).contains(&mins), "50 GB single ODBC ≈ {mins:.0} min");
+        assert!(
+            (45.0..70.0).contains(&mins),
+            "50 GB single ODBC ≈ {mins:.0} min"
+        );
     }
 
     #[test]
     fn figure1_parallel_odbc_150gb_takes_about_40_minutes() {
-        let r =
-            model_parallel_odbc(&profile(), TableShape::transfer_table_gb(150), five_nodes());
+        let r = model_parallel_odbc(&profile(), TableShape::transfer_table_gb(150), five_nodes());
         let mins = r.total().as_minutes();
-        assert!((32.0..50.0).contains(&mins), "150 GB ×120 conns ≈ {mins:.0} min");
+        assert!(
+            (32.0..50.0).contains(&mins),
+            "150 GB ×120 conns ≈ {mins:.0} min"
+        );
     }
 
     #[test]
@@ -244,7 +236,10 @@ mod tests {
             vft.total().as_minutes()
         );
         let odbc_min = odbc.total().as_minutes();
-        assert!((40.0..75.0).contains(&odbc_min), "ODBC 400 GB ≈ {odbc_min:.0} min");
+        assert!(
+            (40.0..75.0).contains(&odbc_min),
+            "ODBC 400 GB ≈ {odbc_min:.0} min"
+        );
     }
 
     #[test]
@@ -284,7 +279,10 @@ mod tests {
             },
         );
         let share = two.client_time.as_secs() / two.total().as_secs();
-        assert!((0.25..0.6).contains(&share), "R share at 2 instances = {share:.2}");
+        assert!(
+            (0.25..0.6).contains(&share),
+            "R share at 2 instances = {share:.2}"
+        );
     }
 
     #[test]
@@ -328,7 +326,10 @@ mod tests {
             "paper: Vertica load ≈ 3× DR-disk; model gives {ratio:.1}×"
         );
         let disk_min = disk.total().as_minutes();
-        assert!((3.0..8.0).contains(&disk_min), "DR-disk ≈ {disk_min:.1} min");
+        assert!(
+            (3.0..8.0).contains(&disk_min),
+            "DR-disk ≈ {disk_min:.1} min"
+        );
     }
 
     #[test]

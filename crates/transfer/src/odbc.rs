@@ -36,6 +36,7 @@ impl OdbcConnection {
             client,
             SimDuration::from_millis(db.cluster().profile().costs.odbc_connect_ms),
         );
+        vdr_obs::counter_on("odbc.connections", client.0, 1);
         OdbcConnection { client }
     }
 
@@ -55,6 +56,8 @@ impl OdbcConnection {
         client_rec: &PhaseRecorder,
         parse_lanes: usize,
     ) -> Result<Batch> {
+        let mut fetch_span = vdr_obs::span("odbc.fetch");
+        fetch_span.set_node(self.client.0);
         let result = db.query_with(sql, db_rec)?;
         let schema = result.schema().clone();
         let values = result.num_values();
@@ -63,8 +66,22 @@ impl OdbcConnection {
         // Server side: render rows as text. The encode really happens (the
         // client parses these exact bytes).
         let text = render_rows(&result);
-        db_rec.cpu_work(INITIATOR, values as f64, costs.odbc_server_encode_ns_per_value);
+        db_rec.cpu_work(
+            INITIATOR,
+            values as f64,
+            costs.odbc_server_encode_ns_per_value,
+        );
         db_rec.net(INITIATOR, self.client, text.len() as u64);
+        fetch_span.record("rows", result.num_rows());
+        fetch_span.record("wire_bytes", text.len());
+        // Per-connection progress: rows and wire bytes delivered to each
+        // client node.
+        vdr_obs::counter_on(
+            "odbc.connection.rows",
+            self.client.0,
+            result.num_rows() as u64,
+        );
+        vdr_obs::counter_on("odbc.connection.bytes", self.client.0, text.len() as u64);
 
         // Client side: parse every value.
         client_rec.set_lanes(self.client, parse_lanes);
@@ -130,16 +147,16 @@ pub fn parse_rows(schema: &Schema, text: &str) -> Result<Batch> {
                     DataType::Int64 => Value::Int64(raw.parse().map_err(|_| {
                         DbError::Exec(format!("row {lineno}: bad integer '{raw}'"))
                     })?),
-                    DataType::Float64 => Value::Float64(raw.parse().map_err(|_| {
-                        DbError::Exec(format!("row {lineno}: bad float '{raw}'"))
-                    })?),
+                    DataType::Float64 => {
+                        Value::Float64(raw.parse().map_err(|_| {
+                            DbError::Exec(format!("row {lineno}: bad float '{raw}'"))
+                        })?)
+                    }
                     DataType::Bool => match raw {
                         "t" => Value::Bool(true),
                         "f" => Value::Bool(false),
                         _ => {
-                            return Err(DbError::Exec(format!(
-                                "row {lineno}: bad boolean '{raw}'"
-                            )))
+                            return Err(DbError::Exec(format!("row {lineno}: bad boolean '{raw}'")))
                         }
                     },
                     DataType::Varchar => {
@@ -192,6 +209,8 @@ impl OdbcLoader {
     ) -> Result<(DArray, TransferReport)> {
         let def = db.catalog().get(table)?;
         check_features(&def.schema, features)?;
+        let mut load_span = vdr_obs::span("odbc.load_single");
+        load_span.record("table", table);
         let client_node = dr.worker_node(0);
         let n = db.cluster().num_nodes();
         let db_rec = Arc::new(PhaseRecorder::new("odbc-1 db", PhaseKind::Pipelined, n));
@@ -206,7 +225,13 @@ impl OdbcLoader {
         let values = batch.num_values();
         let array = dr.darray(1).map_err(|e| DbError::Exec(e.to_string()))?;
         array
-            .fill_partition_on(0, 0, batch.num_rows(), features.len(), crate::batch_to_f64_rows(&batch)?)
+            .fill_partition_on(
+                0,
+                0,
+                batch.num_rows(),
+                features.len(),
+                crate::batch_to_f64_rows(&batch)?,
+            )
             .map_err(|e| DbError::Exec(e.to_string()))?;
 
         let profile = db.cluster().profile();
@@ -222,6 +247,8 @@ impl OdbcLoader {
             client_time: client_report.duration(),
             queue_time: SimDuration::ZERO,
         };
+        load_span.record("rows", rows);
+        load_span.set_sim_time(report.total());
         ledger.push(db_report);
         ledger.push(client_report);
         Ok((array, report))
@@ -243,12 +270,19 @@ impl OdbcLoader {
         check_features(&def.schema, features)?;
         def.schema.index_of(key)?;
 
+        let mut load_span = vdr_obs::span("odbc.load_parallel");
+        load_span.record("table", table);
+        let load_span_id = load_span.id();
         let connections = dr.total_instances();
         let total_rows = db.storage().total_rows(table);
         let per_conn = total_rows.div_ceil(connections.max(1) as u64).max(1);
         let n = db.cluster().num_nodes();
         let db_rec = Arc::new(PhaseRecorder::new("odbc-N db", PhaseKind::Pipelined, n));
-        let client_rec = Arc::new(PhaseRecorder::new("odbc-N client", PhaseKind::Sequential, n));
+        let client_rec = Arc::new(PhaseRecorder::new(
+            "odbc-N client",
+            PhaseKind::Sequential,
+            n,
+        ));
 
         // "Data locality is destroyed": partitions land on workers by
         // connection index, unrelated to where the rows lived.
@@ -273,12 +307,17 @@ impl OdbcLoader {
                     let worker = c / instances_per_node.max(1) % dr.num_workers();
                     let client_node = dr.worker_node(worker);
                     scope.spawn(move || -> Result<(usize, Batch)> {
+                        let mut conn_span =
+                            vdr_obs::span_with_parent("odbc.connection", load_span_id);
+                        conn_span.set_node(client_node.0);
+                        conn_span.record("connection", c);
                         let conn = OdbcConnection::connect(db, client_node, &client_rec);
                         // Each R instance parses on its own core, but a
                         // node's instances share its physical cores — the
                         // recorder's lane cap models that.
                         client_rec.set_lanes(client_node, instances_per_node);
-                        let batch = conn.fetch(db, &sql, &db_rec, &client_rec, instances_per_node)?;
+                        let batch =
+                            conn.fetch(db, &sql, &db_rec, &client_rec, instances_per_node)?;
                         Ok((c, batch))
                     })
                 })
@@ -307,9 +346,7 @@ impl OdbcLoader {
 
         let profile = db.cluster().profile();
         let waves = db.admission().waves(connections);
-        let queue_time = SimDuration::from_millis(
-            waves as f64 * profile.costs.odbc_connect_ms,
-        );
+        let queue_time = SimDuration::from_millis(waves as f64 * profile.costs.odbc_connect_ms);
         let db_report = Arc::into_inner(db_rec)
             .expect("queries done")
             .finish(profile);
@@ -325,9 +362,15 @@ impl OdbcLoader {
             client_time: client_report.duration(),
             queue_time,
         };
+        load_span.record("connections", connections);
+        load_span.record("rows", rows);
+        load_span.set_sim_time(report.total());
         ledger.push(db_report);
         ledger.push(client_report);
-        ledger.push(vdr_cluster::PhaseReport::synthetic("odbc-N queue", queue_time));
+        ledger.push(vdr_cluster::PhaseReport::synthetic(
+            "odbc-N queue",
+            queue_time,
+        ));
         Ok((array, report))
     }
 }
@@ -354,7 +397,9 @@ mod tests {
         db.create_table(TableDef {
             name: "t".into(),
             schema: schema.clone(),
-            segmentation: Segmentation::Hash { column: "id".into() },
+            segmentation: Segmentation::Hash {
+                column: "id".into(),
+            },
         })
         .unwrap();
         let ids: Vec<i64> = (0..rows).collect();
@@ -387,7 +432,12 @@ mod tests {
                 Value::Bool(true),
                 Value::Varchar("tab\there\nand\\slash".into()),
             ],
-            vec![Value::Null, Value::Null, Value::Null, Value::Varchar("NULL".into())],
+            vec![
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::Varchar("NULL".into()),
+            ],
         ];
         let batch = Batch::from_rows(schema.clone(), &rows).unwrap();
         let text = render_rows(&batch);
@@ -410,8 +460,7 @@ mod tests {
     #[test]
     fn single_connection_load_is_complete_and_single_threaded() {
         let (db, dr, ledger) = setup(3, 2000);
-        let (arr, report) =
-            OdbcLoader::load_single(&db, &dr, "t", &["id", "a"], &ledger).unwrap();
+        let (arr, report) = OdbcLoader::load_single(&db, &dr, "t", &["id", "a"], &ledger).unwrap();
         assert_eq!(report.rows, 2000);
         assert_eq!(arr.npartitions(), 1);
         assert_eq!(arr.dim(), (2000, 2));
@@ -445,11 +494,7 @@ mod tests {
         // receives 1/C of the rows. Compare the ledgers' disk counters.
         let (db, dr, ledger) = setup(2, 2000);
         let (_, _) = OdbcLoader::load_parallel(&db, &dr, "t", &["a"], "id", &ledger).unwrap();
-        let par_disk: u64 = ledger
-            .reports()
-            .iter()
-            .map(|r| r.total_disk_read)
-            .sum();
+        let par_disk: u64 = ledger.reports().iter().map(|r| r.total_disk_read).sum();
         let single_ledger = Ledger::new();
         let (_, _) = OdbcLoader::load_single(&db, &dr, "t", &["a"], &single_ledger).unwrap();
         let single_disk: u64 = single_ledger

@@ -8,7 +8,7 @@ use vdr_cluster::SimDuration;
 /// serialize, and send it across the network. The R part includes the time
 /// taken by Distributed R instances to receive data, buffer it, and finally
 /// convert to an R object."
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct TransferReport {
     /// Rows delivered into the client runtime.
     pub rows: u64,

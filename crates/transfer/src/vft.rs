@@ -99,8 +99,13 @@ impl ExportHub {
             .lock()
             .get(&(id, worker))
             .cloned()
-            .ok_or_else(|| DbError::Exec(format!("transfer {id}: worker {worker} not listening")))?;
-        let (tx, rx) = ctx.cluster.network().connect(ctx.rec, ctx.node, worker_node)?;
+            .ok_or_else(|| {
+                DbError::Exec(format!("transfer {id}: worker {worker} not listening"))
+            })?;
+        let (tx, rx) = ctx
+            .cluster
+            .network()
+            .connect(ctx.rec, ctx.node, worker_node)?;
         ctx.rec.fixed(ctx.node, ctx.cluster.profile().net_latency);
         accept
             .send(rx)
@@ -159,11 +164,7 @@ impl TransformFunction for ExportToDistributedR {
         self
     }
 
-    fn output_schema(
-        &self,
-        _input: &Schema,
-        _params: &BTreeMap<String, String>,
-    ) -> Result<Schema> {
+    fn output_schema(&self, _input: &Schema, _params: &BTreeMap<String, String>) -> Result<Schema> {
         // One row per UDx instance reporting how many rows it exported.
         Ok(Schema::of(&[("rows_exported", DataType::Int64)]))
     }
@@ -195,6 +196,11 @@ impl TransformFunction for ExportToDistributedR {
             return Err(DbError::Plan("no workers listed".into()));
         }
 
+        let mut export_span = vdr_obs::span("vft.export");
+        export_span.set_node(ctx.node.0);
+        export_span.record("instance", ctx.instance);
+        export_span.record("policy", policy.as_param());
+
         let export_cost = ctx.cluster.profile().costs.vft_export_ns_per_value;
         let nworkers = worker_nodes.len();
         // Locality: this node's data goes to "its" worker. When node counts
@@ -216,17 +222,20 @@ impl TransformFunction for ExportToDistributedR {
         // psize-granular (not container-granular) so the uniform policy
         // sprinkles evenly even when containers are large.
         let send_block = |block_batch: Batch,
-                              rr: &mut usize,
-                              streams: &mut HashMap<usize, vdr_cluster::StreamTx>|
+                          rr: &mut usize,
+                          streams: &mut HashMap<usize, vdr_cluster::StreamTx>|
          -> Result<()> {
             if block_batch.num_rows() == 0 {
                 return Ok(());
             }
+            let block_rows = block_batch.num_rows() as u64;
             // Serializing the buffered batch is the export work the paper
             // attributes to the database: decompress, convert, serialize.
             ctx.rec
                 .cpu_work(ctx.node, block_batch.num_values() as f64, export_cost);
             let block = frame_block(&encode_batch(&block_batch));
+            vdr_obs::counter_on("vft.segment.rows", ctx.node.0, block_rows);
+            vdr_obs::counter_on("vft.segment.bytes", ctx.node.0, block.len() as u64);
             let target = match policy {
                 TransferPolicy::Locality => home_worker,
                 TransferPolicy::Uniform => {
@@ -235,8 +244,13 @@ impl TransformFunction for ExportToDistributedR {
                     t
                 }
             };
+            // Rows landing per worker node: the policy-skew signal (locality
+            // inherits segment skew; uniform should flatten it).
+            vdr_obs::counter_on("vft.worker.rows", worker_nodes[target].0, block_rows);
             if let std::collections::hash_map::Entry::Vacant(e) = streams.entry(target) {
-                let tx = self.hub.connect(ctx, transfer, target, worker_nodes[target])?;
+                let tx = self
+                    .hub
+                    .connect(ctx, transfer, target, worker_nodes[target])?;
                 // Stream header: (source node, instance). Receivers sort
                 // accepted streams by it so conversion order is
                 // deterministic — two transfers of the same table then
@@ -276,6 +290,7 @@ impl TransformFunction for ExportToDistributedR {
         if let Some(b) = buffer.take() {
             send_block(b, &mut rr, &mut streams)?;
         }
+        export_span.record("rows", exported_rows);
 
         emit(Batch::new(
             Schema::of(&[("rows_exported", DataType::Int64)]),
@@ -347,6 +362,9 @@ impl FastTransfer {
     ) -> Result<(DArray, TransferReport)> {
         let def = db.catalog().get(table)?;
         check_features(&def.schema, features)?;
+        let mut transfer_span = vdr_obs::span("vft.db2darray");
+        transfer_span.record("table", table);
+        transfer_span.record("policy", policy.as_param());
         let (received, db_time) =
             self.run_transfer(db, dr, table, features, policy, ledger, psize)?;
 
@@ -359,6 +377,7 @@ impl FastTransfer {
         let ncol = features.len();
         let convert_cost = db.cluster().profile().costs.vft_convert_ns_per_value;
         let r_rec = PhaseRecorder::new("vft r", PhaseKind::Sequential, db.cluster().num_nodes());
+        let parent_span = transfer_span.id();
         let fills: Vec<Result<(usize, usize, Vec<f64>)>> = {
             let r_rec = &r_rec;
             let received = &received;
@@ -366,6 +385,9 @@ impl FastTransfer {
                 let node = dr.worker_node(w);
                 let instances = dr.workers()[w].instances;
                 r_rec.set_lanes(node, instances);
+                let mut convert_span = vdr_obs::span_with_parent("vft.convert", parent_span);
+                convert_span.set_node(node.0);
+                vdr_obs::gauge_on("vft.lanes", node.0, instances as f64);
                 let mut rows: Vec<f64> = Vec::new();
                 let mut nrow = 0usize;
                 for stream in &received[w] {
@@ -376,6 +398,8 @@ impl FastTransfer {
                         rows.extend(batch_to_f64_rows(&batch)?);
                     }
                 }
+                convert_span.record("streams", received[w].len());
+                convert_span.record("rows", nrow);
                 Ok((w, nrow, rows))
             })
             .into_iter()
@@ -394,6 +418,8 @@ impl FastTransfer {
         let r_report = r_rec.finish(db.cluster().profile());
         let client_time = r_report.duration();
         ledger.push(r_report);
+        transfer_span.record("rows", total_rows);
+        transfer_span.set_sim_time(db_time + client_time);
 
         let values = total_rows * ncol as u64;
         Ok((
@@ -424,6 +450,9 @@ impl FastTransfer {
         for c in columns {
             def.schema.index_of(c)?;
         }
+        let mut transfer_span = vdr_obs::span("vft.db2dframe");
+        transfer_span.record("table", table);
+        transfer_span.record("policy", policy.as_param());
         let (received, db_time) =
             self.run_transfer(db, dr, table, columns, policy, ledger, None)?;
 
@@ -439,6 +468,10 @@ impl FastTransfer {
         for (w, streams) in received.iter().enumerate() {
             let node = dr.worker_node(w);
             r_rec.set_lanes(node, dr.workers()[w].instances);
+            let mut convert_span = vdr_obs::span("vft.convert");
+            convert_span.set_node(node.0);
+            convert_span.record("streams", streams.len());
+            vdr_obs::gauge_on("vft.lanes", node.0, dr.workers()[w].instances as f64);
             let mut part = Batch::empty(schema.clone());
             for stream in streams {
                 for frame_bytes in deframe(stream)? {
@@ -450,6 +483,7 @@ impl FastTransfer {
             total_rows += part.num_rows() as u64;
             total_values += part.num_values();
             total_bytes += part.byte_size();
+            convert_span.record("rows", part.num_rows());
             frame
                 .fill_partition_on(w, w, part)
                 .map_err(|e| DbError::Exec(e.to_string()))?;
@@ -457,6 +491,8 @@ impl FastTransfer {
         let r_report = r_rec.finish(db.cluster().profile());
         let client_time = r_report.duration();
         ledger.push(r_report);
+        transfer_span.record("rows", total_rows);
+        transfer_span.set_sim_time(db_time + client_time);
 
         Ok((
             frame,
@@ -502,6 +538,11 @@ impl FastTransfer {
             .unwrap_or(total_rows / dr.total_instances().max(1) as u64)
             .max(1);
 
+        let mut db_span = vdr_obs::span("vft.db");
+        db_span.record("transfer", transfer);
+        db_span.record("psize", psize);
+        db_span.record("workers", nworkers);
+
         let db_rec = Arc::new(PhaseRecorder::new(
             "vft db",
             PhaseKind::Pipelined,
@@ -509,11 +550,12 @@ impl FastTransfer {
         ));
 
         // Start the receive pools, then issue the single SQL query.
-        let accepts: Vec<Receiver<StreamRx>> =
-            (0..nworkers).map(|w| self.hub.listen(transfer, w)).collect();
+        let accepts: Vec<Receiver<StreamRx>> = (0..nworkers)
+            .map(|w| self.hub.listen(transfer, w))
+            .collect();
 
-        let received: Vec<ReceivedStreams> = std::thread::scope(
-            |scope| -> Result<Vec<ReceivedStreams>> {
+        let received: Vec<ReceivedStreams> =
+            std::thread::scope(|scope| -> Result<Vec<ReceivedStreams>> {
                 let handles: Vec<_> = accepts
                     .into_iter()
                     .enumerate()
@@ -528,9 +570,7 @@ impl FastTransfer {
                                 let key = format!("vft/{transfer}/{w}/{idx}");
                                 idx += 1;
                                 while let Some(chunk) = rx.recv() {
-                                    node.shm()
-                                        .append(&key, &chunk)
-                                        .expect("unbounded test shm");
+                                    node.shm().append(&key, &chunk).expect("unbounded test shm");
                                 }
                                 keys.push(key);
                             }
@@ -569,13 +609,13 @@ impl FastTransfer {
                     .collect();
                 query_result?;
                 Ok(received)
-            },
-        )?;
+            })?;
 
         let db_report = Arc::into_inner(db_rec)
             .expect("query released its recorder")
             .finish(db.cluster().profile());
         let db_time = db_report.duration();
+        db_span.set_sim_time(db_time);
         ledger.push(db_report);
         Ok((received, db_time))
     }
@@ -644,9 +684,22 @@ mod tests {
 
     #[test]
     fn darray_transfer_delivers_every_row_exactly_once() {
-        let (db, dr, vft, ledger) = setup(3, 3000, Segmentation::Hash { column: "id".into() });
+        let (db, dr, vft, ledger) = setup(
+            3,
+            3000,
+            Segmentation::Hash {
+                column: "id".into(),
+            },
+        );
         let (arr, report) = vft
-            .db2darray(&db, &dr, "samples", &["id", "a", "b"], TransferPolicy::Locality, &ledger)
+            .db2darray(
+                &db,
+                &dr,
+                "samples",
+                &["id", "a", "b"],
+                TransferPolicy::Locality,
+                &ledger,
+            )
             .unwrap();
         assert_eq!(report.rows, 3000);
         assert_eq!(arr.dim(), (3000, 3));
@@ -682,13 +735,23 @@ mod tests {
         );
         let seg_rows = db.storage().segment_rows("samples");
         let (arr, _) = vft
-            .db2darray(&db, &dr, "samples", &["a"], TransferPolicy::Locality, &ledger)
+            .db2darray(
+                &db,
+                &dr,
+                "samples",
+                &["a"],
+                TransferPolicy::Locality,
+                &ledger,
+            )
             .unwrap();
         let sizes = arr.partition_sizes();
         // Partition w holds exactly node w's segment.
         assert_eq!(sizes[0].0, seg_rows[0]);
         assert_eq!(sizes[1].0, seg_rows[1]);
-        assert!(sizes[0].0 > sizes[1].0 * 3, "skew must survive locality transfer");
+        assert!(
+            sizes[0].0 > sizes[1].0 * 3,
+            "skew must survive locality transfer"
+        );
     }
 
     #[test]
@@ -701,7 +764,14 @@ mod tests {
             },
         );
         let (arr, report) = vft
-            .db2darray(&db, &dr, "samples", &["a"], TransferPolicy::Uniform, &ledger)
+            .db2darray(
+                &db,
+                &dr,
+                "samples",
+                &["a"],
+                TransferPolicy::Uniform,
+                &ledger,
+            )
             .unwrap();
         assert_eq!(report.rows, 4000);
         let sizes = arr.partition_sizes();
@@ -714,7 +784,14 @@ mod tests {
     fn dframe_transfer_keeps_types() {
         let (db, dr, vft, ledger) = setup(2, 500, Segmentation::RoundRobin);
         let (frame, report) = vft
-            .db2dframe(&db, &dr, "samples", &["id", "a"], TransferPolicy::Locality, &ledger)
+            .db2dframe(
+                &db,
+                &dr,
+                "samples",
+                &["id", "a"],
+                TransferPolicy::Locality,
+                &ledger,
+            )
             .unwrap();
         assert_eq!(report.rows, 500);
         let all = frame.gather().unwrap();
@@ -747,7 +824,14 @@ mod tests {
         // make_table loads at least one chunk; create a genuinely empty one.
         db.query("CREATE TABLE empty_t (a FLOAT)").unwrap();
         let (arr, report) = vft
-            .db2darray(&db, &dr, "empty_t", &["a"], TransferPolicy::Locality, &ledger)
+            .db2darray(
+                &db,
+                &dr,
+                "empty_t",
+                &["a"],
+                TransferPolicy::Locality,
+                &ledger,
+            )
             .unwrap();
         assert_eq!(report.rows, 0);
         assert_eq!(arr.dim().0, 0);
@@ -758,8 +842,15 @@ mod tests {
     fn transfers_ride_on_a_single_sql_query() {
         let (db, dr, vft, ledger) = setup(2, 1000, Segmentation::RoundRobin);
         let before = db.admission().admitted();
-        vft.db2darray(&db, &dr, "samples", &["a", "b"], TransferPolicy::Locality, &ledger)
-            .unwrap();
+        vft.db2darray(
+            &db,
+            &dr,
+            "samples",
+            &["a", "b"],
+            TransferPolicy::Locality,
+            &ledger,
+        )
+        .unwrap();
         // The heart of VFT: exactly ONE query, not one per R instance.
         assert_eq!(db.admission().admitted(), before + 1);
     }
@@ -777,7 +868,14 @@ mod tests {
                     s.spawn(move || {
                         let ledger = Ledger::new();
                         let (arr, report) = vft
-                            .db2darray(&db, &dr, "samples", &["id"], TransferPolicy::Uniform, &ledger)
+                            .db2darray(
+                                &db,
+                                &dr,
+                                "samples",
+                                &["id"],
+                                TransferPolicy::Uniform,
+                                &ledger,
+                            )
                             .unwrap();
                         let sums = arr
                             .map_partitions(|_, p| p.data.iter().sum::<f64>())
@@ -799,12 +897,32 @@ mod tests {
         // Deterministic stream ordering guarantee: loading X columns and the
         // Y column in two transfers must deliver rows in the same order, or
         // co-partitioned training data would silently misalign.
-        let (db, dr, vft, ledger) = setup(3, 2500, Segmentation::Hash { column: "id".into() });
+        let (db, dr, vft, ledger) = setup(
+            3,
+            2500,
+            Segmentation::Hash {
+                column: "id".into(),
+            },
+        );
         let (xa, _) = vft
-            .db2darray(&db, &dr, "samples", &["id", "a"], TransferPolicy::Locality, &ledger)
+            .db2darray(
+                &db,
+                &dr,
+                "samples",
+                &["id", "a"],
+                TransferPolicy::Locality,
+                &ledger,
+            )
             .unwrap();
         let (yb, _) = vft
-            .db2darray(&db, &dr, "samples", &["b"], TransferPolicy::Locality, &ledger)
+            .db2darray(
+                &db,
+                &dr,
+                "samples",
+                &["b"],
+                TransferPolicy::Locality,
+                &ledger,
+            )
             .unwrap();
         xa.check_copartitioned(&yb).unwrap();
         // Row-wise: b == 2·id in the generator; verify against the separately
@@ -814,7 +932,10 @@ mod tests {
                 (0..xp.nrow).all(|r| yp.data[r] == 2.0 * xp.row(r)[0])
             })
             .unwrap();
-        assert!(aligned.iter().all(|&ok| ok), "transfers delivered rows in different orders");
+        assert!(
+            aligned.iter().all(|&ok| ok),
+            "transfers delivered rows in different orders"
+        );
     }
 
     #[test]

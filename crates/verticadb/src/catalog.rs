@@ -31,7 +31,10 @@ impl Catalog {
         let key = def.name.to_ascii_lowercase();
         let mut tables = self.tables.write();
         if tables.contains_key(&key) {
-            return Err(DbError::Catalog(format!("table '{}' already exists", def.name)));
+            return Err(DbError::Catalog(format!(
+                "table '{}' already exists",
+                def.name
+            )));
         }
         tables.insert(key, def);
         Ok(())

@@ -92,6 +92,8 @@ impl VerticaDb {
     /// Bulk-load batches into an existing table (the ETL path customers use
     /// before analytics — Vertica's COPY). Returns rows loaded.
     pub fn copy(&self, table: &str, batches: impl IntoIterator<Item = Batch>) -> Result<u64> {
+        let mut copy_span = vdr_obs::span("db.copy");
+        copy_span.record("table", table);
         let def = self.catalog.get(table)?;
         let rec = PhaseRecorder::new(
             format!("COPY {table}"),
@@ -99,7 +101,10 @@ impl VerticaDb {
             self.cluster.num_nodes(),
         );
         let rows = self.storage.load(&def, batches, &rec)?;
-        self.ledger.push(rec.finish(self.cluster.profile()));
+        let report = rec.finish(self.cluster.profile());
+        copy_span.record("rows", rows);
+        copy_span.set_sim_time(report.duration());
+        self.ledger.push(report);
         Ok(rows)
     }
 
@@ -153,7 +158,7 @@ impl VerticaDb {
     }
 }
 
-fn statement_label(stmt: &sql::Statement) -> String {
+pub(crate) fn statement_label(stmt: &sql::Statement) -> String {
     match stmt {
         sql::Statement::Select(s) => match s.transform_item() {
             Some(sql::SelectItem::Transform { name, .. }) => format!("SELECT {name}(…) OVER"),

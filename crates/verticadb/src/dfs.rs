@@ -51,9 +51,9 @@ impl Dfs {
     fn placement(&self, name: &str) -> Result<Vec<NodeId>> {
         let n = self.cluster.num_nodes();
         let down = self.down.read();
-        let start = (crate::segmentation::hash_value(&vdr_columnar::Value::Varchar(
-            name.to_string(),
-        )) % n as u64) as usize;
+        let start =
+            (crate::segmentation::hash_value(&vdr_columnar::Value::Varchar(name.to_string()))
+                % n as u64) as usize;
         let mut replicas = Vec::with_capacity(self.replication);
         for i in 0..n {
             let node = NodeId((start + i) % n);
@@ -81,7 +81,12 @@ impl Dfs {
     ) -> Result<()> {
         let replicas = self.placement(name)?;
         let size = data.len() as u64;
+        vdr_obs::counter_on("dfs.blob.stored", src.0, 1);
+        vdr_obs::counter_on("dfs.blob.bytes_written", src.0, size);
         for &node in &replicas {
+            if node != src {
+                vdr_obs::counter_on("dfs.blob.replicated", node.0, 1);
+            }
             rec.net(src, node, size);
             rec.disk_write(node, size);
             self.cluster
@@ -89,13 +94,9 @@ impl Dfs {
                 .disk()
                 .write(Self::disk_path(name), data.clone());
         }
-        self.files.write().insert(
-            name.to_string(),
-            FileMeta {
-                replicas,
-                size,
-            },
-        );
+        self.files
+            .write()
+            .insert(name.to_string(), FileMeta { replicas, size });
         Ok(())
     }
 
@@ -127,6 +128,11 @@ impl Dfs {
             .read(&Self::disk_path(name))?;
         rec.disk_read(source, meta.size);
         rec.net(source, reader, meta.size);
+        vdr_obs::counter_on("dfs.blob.read", reader.0, 1);
+        vdr_obs::counter_on("dfs.blob.bytes_read", reader.0, meta.size);
+        if source != reader {
+            vdr_obs::counter_on("dfs.blob.remote_read", reader.0, 1);
+        }
         Ok(data)
     }
 
@@ -138,7 +144,10 @@ impl Dfs {
             .remove(name)
             .ok_or_else(|| DbError::Dfs(format!("blob '{name}' does not exist")))?;
         for node in meta.replicas {
-            self.cluster.node(node).disk().delete(&Self::disk_path(name));
+            self.cluster
+                .node(node)
+                .disk()
+                .delete(&Self::disk_path(name));
         }
         Ok(())
     }
@@ -253,7 +262,10 @@ mod tests {
         let r = PhaseRecorder::new("r", PhaseKind::Sequential, 3);
         dfs.read(NodeId(2), "m", &r).unwrap();
         let report = r.finish(cluster.profile());
-        assert_eq!(report.total_bytes_moved, 0, "local read must not touch the NIC");
+        assert_eq!(
+            report.total_bytes_moved, 0,
+            "local read must not touch the NIC"
+        );
         assert!(report.total_disk_read > 0);
     }
 

@@ -22,6 +22,8 @@ const INITIATOR: NodeId = NodeId(0);
 
 /// Execute any statement against the database, charging `rec`.
 pub fn execute(db: &VerticaDb, stmt: &Statement, rec: &Arc<PhaseRecorder>) -> Result<Batch> {
+    let mut stmt_span = vdr_obs::span("exec.statement");
+    stmt_span.record("stmt", crate::db::statement_label(stmt));
     match stmt {
         Statement::Select(select) => execute_select(db, select, rec),
         Statement::CreateTable {
@@ -40,7 +42,9 @@ pub fn execute(db: &VerticaDb, stmt: &Statement, rec: &Arc<PhaseRecorder>) -> Re
                     schema.index_of(col).map_err(|_| {
                         DbError::Plan(format!("segmentation column '{col}' not in table"))
                     })?;
-                    crate::segmentation::Segmentation::Hash { column: col.clone() }
+                    crate::segmentation::Segmentation::Hash {
+                        column: col.clone(),
+                    }
                 }
                 Some(crate::sql::SegSpec::RoundRobin) | None => {
                     crate::segmentation::Segmentation::RoundRobin
@@ -130,6 +134,9 @@ fn execute_select(db: &VerticaDb, stmt: &SelectStmt, rec: &Arc<PhaseRecorder>) -
         return run_transform(db, stmt, name, args, params, partition, rec);
     }
 
+    let mut select_span = vdr_obs::span("exec.select");
+    let select_span_id = select_span.id();
+
     // FROM-less: SELECT 1+1.
     let Some(table) = &stmt.from else {
         let one = Batch::from_rows(
@@ -147,17 +154,28 @@ fn execute_select(db: &VerticaDb, stmt: &SelectStmt, rec: &Arc<PhaseRecorder>) -
     } else {
         let def = db.catalog().get(table)?;
         let _ = def; // existence check; schema validated during evaluation
+        select_span.record("table", table);
         db.cluster().scatter(|node| -> Result<NodeResult> {
+            let mut scan_span = vdr_obs::span_with_parent("exec.scan", select_span_id);
+            scan_span.set_node(node.id().0);
             let batches = db.storage().scan_node(table, node.id(), rec, false)?;
+            let mut rows_in = 0u64;
+            let mut rows_out = 0u64;
             let mut combined: Option<NodeResult> = None;
             for batch in batches {
+                rows_in += batch.num_rows() as u64;
                 let filtered = apply_where(stmt, batch)?;
+                rows_out += filtered.num_rows() as u64;
                 let nr = node_result(stmt, filtered)?;
                 combined = Some(match combined {
                     None => nr,
                     Some(acc) => acc.merge(nr)?,
                 });
             }
+            scan_span.record("rows_in", rows_in);
+            scan_span.record("rows_out", rows_out);
+            vdr_obs::counter_on("exec.scan.rows", node.id().0, rows_in);
+            vdr_obs::counter_on("exec.filter.rows", node.id().0, rows_out);
             match combined {
                 Some(c) => Ok(c),
                 // Node holds no containers: contribute an empty result.
@@ -167,18 +185,27 @@ fn execute_select(db: &VerticaDb, stmt: &SelectStmt, rec: &Arc<PhaseRecorder>) -
     };
 
     // Gather partial results to the initiator, charging the network.
+    let mut gather_span = vdr_obs::span("exec.gather");
     let mut gathered: Vec<NodeResult> = Vec::with_capacity(per_node.len());
+    let mut gather_bytes = 0u64;
     for (i, r) in per_node.into_iter().enumerate() {
         let nr = r?;
+        gather_bytes += nr.byte_size();
         rec.net(NodeId(i), INITIATOR, nr.byte_size());
         gathered.push(nr);
     }
+    gather_span.record("bytes", gather_bytes);
+    vdr_obs::counter("exec.gather.bytes", gather_bytes);
+    drop(gather_span);
     let merged = gathered
         .into_iter()
         .reduce(|a, b| a.merge(b).expect("schemas identical across nodes"))
         .ok_or_else(|| DbError::Exec("no nodes produced results".into()))?;
 
-    merged.finalize(stmt)
+    let out = merged.finalize(stmt)?;
+    select_span.record("rows_out", out.num_rows());
+    vdr_obs::counter("exec.output.rows", out.num_rows() as u64);
+    Ok(out)
 }
 
 fn empty_table_batch(db: &VerticaDb, table: &str) -> Result<Batch> {
@@ -212,7 +239,9 @@ fn node_result(stmt: &SelectStmt, batch: Batch) -> Result<NodeResult> {
     if stmt.has_aggregates() || !stmt.group_by.is_empty() {
         aggregate_partial(stmt, &batch)
     } else {
-        Ok(NodeResult::Rows(project_rows_with_order_keys(stmt, &batch)?))
+        Ok(NodeResult::Rows(project_rows_with_order_keys(
+            stmt, &batch,
+        )?))
     }
 }
 
@@ -274,7 +303,8 @@ impl NodeResult {
                 } else {
                     sort_by_exprs(
                         batch,
-                        &stmt.order_by
+                        &stmt
+                            .order_by
                             .iter()
                             .map(|k| (k.expr.clone(), k.desc))
                             .collect::<Vec<_>>(),
@@ -624,9 +654,12 @@ fn aggregate_partial(stmt: &SelectStmt, batch: &Batch) -> Result<NodeResult> {
     let mut groups: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
     for row in 0..batch.num_rows() {
         let key = GroupKey(key_cols.iter().map(|c| c.get(row)).collect());
-        let states = groups
-            .entry(key)
-            .or_insert_with(|| agg_specs.iter().map(|(_, _, d)| AggState::for_spec(*d)).collect());
+        let states = groups.entry(key).or_insert_with(|| {
+            agg_specs
+                .iter()
+                .map(|(_, _, d)| AggState::for_spec(*d))
+                .collect()
+        });
         for (s, col) in states.iter_mut().zip(&arg_cols) {
             s.update(col.as_ref().map(|c| c.get(row)).as_ref());
         }
@@ -636,7 +669,10 @@ fn aggregate_partial(stmt: &SelectStmt, batch: &Batch) -> Result<NodeResult> {
     if groups.is_empty() && stmt.group_by.is_empty() {
         groups.insert(
             GroupKey(vec![]),
-            agg_specs.iter().map(|(_, _, d)| AggState::for_spec(*d)).collect(),
+            agg_specs
+                .iter()
+                .map(|(_, _, d)| AggState::for_spec(*d))
+                .collect(),
         );
     }
     Ok(NodeResult::Aggregated {
@@ -767,6 +803,11 @@ fn run_transform(
     let def = db.catalog().get(table)?;
     let func = db.udx().get(name)?;
 
+    let mut tf_span = vdr_obs::span("exec.transform");
+    tf_span.record("function", name);
+    tf_span.record("table", table);
+    let tf_span_id = tf_span.id();
+
     // Input schema: the evaluated argument columns, named after column refs
     // where possible.
     let arg_fields: Vec<Field> = args
@@ -802,13 +843,17 @@ fn run_transform(
             let results: Vec<Result<Vec<Batch>>> = (0..instances)
                 .into_par_iter()
                 .map(|instance| -> Result<Vec<Batch>> {
+                    let mut inst_span =
+                        vdr_obs::span_with_parent("exec.transform.instance", tf_span_id);
+                    inst_span.set_node(node_id.0);
+                    inst_span.record("instance", instance);
                     // Each instance reads a disjoint slice of the node's
                     // containers ("UDFs on each database node read a unique
                     // segment of the table stored on that node").
                     let raw = match partition {
-                        Partition::Best => db.storage().scan_node_slice(
-                            table, node_id, instance, instances, rec, false,
-                        )?,
+                        Partition::Best => db
+                            .storage()
+                            .scan_node_slice(table, node_id, instance, instances, rec, false)?,
                         Partition::By(col) => {
                             // Route rows among local instances by hash(col).
                             let all = if instance == 0 {
@@ -851,8 +896,14 @@ fn run_transform(
                         cluster: db.cluster(),
                         rec,
                     };
+                    let rows_in: u64 = input.iter().map(|b| b.num_rows() as u64).sum();
                     let mut out = Vec::new();
                     func.process_partition(&ctx, input, &mut |b| out.push(b))?;
+                    let rows_out: u64 = out.iter().map(|b| b.num_rows() as u64).sum();
+                    inst_span.record("rows_in", rows_in);
+                    inst_span.record("rows_out", rows_out);
+                    vdr_obs::counter_on("exec.transform.rows_in", node_id.0, rows_in);
+                    vdr_obs::counter_on("exec.transform.rows_out", node_id.0, rows_out);
                     Ok(out)
                 })
                 .collect();
@@ -874,7 +925,10 @@ fn run_transform(
             out.extend(&b)?;
         }
     }
-    Ok(apply_offset_limit(stmt, out))
+    let out = apply_offset_limit(stmt, out);
+    tf_span.record("rows_out", out.num_rows());
+    vdr_obs::counter("exec.output.rows", out.num_rows() as u64);
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1067,9 +1121,7 @@ mod tests {
         assert_eq!(out.row(0)[2], Value::Int64(6));
         // Grouped distinct.
         let out = db
-            .query(
-                "SELECT tag, count(DISTINCT id) AS n FROM t GROUP BY tag ORDER BY tag",
-            )
+            .query("SELECT tag, count(DISTINCT id) AS n FROM t GROUP BY tag ORDER BY tag")
             .unwrap()
             .batch;
         assert_eq!(out.row(0)[0], Value::Varchar("a".into()));
@@ -1082,10 +1134,13 @@ mod tests {
         let db = db_with_data();
         db.query("CREATE TABLE evens AS SELECT id, x FROM t WHERE id % 2 = 0")
             .unwrap();
-        let out = db.query("SELECT count(*), sum(id) FROM evens").unwrap().batch;
+        let out = db
+            .query("SELECT count(*), sum(id) FROM evens")
+            .unwrap()
+            .batch;
         assert_eq!(out.row(0)[0], Value::Int64(3)); // 2, 4, 6
         assert_eq!(out.row(0)[1], Value::Float64(12.0)); // SUM widens to float
-        // Aggregated CTAS too.
+                                                         // Aggregated CTAS too.
         db.query("CREATE TABLE tag_stats AS SELECT tag, count(*) AS n FROM t GROUP BY tag")
             .unwrap();
         let out = db

@@ -76,7 +76,10 @@ pub enum Expr {
         right: Box<Expr>,
     },
     /// Scalar function call (ABS, SQRT, LN, EXP, POWER, FLOOR, CEIL).
-    Func { name: String, args: Vec<Expr> },
+    Func {
+        name: String,
+        args: Vec<Expr>,
+    },
 }
 
 impl Expr {
@@ -198,7 +201,9 @@ impl Expr {
             }
             Expr::IsNull(e) => {
                 let col = e.eval(batch)?;
-                Ok(Column::from_bool((0..n).map(|i| col.get(i).is_null()).collect()))
+                Ok(Column::from_bool(
+                    (0..n).map(|i| col.get(i).is_null()).collect(),
+                ))
             }
             Expr::IsNotNull(e) => {
                 let col = e.eval(batch)?;
@@ -258,9 +263,7 @@ impl Expr {
                         }
                         (v, p) if v.is_null() || p.is_null() => b.push_null(),
                         (v, _) => {
-                            return Err(DbError::Exec(format!(
-                                "LIKE requires strings, got {v:?}"
-                            )))
+                            return Err(DbError::Exec(format!("LIKE requires strings, got {v:?}")))
                         }
                     }
                 }
@@ -335,9 +338,7 @@ fn eval_binary(op: BinOp, l: &Column, r: &Column, n: usize) -> Result<Column> {
                 let rv = r.get(i);
                 let out = match (op, lv.as_bool(), rv.as_bool()) {
                     // SQL three-valued logic short circuits.
-                    (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => {
-                        Some(false)
-                    }
+                    (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Some(false),
                     (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Some(true),
                     (_, Some(a), Some(b)) => Some(match op {
                         BinOp::And => a && b,
@@ -381,7 +382,11 @@ fn eval_binary(op: BinOp, l: &Column, r: &Column, n: usize) -> Result<Column> {
             let int_out = l.data_type() == DataType::Int64
                 && r.data_type() == DataType::Int64
                 && op != BinOp::Div;
-            let dtype = if int_out { DataType::Int64 } else { DataType::Float64 };
+            let dtype = if int_out {
+                DataType::Int64
+            } else {
+                DataType::Float64
+            };
             let mut b = ColumnBuilder::with_capacity(dtype, n);
             for i in 0..n {
                 let lv = l.get(i);
@@ -613,10 +618,16 @@ mod tests {
             Expr::binary(BinOp::Gt, Expr::col("a"), Expr::lit(1i64)),
             Expr::binary(BinOp::Lt, Expr::col("b"), Expr::lit(3.0)),
         );
-        assert_eq!(e.eval_predicate(&b).unwrap(), vec![false, true, true, false]);
+        assert_eq!(
+            e.eval_predicate(&b).unwrap(),
+            vec![false, true, true, false]
+        );
         // String equality.
         let e = Expr::binary(BinOp::Eq, Expr::col("s"), Expr::lit("x"));
-        assert_eq!(e.eval_predicate(&b).unwrap(), vec![true, false, true, false]);
+        assert_eq!(
+            e.eval_predicate(&b).unwrap(),
+            vec![true, false, true, false]
+        );
     }
 
     #[test]
@@ -733,7 +744,7 @@ mod tests {
         assert_eq!(col.get(0), Value::Bool(true)); // matched
         assert_eq!(col.get(1), Value::Null); // no match but NULL in list
         assert_eq!(col.get(2), Value::Null); // NULL subject
-        // Predicates treat NULL as excluded.
+                                             // Predicates treat NULL as excluded.
         assert_eq!(e.eval_predicate(&b).unwrap(), vec![true, false, false]);
     }
 
@@ -747,6 +758,9 @@ mod tests {
             Expr::col("s"),
             Expr::lit("x"),
         )));
-        assert_eq!(e.eval_predicate(&b).unwrap(), vec![false, true, false, true]);
+        assert_eq!(
+            e.eval_predicate(&b).unwrap(),
+            vec![false, true, false, true]
+        );
     }
 }

@@ -232,7 +232,15 @@ mod tests {
     fn permissions_enforced() {
         let (store, rec) = setup();
         store
-            .save(NodeId(0), "m", "alice", "regression", "", Bytes::from_static(b"c"), &rec)
+            .save(
+                NodeId(0),
+                "m",
+                "alice",
+                "regression",
+                "",
+                Bytes::from_static(b"c"),
+                &rec,
+            )
             .unwrap();
         // Bob can't read, drop, or grant.
         assert!(store.load(NodeId(0), "m", "bob", &rec).is_err());
@@ -245,7 +253,15 @@ mod tests {
         assert!(store.load(NodeId(0), "m", "dbadmin", &rec).is_ok());
         // Ownership protects overwrite.
         assert!(store
-            .save(NodeId(0), "m", "bob", "kmeans", "", Bytes::from_static(b"x"), &rec)
+            .save(
+                NodeId(0),
+                "m",
+                "bob",
+                "kmeans",
+                "",
+                Bytes::from_static(b"x"),
+                &rec
+            )
             .is_err());
     }
 
@@ -253,10 +269,26 @@ mod tests {
     fn r_models_table_matches_figure_10() {
         let (store, rec) = setup();
         store
-            .save(NodeId(0), "model1", "X", "kmeans", "clustering", Bytes::from(vec![0; 100]), &rec)
+            .save(
+                NodeId(0),
+                "model1",
+                "X",
+                "kmeans",
+                "clustering",
+                Bytes::from(vec![0; 100]),
+                &rec,
+            )
             .unwrap();
         store
-            .save(NodeId(0), "model2", "Y", "regression", "forecasting", Bytes::from(vec![0; 20]), &rec)
+            .save(
+                NodeId(0),
+                "model2",
+                "Y",
+                "regression",
+                "forecasting",
+                Bytes::from(vec![0; 20]),
+                &rec,
+            )
             .unwrap();
         let batch = store.as_batch();
         assert_eq!(
@@ -264,16 +296,30 @@ mod tests {
             vec!["model", "owner", "type", "size", "description"]
         );
         assert_eq!(batch.num_rows(), 2);
-        assert_eq!(batch.row(0)[0], vdr_columnar::Value::Varchar("model1".into()));
+        assert_eq!(
+            batch.row(0)[0],
+            vdr_columnar::Value::Varchar("model1".into())
+        );
         assert_eq!(batch.row(0)[3], vdr_columnar::Value::Int64(100));
-        assert_eq!(batch.row(1)[2], vdr_columnar::Value::Varchar("regression".into()));
+        assert_eq!(
+            batch.row(1)[2],
+            vdr_columnar::Value::Varchar("regression".into())
+        );
     }
 
     #[test]
     fn drop_model_removes_blob_and_meta() {
         let (store, rec) = setup();
         store
-            .save(NodeId(0), "m", "u", "kmeans", "", Bytes::from_static(b"b"), &rec)
+            .save(
+                NodeId(0),
+                "m",
+                "u",
+                "kmeans",
+                "",
+                Bytes::from_static(b"b"),
+                &rec,
+            )
             .unwrap();
         store.drop_model("m", "u").unwrap();
         assert!(!store.exists("m"));
@@ -285,10 +331,26 @@ mod tests {
     fn owner_can_overwrite_own_model() {
         let (store, rec) = setup();
         store
-            .save(NodeId(0), "m", "u", "kmeans", "v1", Bytes::from_static(b"1"), &rec)
+            .save(
+                NodeId(0),
+                "m",
+                "u",
+                "kmeans",
+                "v1",
+                Bytes::from_static(b"1"),
+                &rec,
+            )
             .unwrap();
         store
-            .save(NodeId(0), "m", "u", "kmeans", "v2", Bytes::from_static(b"22"), &rec)
+            .save(
+                NodeId(0),
+                "m",
+                "u",
+                "kmeans",
+                "v2",
+                Bytes::from_static(b"22"),
+                &rec,
+            )
             .unwrap();
         assert_eq!(store.get_meta("m").unwrap().size, 2);
         assert_eq!(store.get_meta("m").unwrap().description, "v2");

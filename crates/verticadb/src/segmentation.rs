@@ -30,12 +30,7 @@ impl Segmentation {
     /// order within each sub-batch. `start_row` is the global index of the
     /// batch's first row (round-robin and skew need global positions to stay
     /// deterministic across batches).
-    pub fn split(
-        &self,
-        batch: &Batch,
-        num_nodes: usize,
-        start_row: u64,
-    ) -> Result<Vec<Batch>> {
+    pub fn split(&self, batch: &Batch, num_nodes: usize, start_row: u64) -> Result<Vec<Batch>> {
         let n = batch.num_rows();
         let mut routes: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
         match self {
@@ -60,7 +55,9 @@ impl Segmentation {
                 }
                 let total: f64 = weights.iter().sum();
                 if total <= 0.0 || weights.iter().any(|w| *w < 0.0) {
-                    return Err(DbError::Plan("skew weights must be non-negative, sum > 0".into()));
+                    return Err(DbError::Plan(
+                        "skew weights must be non-negative, sum > 0".into(),
+                    ));
                 }
                 // Deterministic proportional routing: walk the cumulative
                 // distribution with a low-discrepancy position per row.
@@ -75,7 +72,10 @@ impl Segmentation {
                     let g = start_row + i as u64;
                     // Golden-ratio sequence in [0,1): even coverage, no RNG.
                     let u = (g as f64 * 0.618_033_988_749_894_9).fract();
-                    let node = cumulative.iter().position(|&c| u < c).unwrap_or(num_nodes - 1);
+                    let node = cumulative
+                        .iter()
+                        .position(|&c| u < c)
+                        .unwrap_or(num_nodes - 1);
                     routes[node].push(i);
                 }
             }
@@ -158,7 +158,9 @@ mod tests {
     #[test]
     fn hash_split_is_deterministic_and_complete() {
         let b = batch(500);
-        let seg = Segmentation::Hash { column: "id".into() };
+        let seg = Segmentation::Hash {
+            column: "id".into(),
+        };
         let parts1 = seg.split(&b, 3, 0).unwrap();
         let parts2 = seg.split(&b, 3, 0).unwrap();
         let total: usize = parts1.iter().map(Batch::num_rows).sum();
@@ -175,7 +177,9 @@ mod tests {
     #[test]
     fn hash_on_missing_column_errors() {
         let b = batch(10);
-        let seg = Segmentation::Hash { column: "zz".into() };
+        let seg = Segmentation::Hash {
+            column: "zz".into(),
+        };
         assert!(seg.split(&b, 2, 0).is_err());
     }
 
@@ -227,7 +231,10 @@ mod tests {
     #[test]
     fn describe_renders_ddl() {
         assert_eq!(
-            Segmentation::Hash { column: "id".into() }.describe(),
+            Segmentation::Hash {
+                column: "id".into()
+            }
+            .describe(),
             "SEGMENTED BY HASH(id)"
         );
         assert_eq!(Segmentation::RoundRobin.describe(), "SEGMENTED ROUND ROBIN");

@@ -160,9 +160,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                             s.push(b as char);
                             i += 1;
                         }
-                        None => {
-                            return Err(DbError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(DbError::Parse("unterminated string literal".into())),
                     }
                 }
                 tokens.push(Token::Str(s));
@@ -173,9 +171,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes
-                    .get(i + 1)
-                    .is_some_and(|b| (*b as char).is_ascii_digit())
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
                 {
                     is_float = true;
                     i += 1;

@@ -10,7 +10,5 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{
-    AggFunc, OrderKey, Partition, SegSpec, SelectItem, SelectStmt, Statement,
-};
+pub use ast::{AggFunc, OrderKey, Partition, SegSpec, SelectItem, SelectStmt, Statement};
 pub use parser::parse;

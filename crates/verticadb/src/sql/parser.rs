@@ -27,8 +27,8 @@ struct Parser {
 /// Words that terminate an implicit alias.
 const RESERVED: &[&str] = &[
     "FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "OFFSET", "AND", "OR", "NOT", "AS", "OVER",
-    "USING", "SELECT", "BY", "ASC", "DESC", "IS", "NULL", "VALUES", "IN", "BETWEEN",
-    "LIKE", "DISTINCT",
+    "USING", "SELECT", "BY", "ASC", "DESC", "IS", "NULL", "VALUES", "IN", "BETWEEN", "LIKE",
+    "DISTINCT",
 ];
 
 impl Parser {
@@ -86,7 +86,8 @@ impl Parser {
         } else {
             Err(DbError::Parse(format!(
                 "expected '{kw}', found '{}'",
-                self.peek().map_or("end of input".to_string(), |t| t.to_string())
+                self.peek()
+                    .map_or("end of input".to_string(), |t| t.to_string())
             )))
         }
     }
@@ -94,7 +95,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(DbError::Parse(format!("expected identifier, found '{other}'"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found '{other}'"
+            ))),
         }
     }
 
@@ -112,7 +115,8 @@ impl Parser {
         } else {
             Err(DbError::Parse(format!(
                 "expected a statement, found '{}'",
-                self.peek().map_or("end of input".to_string(), |t| t.to_string())
+                self.peek()
+                    .map_or("end of input".to_string(), |t| t.to_string())
             )))
         }
     }
@@ -431,7 +435,6 @@ impl Parser {
         self.parse_binary_continuation(lhs, 0)
     }
 
-
     /// Postfix predicates binding at comparison level: `IS [NOT] NULL`,
     /// `[NOT] IN (…)`, `[NOT] BETWEEN a AND b`, `[NOT] LIKE pattern`.
     /// Returns the (possibly wrapped) expression and whether anything was
@@ -744,7 +747,9 @@ mod tests {
 
     #[test]
     fn transform_partition_by() {
-        let s = select("SELECT glmPredict(a, b USING PARAMETERS model='m') OVER (PARTITION BY a) FROM t");
+        let s = select(
+            "SELECT glmPredict(a, b USING PARAMETERS model='m') OVER (PARTITION BY a) FROM t",
+        );
         match &s.items[0] {
             SelectItem::Transform { partition, .. } => {
                 assert_eq!(*partition, Partition::By("a".into()))
@@ -876,7 +881,10 @@ mod tests {
             "(((a >= 1) AND (a <= 3)) AND (b = 2))"
         );
         let s = select("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 3");
-        assert_eq!(s.where_clause.unwrap().to_string(), "NOT (((a >= 1) AND (a <= 3)))");
+        assert_eq!(
+            s.where_clause.unwrap().to_string(),
+            "NOT (((a >= 1) AND (a <= 3)))"
+        );
 
         let s = select("SELECT * FROM t WHERE name LIKE 'ab%' OR name NOT LIKE '%z'");
         let w = s.where_clause.unwrap().to_string();

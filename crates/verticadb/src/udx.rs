@@ -178,7 +178,11 @@ mod tests {
     fn context_param_helpers() {
         let cluster = SimCluster::for_tests(1);
         let dfs = Dfs::new(cluster.clone(), 1);
-        let rec = Arc::new(PhaseRecorder::new("t", vdr_cluster::PhaseKind::Sequential, 1));
+        let rec = Arc::new(PhaseRecorder::new(
+            "t",
+            vdr_cluster::PhaseKind::Sequential,
+            1,
+        ));
         let mut params = BTreeMap::new();
         params.insert("model".to_string(), "m1".to_string());
         params.insert("k".to_string(), "5".to_string());

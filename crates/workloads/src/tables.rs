@@ -37,13 +37,7 @@ pub fn regression_table(
     for (chunk_idx, ychunk) in y.chunks(LOAD_CHUNK).enumerate() {
         let start = chunk_idx * LOAD_CHUNK;
         let mut columns: Vec<Column> = (0..d)
-            .map(|j| {
-                Column::from_f64(
-                    (0..ychunk.len())
-                        .map(|r| x[(start + r) * d + j])
-                        .collect(),
-                )
-            })
+            .map(|j| Column::from_f64((0..ychunk.len()).map(|r| x[(start + r) * d + j]).collect()))
             .collect();
         columns.push(Column::from_f64(ychunk.to_vec()));
         loaded += db.copy(name, vec![Batch::new(schema.clone(), columns)?])?;
@@ -176,11 +170,23 @@ mod tests {
     fn clusters_table_labels_and_ids() {
         let db = db();
         let centers = vec![vec![0.0, 0.0], vec![20.0, 20.0], vec![-20.0, 5.0]];
-        let n = clusters_table(&db, "pts", 100, &centers, 0.5, Segmentation::Hash { column: "id".into() }, 5)
-            .unwrap();
+        let n = clusters_table(
+            &db,
+            "pts",
+            100,
+            &centers,
+            0.5,
+            Segmentation::Hash {
+                column: "id".into(),
+            },
+            5,
+        )
+        .unwrap();
         assert_eq!(n, 300);
         let out = db
-            .query("SELECT true_label, count(*) AS n FROM pts GROUP BY true_label ORDER BY true_label")
+            .query(
+                "SELECT true_label, count(*) AS n FROM pts GROUP BY true_label ORDER BY true_label",
+            )
             .unwrap()
             .batch;
         assert_eq!(out.num_rows(), 3);
@@ -188,7 +194,10 @@ mod tests {
             assert_eq!(out.row(r)[1], Value::Int64(100));
         }
         // Ids are unique: max = n-1 and count(distinct)… approximate via sum.
-        let out = db.query("SELECT min(id), max(id), count(id) FROM pts").unwrap().batch;
+        let out = db
+            .query("SELECT min(id), max(id), count(id) FROM pts")
+            .unwrap()
+            .batch;
         assert_eq!(out.row(0)[0], Value::Int64(0));
         assert_eq!(out.row(0)[1], Value::Int64(299));
         assert_eq!(out.row(0)[2], Value::Int64(300));

@@ -146,6 +146,20 @@ impl ResourceManager {
     /// Allocate containers. All-or-nothing: either every requested
     /// container is granted or the state is untouched.
     pub fn allocate(&self, app_id: AppId, req: &ResourceRequest) -> Result<Vec<Container>> {
+        vdr_obs::counter("yarn.container.requested", req.count as u64);
+        let outcome = self.try_allocate(app_id, req);
+        match &outcome {
+            Ok(granted) => {
+                for c in granted {
+                    vdr_obs::counter_on("yarn.container.granted", c.node.0, 1);
+                }
+            }
+            Err(_) => vdr_obs::counter("yarn.container.denied", req.count as u64),
+        }
+        outcome
+    }
+
+    fn try_allocate(&self, app_id: AppId, req: &ResourceRequest) -> Result<Vec<Container>> {
         if req.count == 0 || req.vcores == 0 || req.mem_mb == 0 {
             return Err(YarnError::Unsatisfiable("zero-sized request".into()));
         }
@@ -156,9 +170,11 @@ impl ResourceManager {
             .cloned()
             .ok_or_else(|| YarnError::NotFound(format!("application {app_id:?}")))?;
         // Per-node feasibility.
-        if state.nodes.iter().all(|n| {
-            req.vcores > n.vcores_total || req.mem_mb > n.mem_total_mb
-        }) {
+        if state
+            .nodes
+            .iter()
+            .all(|n| req.vcores > n.vcores_total || req.mem_mb > n.mem_total_mb)
+        {
             return Err(YarnError::Unsatisfiable(format!(
                 "container ({} vcores, {} MB) larger than any node",
                 req.vcores, req.mem_mb
@@ -251,6 +267,7 @@ impl ResourceManager {
             .containers
             .remove(&container)
             .ok_or_else(|| YarnError::NotFound(format!("container {container:?}")))?;
+        vdr_obs::counter_on("yarn.container.released", c.node.0, 1);
         let node = &mut state.nodes[c.node.0];
         node.vcores_used -= c.vcores;
         node.mem_used_mb -= c.mem_mb;
@@ -335,8 +352,12 @@ mod tests {
     fn long_running_db_plus_session_dr_coexist() {
         let cluster = SimCluster::for_tests(4); // 4 × 24 vcores
         let rm = capacity_rm(&cluster);
-        let db = rm.register("vertica", "vertica", Lifetime::LongRunning).unwrap();
-        let dr = rm.register("distributedR", "dr", Lifetime::Session).unwrap();
+        let db = rm
+            .register("vertica", "vertica", Lifetime::LongRunning)
+            .unwrap();
+        let dr = rm
+            .register("distributedR", "dr", Lifetime::Session)
+            .unwrap();
         // DB reserves 12 vcores on each node long-term.
         let db_containers = rm
             .allocate(

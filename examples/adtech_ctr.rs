@@ -63,11 +63,7 @@ fn load_impressions(db: &VerticaDb, table: &str, rows: usize, seed: u64) {
 }
 
 fn main() {
-    let cluster = SimCluster::new(
-        5,
-        vertica_dr::cluster::HardwareProfile::paper_testbed(),
-        2,
-    );
+    let cluster = SimCluster::new(5, vertica_dr::cluster::HardwareProfile::paper_testbed(), 2);
     let db = VerticaDb::new(cluster);
 
     // Historical impressions for offline training; a bigger table of newly

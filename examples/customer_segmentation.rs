@@ -15,11 +15,7 @@ use vertica_dr::verticadb::{Segmentation, VerticaDb};
 use vertica_dr::workloads::clusters_table;
 
 fn main() {
-    let cluster = SimCluster::new(
-        4,
-        vertica_dr::cluster::HardwareProfile::paper_testbed(),
-        2,
-    );
+    let cluster = SimCluster::new(4, vertica_dr::cluster::HardwareProfile::paper_testbed(), 2);
     let db = VerticaDb::new(cluster);
 
     // Customer behaviour lives in three natural segments. The table's
@@ -29,9 +25,9 @@ fn main() {
     // instances will hold more data than others … this data skew can lead
     // to straggler tasks" (Section 3.2).
     let personas = vec![
-        vec![5.0, 1.0, 0.2],   // bargain hunters: frequent, small, few returns
-        vec![1.0, 9.0, 0.5],   // big-ticket shoppers
-        vec![3.0, 4.0, 3.0],   // heavy returners
+        vec![5.0, 1.0, 0.2], // bargain hunters: frequent, small, few returns
+        vec![1.0, 9.0, 0.5], // big-ticket shoppers
+        vec![3.0, 4.0, 3.0], // heavy returners
     ];
     clusters_table(
         &db,
@@ -87,7 +83,10 @@ fn main() {
         },
     )
     .unwrap();
-    println!("k-means converged in {} iterations; centers:", model.iterations);
+    println!(
+        "k-means converged in {} iterations; centers:",
+        model.iterations
+    );
     for (i, c) in model.centers.iter().enumerate() {
         println!(
             "  segment {i}: purchase_freq {:.2}, basket_size {:.2}, returns {:.2}",

@@ -89,9 +89,7 @@ fn main() {
         println!("  {d:>12.4} {s:>12.4} [{t:+.2}]");
         assert!((d - s).abs() < 1e-6, "the two techniques must agree");
     }
-    println!(
-        "\nmeasured wall time at this scale: distributed {dr_wall:?}, serial QR {r_wall:?}"
-    );
+    println!("\nmeasured wall time at this scale: distributed {dr_wall:?}, serial QR {r_wall:?}");
 
     // -------- paper-scale projection (Figure 18's setup: 100M × 7)
     println!("\nFigure-18-scale projection (100M rows, 6 features + response):");
@@ -105,14 +103,26 @@ fn main() {
     println!("  stock R (QR, single-threaded): {r_time}");
 
     // ------------------------------------ cross-validated deployment
-    let cv = cv_hpdglm(session.dr(), &x, &y, Family::Gaussian, &GlmOptions::default(), 5).unwrap();
+    let cv = cv_hpdglm(
+        session.dr(),
+        &x,
+        &y,
+        Family::Gaussian,
+        &GlmOptions::default(),
+        5,
+    )
+    .unwrap();
     println!(
         "\n5-fold CV held-out MSE: {:.5} (noise level 0.05 ⇒ expect ≈ {:.5})",
         cv.mean_deviance(),
         0.05f64 * 0.05 / 3.0
     );
     session
-        .deploy_model(&Model::Glm(distributed), "sales_forecast", "sales forecaster")
+        .deploy_model(
+            &Model::Glm(distributed),
+            "sales_forecast",
+            "sales forecaster",
+        )
         .unwrap();
     let out = session
         .sql(

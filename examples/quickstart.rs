@@ -23,11 +23,7 @@ use vertica_dr::workloads::logistic_data;
 fn main() {
     // ------------------------------------------------------------ setup
     // A 5-node cluster (the paper's transfer experiments use 5 nodes).
-    let cluster = SimCluster::new(
-        5,
-        vertica_dr::cluster::HardwareProfile::paper_testbed(),
-        2,
-    );
+    let cluster = SimCluster::new(5, vertica_dr::cluster::HardwareProfile::paper_testbed(), 2);
     let db = VerticaDb::new(cluster);
 
     // ETL: "customers use standard ETL processes to first load data into
@@ -60,7 +56,10 @@ fn main() {
         .unwrap()],
     )
     .unwrap();
-    println!("loaded mytable: {} rows", db.storage().total_rows("mytable"));
+    println!(
+        "loaded mytable: {} rows",
+        db.storage().total_rows("mytable")
+    );
 
     // -------------------------------------------- 1–3: start the session
     let session = Session::connect_colocated(
@@ -86,13 +85,7 @@ fn main() {
     let data_x = data.split_columns(&[1, 2]).unwrap();
 
     // ------------------------------------- 6: distributed model creation
-    let model = hpdglm(
-        &data_x,
-        &data_y,
-        Family::Binomial,
-        &GlmOptions::default(),
-    )
-    .unwrap();
+    let model = hpdglm(&data_x, &data_y, Family::Binomial, &GlmOptions::default()).unwrap();
     println!(
         "hpdglm: converged in {} Newton-Raphson iterations, deviance {:.1}",
         model.iterations, model.deviance
@@ -151,8 +144,5 @@ fn main() {
         out.sim_time,
         positive
     );
-    println!(
-        "session total simulated cost: {}",
-        session.total_sim_time()
-    );
+    println!("session total simulated cost: {}", session.total_sim_time());
 }

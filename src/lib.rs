@@ -21,6 +21,7 @@
 //! * [`yarn`] — capacity/fair scheduling and cgroup enforcement.
 //! * [`core`] — sessions, model codec, prediction UDxs (the Figure 3 API).
 //! * [`workloads`] — seeded synthetic data and table generators.
+//! * [`obs`] — tracing spans, metrics, and `EXPLAIN ANALYZE`-style reports.
 //!
 //! ## Quickstart
 //!
@@ -63,6 +64,7 @@ pub use vdr_columnar as columnar;
 pub use vdr_core as core;
 pub use vdr_distr as distr;
 pub use vdr_ml as ml;
+pub use vdr_obs as obs;
 pub use vdr_sparksim as sparksim;
 pub use vdr_transfer as transfer;
 pub use vdr_verticadb as verticadb;

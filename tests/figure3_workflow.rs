@@ -64,13 +64,23 @@ fn figure3_full_workflow() {
     assert!((model.coefficients[2] + 1.0).abs() < 0.01);
 
     // Line 7: cv.hpdglm.
-    let cv = cv_hpdglm(session.dr(), &x, &y, Family::Gaussian, &GlmOptions::default(), 4).unwrap();
+    let cv = cv_hpdglm(
+        session.dr(),
+        &x,
+        &y,
+        Family::Gaussian,
+        &GlmOptions::default(),
+        4,
+    )
+    .unwrap();
     assert!(cv.mean_deviance() < 0.001);
     assert_eq!(cv.fold_rows.iter().sum::<u64>(), 10_000);
 
     // Line 9: deploy.model.
     let coefficients = model.coefficients.clone();
-    session.deploy_model(&Model::Glm(model), "rModel", "forecasting").unwrap();
+    session
+        .deploy_model(&Model::Glm(model), "rModel", "forecasting")
+        .unwrap();
     assert!(db.models().exists("rModel"));
 
     // Figure 10: the R_Models catalog row.
@@ -147,14 +157,14 @@ fn dframe_transfer_round_trips_mixed_types() {
         .unwrap();
     db.query("INSERT INTO people VALUES (1, 'ada', 9.5), (2, 'grace', 9.9), (3, NULL, NULL)")
         .unwrap();
-    let (frame, report) = session.db2dframe("people", &["id", "name", "score"]).unwrap();
+    let (frame, report) = session
+        .db2dframe("people", &["id", "name", "score"])
+        .unwrap();
     assert_eq!(report.rows, 3);
     let all = frame.gather().unwrap();
     assert_eq!(all.num_rows(), 3);
     // Find the NULL row.
-    let nulls = (0..3)
-        .filter(|&r| all.row(r)[1] == Value::Null)
-        .count();
+    let nulls = (0..3).filter(|&r| all.row(r)[1] == Value::Null).count();
     assert_eq!(nulls, 1);
 }
 

@@ -7,14 +7,25 @@ use std::sync::Arc;
 use vertica_dr::cluster::{HardwareProfile, Ledger, SimCluster};
 use vertica_dr::distr::DistributedR;
 use vertica_dr::transfer::model::{model_parallel_odbc, model_single_odbc, model_vft};
-use vertica_dr::transfer::{install_export_function, ClusterShape, OdbcLoader, TableShape, TransferPolicy};
+use vertica_dr::transfer::{
+    install_export_function, ClusterShape, OdbcLoader, TableShape, TransferPolicy,
+};
 use vertica_dr::verticadb::{Segmentation, VerticaDb};
 use vertica_dr::workloads::transfer_table;
 
 fn setup(rows: usize) -> (Arc<VerticaDb>, DistributedR, Ledger) {
     let cluster = SimCluster::for_tests(3);
     let db = VerticaDb::new(cluster.clone());
-    transfer_table(&db, "t", rows, Segmentation::Hash { column: "id".into() }, 5).unwrap();
+    transfer_table(
+        &db,
+        "t",
+        rows,
+        Segmentation::Hash {
+            column: "id".into(),
+        },
+        5,
+    )
+    .unwrap();
     let dr = DistributedR::on_all_nodes(cluster, 4).unwrap();
     (db, dr, Ledger::new())
 }
@@ -26,8 +37,15 @@ fn real_vft_disk_reads_equal_table_bytes() {
     let (db, dr, ledger) = setup(6_000);
     let vft = install_export_function(&db);
     let table_bytes: u64 = db.storage().segment_bytes("t").iter().sum();
-    vft.db2darray(&db, &dr, "t", &["id", "a", "b", "c", "d", "e"], TransferPolicy::Locality, &ledger)
-        .unwrap();
+    vft.db2darray(
+        &db,
+        &dr,
+        "t",
+        &["id", "a", "b", "c", "d", "e"],
+        TransferPolicy::Locality,
+        &ledger,
+    )
+    .unwrap();
     let disk_read: u64 = ledger.reports().iter().map(|r| r.total_disk_read).sum();
     assert_eq!(disk_read, table_bytes);
 }
@@ -40,7 +58,10 @@ fn real_vft_moves_no_network_bytes_when_colocated_with_locality() {
     vft.db2darray(&db, &dr, "t", &["a"], TransferPolicy::Locality, &ledger)
         .unwrap();
     let moved: u64 = ledger.reports().iter().map(|r| r.total_bytes_moved).sum();
-    assert_eq!(moved, 0, "co-located locality transfer must not touch the NIC");
+    assert_eq!(
+        moved, 0,
+        "co-located locality transfer must not touch the NIC"
+    );
 
     // Uniform policy does cross nodes.
     let ledger2 = Ledger::new();
@@ -58,7 +79,14 @@ fn simulated_orderings_hold_at_small_scale_too() {
     let (db, dr, ledger) = setup(8_000);
     let vft = install_export_function(&db);
     let (_, vft_report) = vft
-        .db2darray(&db, &dr, "t", &["id", "a", "b"], TransferPolicy::Locality, &ledger)
+        .db2darray(
+            &db,
+            &dr,
+            "t",
+            &["id", "a", "b"],
+            TransferPolicy::Locality,
+            &ledger,
+        )
         .unwrap();
     let (_, par_report) =
         OdbcLoader::load_parallel(&db, &dr, "t", &["id", "a", "b"], "id", &ledger).unwrap();

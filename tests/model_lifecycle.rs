@@ -13,7 +13,16 @@ use vertica_dr::workloads::{clusters_table, logistic_data};
 fn setup() -> (Arc<VerticaDb>, Session) {
     let db = VerticaDb::new(SimCluster::for_tests(4));
     let centers = vec![vec![0.0, 0.0], vec![8.0, 8.0]];
-    clusters_table(&db, "pts", 1_500, &centers, 0.4, Segmentation::RoundRobin, 3).unwrap();
+    clusters_table(
+        &db,
+        "pts",
+        1_500,
+        &centers,
+        0.4,
+        Segmentation::RoundRobin,
+        3,
+    )
+    .unwrap();
 
     // A labelled table for classifiers.
     let schema = vertica_dr::columnar::Schema::of(&[
@@ -112,14 +121,19 @@ fn glm_and_rf_full_lifecycle() {
         },
     )
     .unwrap();
-    session.deploy_model(&Model::Glm(glm.clone()), "g", "glm").unwrap();
+    session
+        .deploy_model(&Model::Glm(glm.clone()), "g", "glm")
+        .unwrap();
     session
         .deploy_model(&Model::RandomForest(rf.clone()), "f", "forest")
         .unwrap();
 
     // Reload both and compare byte-for-byte.
     assert_eq!(session.load_model("g").unwrap(), Model::Glm(glm.clone()));
-    assert_eq!(session.load_model("f").unwrap(), Model::RandomForest(rf.clone()));
+    assert_eq!(
+        session.load_model("f").unwrap(),
+        Model::RandomForest(rf.clone())
+    );
 
     // Both scorers run in-database; predictions broadly agree with labels.
     let g_out = session
@@ -160,7 +174,9 @@ fn models_survive_node_failure() {
         iterations: 1,
         total_withinss: 0.0,
     });
-    session.deploy_model(&model, "ha_model", "replicated").unwrap();
+    session
+        .deploy_model(&model, "ha_model", "replicated")
+        .unwrap();
     let replicas = db.dfs().replicas_of("models/ha_model");
     assert!(replicas.len() >= 2, "replication factor must be > 1");
 

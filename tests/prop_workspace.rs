@@ -24,20 +24,22 @@ fn glm_strategy() -> impl Strategy<Value = Model> {
         0..100usize,
         any::<bool>(),
     )
-        .prop_map(|(coefficients, intercept, fam, deviance, iterations, converged)| {
-            Model::Glm(GlmModel {
-                coefficients,
-                intercept,
-                family: match fam {
-                    0 => Family::Gaussian,
-                    1 => Family::Binomial,
-                    _ => Family::Poisson,
-                },
-                deviance,
-                iterations,
-                converged,
-            })
-        })
+        .prop_map(
+            |(coefficients, intercept, fam, deviance, iterations, converged)| {
+                Model::Glm(GlmModel {
+                    coefficients,
+                    intercept,
+                    family: match fam {
+                        0 => Family::Gaussian,
+                        1 => Family::Binomial,
+                        _ => Family::Poisson,
+                    },
+                    deviance,
+                    iterations,
+                    converged,
+                })
+            },
+        )
 }
 
 fn kmeans_strategy() -> impl Strategy<Value = Model> {

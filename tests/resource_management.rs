@@ -26,7 +26,9 @@ fn full_deployment_database_reservation_plus_dr_sessions() {
     let rm = capacity_rm(&db);
 
     // The database registers long-term, one container per node.
-    let vertica_app = rm.register("vertica", "vertica", Lifetime::LongRunning).unwrap();
+    let vertica_app = rm
+        .register("vertica", "vertica", Lifetime::LongRunning)
+        .unwrap();
     rm.allocate(
         vertica_app.id,
         &ResourceRequest {
@@ -134,7 +136,9 @@ fn runtime_memory_manager_rejects_oversized_loads() {
         },
     )
     .unwrap();
-    let err = session.db2darray("big", &["id", "a", "b", "c", "d", "e"]).unwrap_err();
+    let err = session
+        .db2darray("big", &["id", "a", "b", "c", "d", "e"])
+        .unwrap_err();
     assert!(err.to_string().contains("memory"), "{err}");
     // A small slice still fits.
     let db2 = VerticaDb::new(SimCluster::for_tests(2));

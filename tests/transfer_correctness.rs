@@ -4,17 +4,11 @@
 use std::sync::Arc;
 use vertica_dr::cluster::{Ledger, SimCluster};
 use vertica_dr::distr::DistributedR;
-use vertica_dr::transfer::{
-    install_export_function, LocalLoader, OdbcLoader, TransferPolicy,
-};
+use vertica_dr::transfer::{install_export_function, LocalLoader, OdbcLoader, TransferPolicy};
 use vertica_dr::verticadb::{Segmentation, VerticaDb};
 use vertica_dr::workloads::transfer_table;
 
-fn setup(
-    nodes: usize,
-    rows: usize,
-    seg: Segmentation,
-) -> (Arc<VerticaDb>, DistributedR) {
+fn setup(nodes: usize, rows: usize, seg: Segmentation) -> (Arc<VerticaDb>, DistributedR) {
     let cluster = SimCluster::for_tests(nodes);
     let db = VerticaDb::new(cluster.clone());
     transfer_table(&db, "t", rows, seg, 3).unwrap();
@@ -30,7 +24,13 @@ fn id_checksum(rows: usize) -> f64 {
 #[test]
 fn every_loader_delivers_identical_content() {
     let rows = 9_000;
-    let (db, dr) = setup(3, rows, Segmentation::Hash { column: "id".into() });
+    let (db, dr) = setup(
+        3,
+        rows,
+        Segmentation::Hash {
+            column: "id".into(),
+        },
+    );
     let vft = install_export_function(&db);
     let ledger = Ledger::new();
 
@@ -52,10 +52,24 @@ fn every_loader_delivers_identical_content() {
     };
 
     let (v_loc, _) = vft
-        .db2darray(&db, &dr, "t", &["id", "a"], TransferPolicy::Locality, &ledger)
+        .db2darray(
+            &db,
+            &dr,
+            "t",
+            &["id", "a"],
+            TransferPolicy::Locality,
+            &ledger,
+        )
         .unwrap();
     let (v_uni, _) = vft
-        .db2darray(&db, &dr, "t", &["id", "a"], TransferPolicy::Uniform, &ledger)
+        .db2darray(
+            &db,
+            &dr,
+            "t",
+            &["id", "a"],
+            TransferPolicy::Uniform,
+            &ledger,
+        )
         .unwrap();
     let (o_single, _) = OdbcLoader::load_single(&db, &dr, "t", &["id", "a"], &ledger).unwrap();
     let (o_par, _) = OdbcLoader::load_parallel(&db, &dr, "t", &["id", "a"], "id", &ledger).unwrap();
@@ -84,7 +98,10 @@ fn locality_inherits_skew_uniform_erases_it() {
     let vft = install_export_function(&db);
     let ledger = Ledger::new();
     let seg_rows = db.storage().segment_rows("t");
-    assert!(seg_rows[0] > 4 * seg_rows[1], "table must actually be skewed");
+    assert!(
+        seg_rows[0] > 4 * seg_rows[1],
+        "table must actually be skewed"
+    );
 
     let (loc, _) = vft
         .db2darray(&db, &dr, "t", &["a"], TransferPolicy::Locality, &ledger)
@@ -134,8 +151,14 @@ fn straggler_effect_of_skew_on_compute() {
     };
     let loc_ratio = ratio(work(&loc));
     let uni_ratio = ratio(work(&uni));
-    assert!(loc_ratio > 1.8, "skewed locality transfer ⇒ straggler ({loc_ratio:.2})");
-    assert!(uni_ratio < 1.3, "uniform policy ⇒ balanced ({uni_ratio:.2})");
+    assert!(
+        loc_ratio > 1.8,
+        "skewed locality transfer ⇒ straggler ({loc_ratio:.2})"
+    );
+    assert!(
+        uni_ratio < 1.3,
+        "uniform policy ⇒ balanced ({uni_ratio:.2})"
+    );
 }
 
 #[test]
@@ -166,7 +189,9 @@ fn remote_and_colocated_deployments_agree() {
             .db2darray(&db, dr, "t", &["id"], TransferPolicy::Uniform, &ledger)
             .unwrap();
         assert_eq!(report.rows, 4_000);
-        let sums = arr.map_partitions(|_, p| p.data.iter().sum::<f64>()).unwrap();
+        let sums = arr
+            .map_partitions(|_, p| p.data.iter().sum::<f64>())
+            .unwrap();
         assert_eq!(sums.iter().sum::<f64>(), id_checksum(4_000));
     }
 }
@@ -178,7 +203,14 @@ fn local_file_loader_matches_database_content() {
     let ledger = Ledger::new();
     // Export via VFT, restage the partitions as local files, reload.
     let (arr, _) = vft
-        .db2darray(&db, &dr, "t", &["id", "a"], TransferPolicy::Locality, &ledger)
+        .db2darray(
+            &db,
+            &dr,
+            "t",
+            &["id", "a"],
+            TransferPolicy::Locality,
+            &ledger,
+        )
         .unwrap();
     let schema = vertica_dr::columnar::Schema::of(&[
         ("id", vertica_dr::columnar::DataType::Float64),
@@ -202,9 +234,9 @@ fn local_file_loader_matches_database_content() {
     LocalLoader::stage(&dr, "t_local", &batches).unwrap();
     let (local, report) = LocalLoader::load(&dr, "t_local", &schema, &ledger).unwrap();
     assert_eq!(report.rows, 2_000);
-    let sums = local.map_partitions(|_, p| {
-        (0..p.nrow).map(|r| p.row(r)[0]).sum::<f64>()
-    }).unwrap();
+    let sums = local
+        .map_partitions(|_, p| (0..p.nrow).map(|r| p.row(r)[0]).sum::<f64>())
+        .unwrap();
     assert_eq!(sums.iter().sum::<f64>(), id_checksum(2_000));
 }
 

@@ -1,0 +1,150 @@
+//! Offline shim: the `criterion` API surface used by the figure benches.
+//! Runs each benchmark closure `sample_size` times, reports min/mean wall
+//! time to stdout, and skips criterion's statistics, HTML reports, and
+//! warm-up machinery (warm-up settings are accepted and used only to bound
+//! one untimed priming run).
+//!
+//! The build environment has no reachable crates registry, so third-party
+//! dependencies are provided as in-tree shims via `[patch.crates-io]`.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    results: Vec<(String, Duration, Duration)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does one untimed priming
+    /// run instead of a timed warm-up window.
+    pub fn warm_up_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.as_ref();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        let (min, mean) = bencher.summarize();
+        println!("bench {name:<40} min {min:>12?}  mean {mean:>12?}");
+        self.results.push((name.to_string(), min, mean));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete: {} function(s)", self.results.len());
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f()); // prime caches, untimed
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn summarize(&self) -> (Duration, Duration) {
+        if self.samples.is_empty() {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let min = *self.samples.iter().min().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        (min, mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert!(runs >= 3, "priming + 3 samples, got {runs}");
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].0, "g/count");
+        c.final_summary();
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline shim: the `rayon` API surface used by this workspace.
+//! `par_iter`/`into_par_iter` return ordinary sequential iterators, and
+//! `ThreadPool::install` runs the closure inline on the calling thread while
+//! making `current_num_threads()` report the pool's configured size. The
+//! workspace uses rayon for *bounded* intra-node parallelism; sequential
+//! execution preserves semantics (real cross-node concurrency comes from
+//! `std::thread::scope` in the runtime layer, not from rayon).
+//!
+//! The build environment has no reachable crates registry, so third-party
+//! dependencies are provided as in-tree shims via `[patch.crates-io]`.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    static CURRENT_POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Threads visible to the current context: the installed pool's size, or 1
+/// outside any pool (this shim never runs closures on worker threads).
+pub fn current_num_threads() -> usize {
+    let n = CURRENT_POOL_THREADS.with(Cell::get);
+    if n == 0 {
+        1
+    } else {
+        n
+    }
+}
+
+/// A "pool" that runs installed closures inline on the calling thread.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT_POOL_THREADS.with(|c| c.replace(self.threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Thread naming is meaningless for an inline pool; accepted and ignored.
+    pub fn thread_name<F: FnMut(usize) -> String>(self, _f: F) -> Self {
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+pub mod prelude {
+    /// `into_par_iter()` — sequential stand-in: yields the ordinary
+    /// `IntoIterator` iterator, so all adapter chains behave identically.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` — sequential stand-in for by-reference iteration.
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` — sequential stand-in for by-mutable-reference
+    /// iteration.
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Iter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+    where
+        &'a mut T: IntoIterator,
+    {
+        type Iter = <&'a mut T as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .thread_name(|t| format!("w{t}"))
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(super::current_num_threads(), 1);
+        let inside = pool.install(super::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(super::current_num_threads(), 1);
+    }
+
+    #[test]
+    fn par_iters_behave_like_iterators() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = (0..10).into_par_iter().sum();
+        assert_eq!(sum, 45);
+    }
+}

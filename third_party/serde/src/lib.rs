@@ -1,0 +1,182 @@
+//! Offline shim: a simplified `serde`-compatible serialization facade.
+//!
+//! The real serde serializes through a visitor (`Serializer`) so formats
+//! stream without intermediate allocation. This workspace only ever
+//! serializes small reports and snapshots to JSON, so the shim collapses the
+//! data model to one self-describing tree, [`Content`]: `T: Serialize`
+//! renders itself into a `Content`, and downstream formats (the in-tree
+//! `serde_json` shim) render `Content`. `#[derive(serde::Serialize)]` is
+//! provided by the in-tree `serde_derive` proc-macro and targets this trait.
+//!
+//! The build environment has no reachable crates registry, so third-party
+//! dependencies are provided as in-tree shims via `[patch.crates-io]`.
+
+pub use serde_derive::Serialize;
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The self-describing serialization tree every `Serialize` type renders to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key-value pairs in insertion order (structs keep field order).
+    Map(Vec<(String, Content)>),
+}
+
+/// A type that can render itself into the [`Content`] data model.
+pub trait Serialize {
+    fn serialize(&self) -> Content;
+}
+
+macro_rules! impl_int {
+    ($variant:ident: $($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::$variant(*self as _)
+            }
+        }
+    )*};
+}
+
+impl_int!(I64: i8, i16, i32, i64, isize);
+impl_int!(U64: u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Content {
+        // Deterministic output: sort keys.
+        let mut pairs: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(pairs)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Content::Seq(vec![$($name.serialize()),+])
+            }
+        }
+    };
+}
+
+impl_tuple!(A);
+impl_tuple!(A, B);
+impl_tuple!(A, B, C);
+impl_tuple!(A, B, C, D);
+
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(3u64.serialize(), Content::U64(3));
+        assert_eq!((-3i32).serialize(), Content::I64(-3));
+        assert_eq!("x".serialize(), Content::Str("x".into()));
+        assert_eq!(None::<u8>.serialize(), Content::Null);
+    }
+
+    #[test]
+    fn collections_render() {
+        assert_eq!(
+            vec![1u8, 2].serialize(),
+            Content::Seq(vec![Content::U64(1), Content::U64(2)])
+        );
+        let t = ("k".to_string(), 1.5f64);
+        assert_eq!(
+            t.serialize(),
+            Content::Seq(vec![Content::Str("k".into()), Content::F64(1.5)])
+        );
+    }
+}

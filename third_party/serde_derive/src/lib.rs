@@ -1,0 +1,168 @@
+//! Offline shim: `#[derive(Serialize)]` targeting the in-tree `serde` shim's
+//! simplified `Serialize` trait (`fn serialize(&self) -> Content`).
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote` — the build
+//! environment has no reachable crates registry). Supports non-generic
+//! structs: named-field, tuple (newtype serializes transparently), and unit.
+//! Enums and generics are rejected with a clear compile-time panic; extend
+//! here if a future type needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut idx);
+
+    match ident_at(&tokens, idx).as_deref() {
+        Some("struct") => idx += 1,
+        Some("enum") => panic!(
+            "in-tree serde_derive shim: #[derive(Serialize)] on enums is not implemented; \
+             add enum support in third_party/serde_derive or impl Serialize by hand"
+        ),
+        other => panic!("in-tree serde_derive shim: expected `struct`, found {other:?}"),
+    }
+
+    let name = ident_at(&tokens, idx).expect("struct name");
+    idx += 1;
+
+    if matches!(&tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "in-tree serde_derive shim: generic structs are not supported \
+             (deriving Serialize for `{name}`)"
+        );
+    }
+
+    let body = match tokens.get(idx) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = named_fields(g.stream());
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", pairs.join(", "))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = tuple_field_count(g.stream());
+            match n {
+                0 => "::serde::Content::Null".to_string(),
+                // Newtypes serialize transparently, like real serde.
+                1 => "::serde::Serialize::serialize(&self.0)".to_string(),
+                _ => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                }
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => "::serde::Content::Null".to_string(),
+        other => panic!("in-tree serde_derive shim: unexpected token after struct name: {other:?}"),
+    };
+
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    output
+        .parse()
+        .expect("in-tree serde_derive shim: generated impl failed to re-parse")
+}
+
+fn ident_at(tokens: &[TokenTree], idx: usize) -> Option<String> {
+    match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Advance past `#[...]` attributes (including doc comments) and `pub` /
+/// `pub(...)` visibility.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], idx: &mut usize) {
+    loop {
+        match tokens.get(*idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *idx += 2,
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *idx += 1;
+                if matches!(
+                    tokens.get(*idx),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *idx += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut idx);
+        let Some(name) = ident_at(&tokens, idx) else {
+            break;
+        };
+        fields.push(name);
+        idx += 1;
+        // Skip `: Type` up to the next top-level comma. Parens/brackets are
+        // already grouped by the tokenizer; only `<...>` needs depth
+        // tracking (e.g. `HashMap<String, u64>` has an inner comma).
+        let mut angle_depth = 0i32;
+        while idx < tokens.len() {
+            match &tokens[idx] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    idx += 1;
+                    break;
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn tuple_field_count(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    // Tolerate a trailing comma: `struct S(u8,)`.
+    if !saw_tokens_since_comma {
+        count -= 1;
+    }
+    count
+}
