@@ -33,4 +33,14 @@ fi
 run cargo build --release $OFFLINE
 run cargo test --workspace -q $OFFLINE
 
+# Benchmarks must keep compiling even though CI doesn't time them.
+run cargo bench --no-run $OFFLINE
+
+# Smoke-run the figures binary: every figure generator must still execute
+# and serialize. The artifact goes to a scratch path so a CI run never
+# clobbers a checked-in BENCH_*.json.
+SMOKE_OUT="$(mktemp)"
+run cargo run --release $OFFLINE -p vdr-bench --bin figures -- --json --out "$SMOKE_OUT" >/dev/null
+rm -f "$SMOKE_OUT"
+
 echo "==> CI green"

@@ -186,6 +186,12 @@ pub struct EngineCosts {
     /// Per (row × coefficient) cost for GLM prediction in the UDF (dwarfed
     /// by the row overhead, but it keeps wide models honest).
     pub indb_glm_unit_ns: f64,
+    /// Deserializing a model blob into its in-memory form (Section 5:
+    /// "retrieve the models from DFS, deserialize and load them in R").
+    /// R's unserialize runs at roughly 100 MB/s ⇒ 10 ns per byte. With the
+    /// node-local model cache this is charged once per node per model
+    /// version, not per UDx instance.
+    pub model_deserialize_ns_per_byte: f64,
 }
 
 impl HardwareProfile {
@@ -272,6 +278,7 @@ impl EngineCosts {
             indb_predict_row_overhead_ns: 9_200.0,
             indb_kmeans_unit_ns: 88.0,
             indb_glm_unit_ns: 40.0,
+            model_deserialize_ns_per_byte: 10.0,
         }
     }
 

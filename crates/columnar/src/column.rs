@@ -162,6 +162,39 @@ impl Column {
         }
     }
 
+    /// Zero-copy borrow of the column as `&[f64]`.
+    ///
+    /// Unlike [`Column::f64_data`] this is safe to hand to numeric kernels:
+    /// it refuses columns with NULLs (whose data slots hold a placeholder
+    /// 0.0 that [`Column::to_f64_vec`] would have turned into NaN), so a
+    /// `Some` here reads exactly like the copying path.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float64 { data, validity } if validity.count_null() == 0 => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy borrow of the column as `&[i64]`; `None` if the column is
+    /// not Int64 or has NULLs (same contract as [`Column::as_f64_slice`]).
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int64 { data, validity } if validity.count_null() == 0 => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Numeric view that borrows when it can: NULL-free Float64 columns
+    /// come back as `Cow::Borrowed` (zero copy), everything else falls back
+    /// to the [`Column::to_f64_vec`] copy (ints widen, bools become 0/1,
+    /// NULLs become NaN).
+    pub fn to_f64_cow(&self) -> std::borrow::Cow<'_, [f64]> {
+        match self.as_f64_slice() {
+            Some(s) => std::borrow::Cow::Borrowed(s),
+            None => std::borrow::Cow::Owned(self.to_f64_vec()),
+        }
+    }
+
     /// Rows `[from, to)` as a new column.
     pub fn slice(&self, from: usize, to: usize) -> Column {
         assert!(from <= to && to <= self.len(), "slice out of range");
@@ -455,6 +488,98 @@ mod tests {
         let big = Column::from_f64(vec![0.0; 1000]).byte_size();
         assert!(big > small * 50);
         assert!(Column::from_bool(vec![true; 8]).byte_size() >= 8);
+    }
+
+    #[test]
+    fn zero_copy_slices_require_matching_type_and_no_nulls() {
+        let floats = Column::from_f64(vec![1.5, 2.5]);
+        // Borrowed view points into the column's own storage.
+        assert_eq!(
+            floats.as_f64_slice().unwrap().as_ptr(),
+            floats.f64_data().unwrap().as_ptr()
+        );
+        assert!(floats.as_i64_slice().is_none());
+
+        let ints = Column::from_i64(vec![7, 8]);
+        assert_eq!(ints.as_i64_slice(), Some(&[7i64, 8][..]));
+        assert!(ints.as_f64_slice().is_none());
+
+        // NULLs poison the borrow: raw data holds placeholder 0.0 / 0 that
+        // must become NaN through the copying path instead.
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        b.push(Value::Float64(1.0)).unwrap();
+        b.push_null();
+        let nullable = b.finish();
+        assert!(nullable.as_f64_slice().is_none());
+        let mut b = ColumnBuilder::new(DataType::Int64);
+        b.push_null();
+        assert!(b.finish().as_i64_slice().is_none());
+    }
+
+    #[test]
+    fn cow_borrows_clean_floats_and_copies_everything_else() {
+        use std::borrow::Cow;
+        let floats = Column::from_f64(vec![1.0, 2.0, 3.0]);
+        match floats.to_f64_cow() {
+            Cow::Borrowed(s) => assert_eq!(s, floats.f64_data().unwrap()),
+            Cow::Owned(_) => panic!("clean float column must borrow"),
+        }
+
+        // Int, bool, varchar, and nullable columns all fall back to the
+        // copying path and must agree with to_f64_vec exactly.
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        b.push(Value::Float64(4.0)).unwrap();
+        b.push_null();
+        for col in [
+            Column::from_i64(vec![1, 2, 3]),
+            Column::from_bool(vec![true, false]),
+            Column::from_strings(vec!["x"]),
+            b.finish(),
+        ] {
+            match col.to_f64_cow() {
+                Cow::Owned(v) => {
+                    let reference = col.to_f64_vec();
+                    assert_eq!(v.len(), reference.len());
+                    for (a, b) in v.iter().zip(&reference) {
+                        assert!(*a == *b || (a.is_nan() && b.is_nan()));
+                    }
+                }
+                Cow::Borrowed(_) => panic!("fallback column must copy"),
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_roundtrip_restores_zero_copy_eligibility() {
+        use crate::encoding::{decode_column, encode_column, Encoding};
+        // A repetitive float column survives an RLE encode/decode cycle and
+        // the decoded plain column is again eligible for the borrowed view.
+        let col = Column::from_f64(vec![5.0; 64]);
+        let mut bytes = Vec::new();
+        encode_column(&col, Encoding::Rle, &mut bytes).unwrap();
+        let mut pos = 0;
+        let back = decode_column(DataType::Float64, Encoding::Rle, 64, &bytes, &mut pos).unwrap();
+        assert_eq!(back.as_f64_slice(), Some(&[5.0; 64][..]));
+
+        // A nullable column round-trips its bitmap, so the decoded column
+        // still refuses the borrow and takes the copying fallback.
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        for i in 0..16 {
+            if i % 4 == 0 {
+                b.push_null();
+            } else {
+                b.push(Value::Float64(2.0)).unwrap();
+            }
+        }
+        let nullable = b.finish();
+        let mut bytes = Vec::new();
+        encode_column(&nullable, Encoding::Rle, &mut bytes).unwrap();
+        let mut pos = 0;
+        let back = decode_column(DataType::Float64, Encoding::Rle, 16, &bytes, &mut pos).unwrap();
+        assert!(back.as_f64_slice().is_none());
+        assert!(matches!(back.to_f64_cow(), std::borrow::Cow::Owned(_)));
+        assert!(back.to_f64_cow()[0].is_nan());
+        assert_eq!(back.to_f64_cow()[1], 2.0);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! further ones through the same [`TransformFunction`] trait.
 
 use crate::codec::Model;
+use crate::modelcache::ModelCache;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use vdr_cluster::SimDuration;
@@ -20,7 +22,9 @@ use vdr_verticadb::{DbError, Result, TransformFunction, UdxContext, VerticaDb};
 /// SQL name of the K-means scorer (Figure 15's `KmeansPredict`).
 pub const KMEANS_PREDICT: &str = "KmeansPredict";
 /// SQL name of the GLM scorer (Figure 3 line 10 / Figure 16's `GlmPredict`).
-pub const GLM_PREDICT: &str = "glmPredict";
+/// Lookup is case-insensitive, so the paper's `GlmPredict` and Figure 3's
+/// `glmPredict` spelling both resolve.
+pub const GLM_PREDICT: &str = "GlmPredict";
 /// SQL name of the random-forest scorer.
 pub const RF_PREDICT: &str = "rfPredict";
 
@@ -35,19 +39,44 @@ enum PredictKind {
 struct PredictFunction {
     sql_name: &'static str,
     kind: PredictKind,
+    /// Node-local deserialized-model cache, shared by all three prediction
+    /// functions and surviving re-registration (see
+    /// [`register_prediction_functions`]).
+    cache: Arc<ModelCache>,
 }
 
 impl PredictFunction {
-    fn load_model(&self, ctx: &UdxContext<'_>) -> Result<Model> {
+    /// Resolve the `model` parameter through the node-local cache. Only a
+    /// cold or stale entry pays the DFS read + deserialize (and charges the
+    /// ledger for them): once per node per model version, no matter how
+    /// many UDx instances or queries score with it.
+    fn load_model(&self, ctx: &UdxContext<'_>) -> Result<Arc<Model>> {
         let name = ctx.param("model")?;
-        let blob = ctx
-            .dfs
-            .read(ctx.node, &format!("models/{name}"), ctx.rec)
-            .map_err(|e| DbError::Model(format!("model '{name}': {e}")))?;
-        let model =
-            Model::from_bytes(&blob).map_err(|e| DbError::Model(format!("model '{name}': {e}")))?;
+        let path = format!("models/{name}");
+        let checksum = ctx.dfs.checksum_of(&path).ok_or_else(|| {
+            DbError::Model(format!("model '{name}': blob '{path}' does not exist"))
+        })?;
+        // Fault tolerance is the DFS's job (Section 5): even with a warm
+        // cache, refuse to serve a model whose every replica is down.
+        if !ctx.dfs.is_readable(&path) {
+            return Err(DbError::Model(format!(
+                "model '{name}': all replicas of '{path}' are down"
+            )));
+        }
+        let model = self.cache.get_or_load(ctx.node, &path, checksum, || {
+            let blob = ctx
+                .dfs
+                .read(ctx.node, &path, ctx.rec)
+                .map_err(|e| DbError::Model(format!("model '{name}': {e}")))?;
+            ctx.rec.cpu_work(
+                ctx.node,
+                blob.len() as f64,
+                ctx.cluster.profile().costs.model_deserialize_ns_per_byte,
+            );
+            Model::from_bytes(&blob).map_err(|e| DbError::Model(format!("model '{name}': {e}")))
+        })?;
         let matches = matches!(
-            (&model, self.kind),
+            (&*model, self.kind),
             (Model::Kmeans(_), PredictKind::Kmeans)
                 | (Model::Glm(_), PredictKind::Glm)
                 | (Model::RandomForest(_), PredictKind::Rf)
@@ -131,18 +160,20 @@ impl TransformFunction for PredictFunction {
                     model.num_features()
                 )));
             }
-            // Column-major → row-major features (id column excluded).
-            let cols: Vec<Vec<f64>> = batch
+            // Columnar feature access (id column excluded): NULL-free float
+            // columns are borrowed zero-copy straight out of the batch; only
+            // mixed/nullable types pay the `to_f64_vec` conversion.
+            let cows: Vec<Cow<'_, [f64]>> = batch
                 .columns()
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| Some(*i) != id_idx)
-                .map(|(_, c)| c.to_f64_vec())
+                .map(|(_, c)| c.to_f64_cow())
                 .collect();
-            let mut features = vec![0.0f64; d];
+            let cols: Vec<&[f64]> = cows.iter().map(|c| &**c).collect();
             // Ledger: the per-row UDF overhead plus the model-specific math.
             let per_row = costs.indb_predict_row_overhead_ns
-                + match &model {
+                + match &*model {
                     Model::Kmeans(m) => (m.k() * d) as f64 * costs.indb_kmeans_unit_ns,
                     Model::Glm(m) => m.coefficients.len() as f64 * costs.indb_glm_unit_ns,
                     // Tree walks average ~depth comparisons per tree.
@@ -164,42 +195,46 @@ impl TransformFunction for PredictFunction {
                         .map_err(DbError::from),
                 }
             };
-            let out = match &model {
+            // Batch scoring kernels (vdr-ml::kernels) over the columnar
+            // block, timed so `trace_report()` can show per-kernel row
+            // throughput.
+            let started = std::time::Instant::now();
+            let (out, kernel) = match &*model {
                 Model::Kmeans(m) => {
-                    let mut ids = Vec::with_capacity(rows);
-                    for r in 0..rows {
-                        for (j, col) in cols.iter().enumerate() {
-                            features[j] = col[r];
-                        }
-                        ids.push(m.assign(&features) as i64);
-                    }
-                    wrap(Column::from_i64(ids), "cluster_id", DataType::Int64)?
+                    let ids: Vec<i64> = m
+                        .assign_batch(&cols)
+                        .into_iter()
+                        .map(|c| c as i64)
+                        .collect();
+                    (
+                        wrap(Column::from_i64(ids), "cluster_id", DataType::Int64)?,
+                        "kmeans",
+                    )
                 }
-                Model::Glm(m) => {
-                    let mut preds = Vec::with_capacity(rows);
-                    for r in 0..rows {
-                        for (j, col) in cols.iter().enumerate() {
-                            features[j] = col[r];
-                        }
-                        preds.push(m.predict(&features));
-                    }
-                    wrap(Column::from_f64(preds), "prediction", DataType::Float64)?
-                }
-                Model::RandomForest(m) => {
-                    let mut classes = Vec::with_capacity(rows);
-                    for r in 0..rows {
-                        for (j, col) in cols.iter().enumerate() {
-                            features[j] = col[r];
-                        }
-                        classes.push(m.predict(&features));
-                    }
+                Model::Glm(m) => (
                     wrap(
-                        Column::from_i64(classes),
+                        Column::from_f64(m.predict_batch(&cols)),
+                        "prediction",
+                        DataType::Float64,
+                    )?,
+                    "glm",
+                ),
+                Model::RandomForest(m) => (
+                    wrap(
+                        Column::from_i64(m.predict_batch(&cols)),
                         "predicted_class",
                         DataType::Int64,
-                    )?
-                }
+                    )?,
+                    "randomforest",
+                ),
             };
+            let elapsed_ns = started.elapsed().as_nanos() as f64;
+            vdr_obs::counter_on("predict.rows", ctx.node.0, rows as u64);
+            vdr_obs::observe_on(
+                &format!("predict.kernel.{kernel}.ns_per_row"),
+                ctx.node.0,
+                elapsed_ns / rows as f64,
+            );
             emit(out);
         }
         Ok(())
@@ -207,19 +242,33 @@ impl TransformFunction for PredictFunction {
 }
 
 /// Register the three built-in prediction functions with a database.
+///
+/// Idempotent with respect to the model cache: if prediction functions are
+/// already installed (e.g. a second `Session::connect` against the same
+/// database), the existing node-local cache is shared by the fresh
+/// registrations instead of being thrown away.
 pub fn register_prediction_functions(db: &VerticaDb) {
-    db.register_transform(Arc::new(PredictFunction {
-        sql_name: KMEANS_PREDICT,
-        kind: PredictKind::Kmeans,
-    }));
-    db.register_transform(Arc::new(PredictFunction {
-        sql_name: GLM_PREDICT,
-        kind: PredictKind::Glm,
-    }));
-    db.register_transform(Arc::new(PredictFunction {
-        sql_name: RF_PREDICT,
-        kind: PredictKind::Rf,
-    }));
+    let cache = db
+        .udx()
+        .get(KMEANS_PREDICT)
+        .ok()
+        .and_then(|f| {
+            f.as_any()
+                .downcast_ref::<PredictFunction>()
+                .map(|p| Arc::clone(&p.cache))
+        })
+        .unwrap_or_default();
+    for (sql_name, kind) in [
+        (KMEANS_PREDICT, PredictKind::Kmeans),
+        (GLM_PREDICT, PredictKind::Glm),
+        (RF_PREDICT, PredictKind::Rf),
+    ] {
+        db.register_transform(Arc::new(PredictFunction {
+            sql_name,
+            kind,
+            cache: Arc::clone(&cache),
+        }));
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +448,94 @@ mod tests {
                 .count()
         };
         assert_eq!(count_ones(&by), count_ones(&best));
+    }
+
+    #[test]
+    fn transform_names_resolve_case_insensitively() {
+        // The paper writes `GlmPredict` in Section 5 but `glmPredict` in
+        // Figure 3; both (and any other casing) must resolve.
+        let db = setup();
+        deploy_kmeans(&db, "km");
+        for spelling in [
+            "KmeansPredict",
+            "KMEANSPREDICT",
+            "kmeanspredict",
+            "kMeAnSpReDiCt",
+        ] {
+            let out = db
+                .query(&format!(
+                    "SELECT {spelling}(a, b USING PARAMETERS model='km') \
+                     OVER (PARTITION BEST) FROM pts"
+                ))
+                .unwrap();
+            assert_eq!(out.batch.num_rows(), 100, "spelling {spelling}");
+        }
+        let glm = Model::Glm(vdr_ml::models::GlmModel {
+            coefficients: vec![1.0, 2.0, 3.0],
+            intercept: true,
+            family: vdr_ml::Family::Gaussian,
+            deviance: 0.0,
+            iterations: 1,
+            converged: true,
+        });
+        let rec = PhaseRecorder::new("save", PhaseKind::Sequential, 3);
+        db.models()
+            .save(NodeId(0), "g", "tester", "glm", "", glm.to_bytes(), &rec)
+            .unwrap();
+        for spelling in ["GlmPredict", "glmPredict", "GLMPREDICT", "glmpredict"] {
+            let out = db
+                .query(&format!(
+                    "SELECT {spelling}(a, b USING PARAMETERS model='g') \
+                     OVER (PARTITION BEST) FROM pts"
+                ))
+                .unwrap();
+            assert_eq!(out.batch.num_rows(), 100, "spelling {spelling}");
+        }
+    }
+
+    #[test]
+    fn reregistration_shares_the_model_cache() {
+        let db = setup();
+        let cache_of = |name: &str| {
+            let f = db.udx().get(name).unwrap();
+            let p = f
+                .as_any()
+                .downcast_ref::<PredictFunction>()
+                .expect("prediction function");
+            Arc::clone(&p.cache)
+        };
+        let before = cache_of(KMEANS_PREDICT);
+        // A second Session::connect against the same db re-registers; the
+        // warm node-local cache must survive, shared by all three functions.
+        register_prediction_functions(&db);
+        assert!(Arc::ptr_eq(&before, &cache_of(KMEANS_PREDICT)));
+        assert!(Arc::ptr_eq(&before, &cache_of(GLM_PREDICT)));
+        assert!(Arc::ptr_eq(&before, &cache_of(RF_PREDICT)));
+    }
+
+    #[test]
+    fn model_cache_loads_once_per_node_and_reuses_across_queries() {
+        let db = setup();
+        deploy_kmeans(&db, "km");
+        let cache = db
+            .udx()
+            .get(KMEANS_PREDICT)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<PredictFunction>()
+            .map(|p| Arc::clone(&p.cache))
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        let q = "SELECT KmeansPredict(a, b USING PARAMETERS model='km') \
+                 OVER (PARTITION BEST) FROM pts";
+        db.query(q).unwrap();
+        // One miss per node (3-node test cluster), regardless of how many
+        // UDx instances scored partitions.
+        assert_eq!(cache.misses(), 3);
+        let after_first = cache.hits();
+        db.query(q).unwrap();
+        assert_eq!(cache.misses(), 3, "second query is all cache hits");
+        assert!(cache.hits() >= after_first + 3);
     }
 
     #[test]

@@ -126,10 +126,8 @@ fn accumulate_partition(
         for i in 0..p {
             let wxi = w * xrow[i];
             xtwz[i] += wxi * z;
-            let row = &mut xtwx.data[i * p..(i + 1) * p];
-            for (j, cell) in row.iter_mut().enumerate() {
-                *cell += wxi * xrow[j];
-            }
+            // Rank-1 update of XᵀWX: row i += (w·xᵢ)·x, via the unrolled axpy.
+            crate::linalg::axpy(wxi, &xrow, &mut xtwx.data[i * p..(i + 1) * p]);
         }
     }
     (xtwx, xtwz, deviance)

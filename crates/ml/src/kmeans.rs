@@ -79,10 +79,7 @@ pub fn assign_partial(data: &[f64], d: usize, centers: &[Vec<f64>]) -> KmeansPar
         }
         counts[best] += 1;
         wss += best_d;
-        let acc = &mut sums[best * d..(best + 1) * d];
-        for (a, v) in acc.iter_mut().zip(row) {
-            *a += v;
-        }
+        crate::linalg::axpy(1.0, row, &mut sums[best * d..(best + 1) * d]);
     }
     KmeansPartial { sums, counts, wss }
 }

@@ -28,6 +28,7 @@ pub mod costmodel;
 pub mod cv;
 pub mod error;
 pub mod glm;
+pub mod kernels;
 pub mod kmeans;
 pub mod linalg;
 pub mod models;

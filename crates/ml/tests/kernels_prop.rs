@@ -1,0 +1,137 @@
+//! Property tests: the columnar batch scoring kernels agree with the
+//! row-at-a-time reference implementations on arbitrary shapes, including
+//! the degenerate 0-row and 1-row batches.
+//!
+//! K-means assignments and forest votes must be *bit-identical* (the kernels
+//! replicate the references' strict-`<` / class-order tie-breaks); the GLM
+//! link functions get a 1e-12 relative tolerance because the gemv
+//! accumulation order differs from the row-wise dot product.
+
+use proptest::prelude::*;
+use vdr_ml::models::{DecisionTree, GlmModel, KmeansModel, RandomForestModel, TreeNode};
+use vdr_ml::Family;
+
+/// A column-major block: `d` columns of `rows` values each, from a cheap
+/// deterministic generator (continuous values, so exact cross-center ties
+/// have probability ~0; deliberate ties are covered by unit tests).
+fn block(rows: usize, d: usize, seed: u64, scale: f64) -> Vec<Vec<f64>> {
+    let mut v = seed | 1;
+    let mut next = || {
+        v = v
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((v >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) * scale
+    };
+    (0..d)
+        .map(|_| (0..rows).map(|_| next()).collect())
+        .collect()
+}
+
+fn slices(owned: &[Vec<f64>]) -> Vec<&[f64]> {
+    owned.iter().map(Vec::as_slice).collect()
+}
+
+fn row_of(owned: &[Vec<f64>], i: usize) -> Vec<f64> {
+    owned.iter().map(|c| c[i]).collect()
+}
+
+fn shape_strategy() -> impl Strategy<Value = (usize, usize)> {
+    // Rows 0..=33 (0 and 1 included and common), features 1..=7.
+    (0..34usize, 1..8usize)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn glm_batch_matches_rowwise(
+        (rows, d) in shape_strategy(),
+        seed in any::<u64>(),
+        fam in 0..3u8,
+        intercept in any::<bool>(),
+    ) {
+        let family = match fam {
+            0 => Family::Gaussian,
+            1 => Family::Binomial,
+            _ => Family::Poisson,
+        };
+        let ncoef = d + usize::from(intercept);
+        let coefs = block(ncoef, 1, seed ^ 0xc0ef, 2.0)[0].clone();
+        let m = GlmModel {
+            coefficients: coefs,
+            intercept,
+            family,
+            deviance: 0.0,
+            iterations: 1,
+            converged: true,
+        };
+        let data = block(rows, d, seed, 5.0);
+        let batch = m.predict_batch(&slices(&data));
+        prop_assert_eq!(batch.len(), rows);
+        for (i, &got) in batch.iter().enumerate() {
+            let reference = m.predict(&row_of(&data, i));
+            let tol = 1e-12 * reference.abs().max(1.0);
+            prop_assert!(
+                (got - reference).abs() <= tol,
+                "row {}: batch {} vs reference {}", i, got, reference
+            );
+        }
+    }
+
+    #[test]
+    fn kmeans_batch_matches_rowwise(
+        (rows, d) in shape_strategy(),
+        k in 1..9usize,
+        seed in any::<u64>(),
+    ) {
+        let centers: Vec<Vec<f64>> = (0..k)
+            .map(|c| block(d, 1, seed ^ (c as u64 + 1), 10.0)[0].clone())
+            .collect();
+        let m = KmeansModel { centers, iterations: 1, total_withinss: 0.0 };
+        let data = block(rows, d, seed, 10.0);
+        let batch = m.assign_batch(&slices(&data));
+        prop_assert_eq!(batch.len(), rows);
+        for (i, &got) in batch.iter().enumerate() {
+            prop_assert_eq!(got, m.assign(&row_of(&data, i)));
+        }
+    }
+
+    #[test]
+    fn forest_batch_matches_rowwise(
+        (rows, d) in shape_strategy(),
+        ntrees in 1..7usize,
+        seed in any::<u64>(),
+    ) {
+        // Random stumps plus leaf-only trees over `d` features, 3 classes
+        // (not all necessarily reachable, which exercises zero-vote paths).
+        let classes = vec![-5i64, 2, 9];
+        let trees: Vec<DecisionTree> = (0..ntrees)
+            .map(|t| {
+                let s = seed.wrapping_add(t as u64).wrapping_mul(0x9e3779b97f4a7c15);
+                if t % 3 == 2 {
+                    DecisionTree { nodes: vec![TreeNode::Leaf { class: classes[(s % 3) as usize] }] }
+                } else {
+                    DecisionTree {
+                        nodes: vec![
+                            TreeNode::Split {
+                                feature: (s % d as u64) as usize,
+                                threshold: ((s >> 8) % 100) as f64 / 10.0 - 5.0,
+                                left: 1,
+                                right: 2,
+                            },
+                            TreeNode::Leaf { class: classes[(s % 3) as usize] },
+                            TreeNode::Leaf { class: classes[((s >> 16) % 3) as usize] },
+                        ],
+                    }
+                }
+            })
+            .collect();
+        let m = RandomForestModel { trees, num_features: d, classes };
+        let data = block(rows, d, seed, 5.0);
+        let batch = m.predict_batch(&slices(&data));
+        prop_assert_eq!(batch.len(), rows);
+        for (i, &got) in batch.iter().enumerate() {
+            prop_assert_eq!(got, m.predict(&row_of(&data, i)));
+        }
+    }
+}

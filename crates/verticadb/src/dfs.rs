@@ -16,6 +16,10 @@ use vdr_cluster::{NodeId, PhaseRecorder, SimCluster};
 struct FileMeta {
     replicas: Vec<NodeId>,
     size: u64,
+    /// crc32 of the blob contents, fixed at write time. Doubles as the
+    /// blob's version tag: re-deploying a model changes the checksum, which
+    /// is what invalidates node-local deserialized-model caches.
+    checksum: u32,
 }
 
 /// A replicated blob store across the database nodes.
@@ -81,6 +85,7 @@ impl Dfs {
     ) -> Result<()> {
         let replicas = self.placement(name)?;
         let size = data.len() as u64;
+        let checksum = vdr_columnar::checksum::crc32(&data);
         vdr_obs::counter_on("dfs.blob.stored", src.0, 1);
         vdr_obs::counter_on("dfs.blob.bytes_written", src.0, size);
         for &node in &replicas {
@@ -94,9 +99,14 @@ impl Dfs {
                 .disk()
                 .write(Self::disk_path(name), data.clone());
         }
-        self.files
-            .write()
-            .insert(name.to_string(), FileMeta { replicas, size });
+        self.files.write().insert(
+            name.to_string(),
+            FileMeta {
+                replicas,
+                size,
+                checksum,
+            },
+        );
         Ok(())
     }
 
@@ -158,6 +168,25 @@ impl Dfs {
 
     pub fn size_of(&self, name: &str) -> Option<u64> {
         self.files.read().get(name).map(|m| m.size)
+    }
+
+    /// The blob's content checksum (its version tag), without reading it.
+    /// Model caches compare this against their cached copy to detect
+    /// re-deploys.
+    pub fn checksum_of(&self, name: &str) -> Option<u32> {
+        self.files.read().get(name).map(|m| m.checksum)
+    }
+
+    /// Whether at least one replica of the blob is on a live node. Caches
+    /// must not serve a blob whose every replica is down: the DFS is the
+    /// durability story, and a cache outliving it would mask the loss.
+    pub fn is_readable(&self, name: &str) -> bool {
+        let files = self.files.read();
+        let Some(meta) = files.get(name) else {
+            return false;
+        };
+        let down = self.down.read();
+        meta.replicas.iter().any(|r| !down.contains(r))
     }
 
     pub fn list(&self) -> Vec<String> {
@@ -281,6 +310,22 @@ mod tests {
         assert!(dfs
             .write(NodeId(2), "m2", Bytes::from_static(b"x"), &rec)
             .is_err());
+    }
+
+    #[test]
+    fn checksum_tracks_blob_contents() {
+        let (_, dfs, rec) = setup(3, 3);
+        assert_eq!(dfs.checksum_of("m"), None);
+        dfs.write(NodeId(0), "m", Bytes::from_static(b"v1"), &rec)
+            .unwrap();
+        let first = dfs.checksum_of("m").unwrap();
+        // Same bytes → same checksum; different bytes → new version tag.
+        dfs.write(NodeId(1), "m", Bytes::from_static(b"v1"), &rec)
+            .unwrap();
+        assert_eq!(dfs.checksum_of("m"), Some(first));
+        dfs.write(NodeId(0), "m", Bytes::from_static(b"v2"), &rec)
+            .unwrap();
+        assert_ne!(dfs.checksum_of("m"), Some(first));
     }
 
     #[test]

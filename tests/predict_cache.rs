@@ -1,0 +1,142 @@
+//! Acceptance test for the vectorized prediction path: the node-local model
+//! cache loads each model version once per node (ledger + vdr-obs counters),
+//! survives re-registration by a second session, and invalidates when a
+//! re-deploy overwrites the blob.
+//!
+//! Kept as a single test function: vdr-obs metrics are process-global, and
+//! one sequential story keeps the counter arithmetic exact.
+
+use std::sync::Arc;
+use vertica_dr::cluster::SimCluster;
+use vertica_dr::columnar::{Batch, Column, DataType, Schema, Value};
+use vertica_dr::core::{Model, Session, SessionOptions};
+use vertica_dr::ml::models::KmeansModel;
+use vertica_dr::verticadb::{Segmentation, TableDef, VerticaDb};
+
+const NODES: u64 = 3;
+
+fn kmeans(centers: Vec<Vec<f64>>) -> Model {
+    Model::Kmeans(KmeansModel {
+        centers,
+        iterations: 1,
+        total_withinss: 0.0,
+    })
+}
+
+fn cluster_counts(batch: &Batch) -> (usize, usize) {
+    let ids = batch.column(0);
+    let ones = (0..batch.num_rows())
+        .filter(|&i| ids.get(i) == Value::Int64(1))
+        .count();
+    (batch.num_rows() - ones, ones)
+}
+
+#[test]
+fn model_cache_loads_once_per_node_and_invalidates_on_redeploy() {
+    let db = VerticaDb::new(SimCluster::for_tests(NODES as usize));
+    let schema = Schema::of(&[("a", DataType::Float64), ("b", DataType::Float64)]);
+    db.create_table(TableDef {
+        name: "pts".into(),
+        schema: schema.clone(),
+        segmentation: Segmentation::RoundRobin,
+    })
+    .unwrap();
+    let a: Vec<f64> = (0..100)
+        .map(|i| if i % 2 == 0 { 0.1 } else { 9.9 })
+        .collect();
+    let batch = Batch::new(
+        schema,
+        vec![Column::from_f64(a.clone()), Column::from_f64(a)],
+    )
+    .unwrap();
+    db.copy("pts", vec![batch]).unwrap();
+
+    let session = Session::connect_colocated(Arc::clone(&db), SessionOptions::default()).unwrap();
+    session
+        .deploy_model(
+            &kmeans(vec![vec![0.0, 0.0], vec![10.0, 10.0]]),
+            "km",
+            "cache test",
+        )
+        .unwrap();
+    let blob_size = db.dfs().size_of("models/km").unwrap();
+    let query = "SELECT KmeansPredict(a, b USING PARAMETERS model='km') \
+                 OVER (PARTITION BEST) FROM pts";
+
+    // ---- cold query: one DFS read + deserialize per node, no more.
+    let cold = session.sql(query).unwrap();
+    assert_eq!(cluster_counts(&cold.batch), (50, 50));
+    let m1 = session.metrics();
+    assert_eq!(m1.counter_total("dfs.blob.read"), NODES);
+    assert_eq!(m1.counter_total("predict.model_cache.miss"), NODES);
+    assert_eq!(m1.counter_total("predict.model_cache.invalidated"), 0);
+    assert_eq!(m1.counter_total("predict.rows"), 100);
+    assert!(
+        m1.histogram_total("predict.kernel.kmeans.ns_per_row")
+            .is_some(),
+        "per-kernel throughput must be observable"
+    );
+
+    // ---- warm queries: pure cache hits, not a single extra blob read.
+    let warm1 = session.sql(query).unwrap();
+    let warm2 = session.sql(query).unwrap();
+    assert_eq!(cluster_counts(&warm1.batch), (50, 50));
+    let m2 = session.metrics();
+    let warm_delta = m2.diff(&m1);
+    assert_eq!(warm_delta.counter_total("dfs.blob.read"), 0);
+    assert_eq!(warm_delta.counter_total("predict.model_cache.miss"), 0);
+    assert!(warm_delta.counter_total("predict.model_cache.hit") >= 2 * NODES);
+
+    // ---- ledger regression: the cold query is charged exactly one blob
+    // read per node more than a warm one; warm queries charge identically.
+    let reports = session.ledger().reports();
+    let selects: Vec<_> = reports.iter().filter(|r| r.name == "sql SELECT").collect();
+    assert_eq!(selects.len(), 3);
+    assert_eq!(selects[1].total_disk_read, selects[2].total_disk_read);
+    assert_eq!(
+        selects[0].total_disk_read,
+        selects[1].total_disk_read + NODES * blob_size,
+        "model load must be charged once per node, only on the cold query"
+    );
+    assert!(warm1.sim_time <= cold.sim_time);
+    assert_eq!(warm1.sim_time, warm2.sim_time);
+
+    // ---- re-deploy with swapped centers: checksum changes, every node
+    // invalidates and reloads once, and predictions flip.
+    session
+        .deploy_model(
+            &kmeans(vec![vec![10.0, 10.0], vec![0.0, 0.0]]),
+            "km",
+            "cache test v2",
+        )
+        .unwrap();
+    let flipped = session.sql(query).unwrap();
+    let (zeros, ones) = cluster_counts(&flipped.batch);
+    assert_eq!((zeros, ones), (50, 50));
+    // Points near (0,0) now belong to cluster 1: spot-check disagreement.
+    assert_ne!(
+        flipped.batch.column(0).get(0),
+        cold.batch.column(0).get(0),
+        "re-deployed model must actually be used"
+    );
+    let redeploy_delta = session.metrics().diff(&m2);
+    assert_eq!(redeploy_delta.counter_total("dfs.blob.read"), NODES);
+    assert_eq!(
+        redeploy_delta.counter_total("predict.model_cache.miss"),
+        NODES
+    );
+    assert_eq!(
+        redeploy_delta.counter_total("predict.model_cache.invalidated"),
+        NODES
+    );
+
+    // ---- a second session re-registers the prediction functions; the warm
+    // cache must survive, so its first query is all hits and zero reads.
+    let session2 = Session::connect_colocated(Arc::clone(&db), SessionOptions::default()).unwrap();
+    let out = session2.sql(query).unwrap();
+    assert_eq!(cluster_counts(&out.batch), (50, 50));
+    let m = session2.metrics();
+    assert_eq!(m.counter_total("dfs.blob.read"), 0);
+    assert_eq!(m.counter_total("predict.model_cache.miss"), 0);
+    assert!(m.counter_total("predict.model_cache.hit") >= NODES);
+}
