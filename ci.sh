@@ -33,14 +33,68 @@ fi
 run cargo build --release $OFFLINE
 run cargo test --workspace -q $OFFLINE
 
-# Benchmarks must keep compiling even though CI doesn't time them.
+# Benchmarks must keep compiling even though CI doesn't time them. The
+# scan micro-bench is named explicitly so a [[bench]] stanza typo can't
+# silently drop it from the sweep.
 run cargo bench --no-run $OFFLINE
+run cargo bench --no-run $OFFLINE -p vdr-bench --bench scan_micro
+
+# Every checked-in A/B artifact must be well-formed: each benchmark entry
+# needs both a "before" and an "after" arm with non-empty runs_ms.
+echo "==> validating BENCH_*.json artifacts"
+python3 - <<'EOF'
+import json, glob, sys
+
+bad = []
+files = sorted(glob.glob("BENCH_*.json"))
+if not files:
+    sys.exit("no BENCH_*.json artifacts found")
+for path in files:
+    with open(path) as f:
+        doc = json.load(f)
+    entries = {
+        k: v
+        for k, v in doc.items()
+        if isinstance(v, dict) and ("before" in v or "after" in v)
+    }
+    for name, entry in entries.items():
+        for arm in ("before", "after"):
+            runs = entry.get(arm, {}).get("runs_ms")
+            if not isinstance(runs, list) or not runs:
+                bad.append(f"{path}: {name}.{arm}.runs_ms missing or empty")
+    print(f"    {path}: {len(entries)} A/B entries ok" if not bad else f"    {path}: FAIL")
+if bad:
+    sys.exit("\n".join(bad))
+EOF
 
 # Smoke-run the figures binary: every figure generator must still execute
 # and serialize. The artifact goes to a scratch path so a CI run never
-# clobbers a checked-in BENCH_*.json.
+# clobbers a checked-in BENCH_*.json. The same pass covers the scan-path
+# counters: the "scan" figure runs a real cold/warm query and its report
+# must show projection pushdown (cols_skipped) and cache hits firing.
 SMOKE_OUT="$(mktemp)"
 run cargo run --release $OFFLINE -p vdr-bench --bin figures -- --json --out "$SMOKE_OUT" >/dev/null
+echo "==> checking scan counters in figures output"
+python3 - "$SMOKE_OUT" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+scan = next((f["figure"] for f in doc["figures"] if f["id"] == "scan"), None)
+if scan is None:
+    sys.exit("figures output has no 'scan' figure")
+rows = {r["pass"]: r for r in scan["rows"]}
+cold, warm = rows["cold"], rows["warm"]
+if int(cold["exec.scan.cols_skipped"]) <= 0:
+    sys.exit("cold scan skipped no columns: projection pushdown not firing")
+if int(cold["scan.cache.miss"]) <= 0 or int(cold["scan.cache.hit"]) != 0:
+    sys.exit("cold scan should only miss the decoded-block cache")
+if int(warm["scan.cache.hit"]) <= 0 or int(warm["scan.cache.miss"]) != 0:
+    sys.exit("warm scan should be served entirely from the decoded-block cache")
+if warm["decode ns/value"] != "0 (cache)":
+    sys.exit("warm scan decoded blocks despite cache hits")
+print(f"    cold: cols_skipped={cold['exec.scan.cols_skipped']} miss={cold['scan.cache.miss']}; "
+      f"warm: hit={warm['scan.cache.hit']} decode={warm['decode ns/value']}")
+EOF
 rm -f "$SMOKE_OUT"
 
 echo "==> CI green"

@@ -1,0 +1,94 @@
+//! Scan-path micro-benchmarks: narrow projection over a wide table, and
+//! selective vs non-selective WHERE predicates.
+//!
+//! Uses only the public SQL surface so the identical file can be timed
+//! against older commits for A/B comparisons (see BENCH_scan.json).
+
+mod common;
+
+use common::criterion;
+use criterion::Criterion;
+use vdr_cluster::SimCluster;
+use vdr_columnar::{Batch, Column, DataType, Schema, Value};
+use vdr_verticadb::{Segmentation, TableDef, VerticaDb};
+
+const ROWS: usize = 40_000;
+const WIDE_COLS: usize = 16;
+const BATCHES: usize = 4;
+
+/// A 16-float-column table (plus id), loaded in 4 chunks so each node holds
+/// several containers.
+fn load_wide(db: &VerticaDb) {
+    let mut fields = vec![("id".to_string(), DataType::Int64)];
+    for i in 0..WIDE_COLS {
+        fields.push((format!("c{i:02}"), DataType::Float64));
+    }
+    let schema = Schema::of(
+        &fields
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect::<Vec<_>>(),
+    );
+    db.create_table(TableDef {
+        name: "wide".into(),
+        schema: schema.clone(),
+        segmentation: Segmentation::RoundRobin,
+    })
+    .unwrap();
+    let chunk = ROWS / BATCHES;
+    for b in 0..BATCHES {
+        let lo = (b * chunk) as i64;
+        let hi = lo + chunk as i64;
+        let mut cols = vec![Column::from_i64((lo..hi).collect())];
+        for c in 0..WIDE_COLS {
+            cols.push(Column::from_f64(
+                (lo..hi).map(|i| i as f64 * (c + 1) as f64).collect(),
+            ));
+        }
+        db.copy("wide", vec![Batch::new(schema.clone(), cols).unwrap()])
+            .unwrap();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let db = VerticaDb::new(SimCluster::for_tests(3));
+    load_wide(&db);
+    let expected_sum = (0..ROWS).map(|i| i as f64).sum::<f64>();
+
+    // Narrow projection: 1 of 17 columns referenced.
+    c.bench_function("scan_narrow_projection_16col_40k", |b| {
+        b.iter(|| {
+            let out = db.query("SELECT sum(c00) FROM wide").unwrap();
+            assert_eq!(out.batch.row(0)[0], Value::Float64(expected_sum));
+        })
+    });
+
+    // Selective predicate: ~1% of rows pass.
+    let cutoff = (ROWS as f64) * 0.99;
+    let selective = format!("SELECT count(*) FROM wide WHERE c00 > {cutoff}");
+    c.bench_function("scan_where_selective_40k", |b| {
+        b.iter(|| {
+            let out = db.query(&selective).unwrap();
+            let Value::Int64(n) = out.batch.row(0)[0] else {
+                panic!("count must be int");
+            };
+            assert!(n > 0 && (n as usize) < ROWS / 50);
+        })
+    });
+
+    // Non-selective predicate: every row passes.
+    c.bench_function("scan_where_nonselective_40k", |b| {
+        b.iter(|| {
+            let out = db
+                .query("SELECT count(*) FROM wide WHERE c00 >= 0")
+                .unwrap();
+            assert_eq!(out.batch.row(0)[0], Value::Int64(ROWS as i64));
+        })
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

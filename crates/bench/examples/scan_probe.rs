@@ -1,0 +1,68 @@
+//! Probe for the fig15 "scan-bound" caveat: times the bare scan query
+//! (`SELECT a,b,c,d,e FROM t`, no predict) against the full KmeansPredict
+//! query on the same table, printing best-of-N wall-clock for each. The
+//! gap between the two is the prediction path's true overhead on top of
+//! the scan.
+
+use std::time::Instant;
+use vdr_cluster::{NodeId, PhaseKind, PhaseRecorder, SimCluster};
+use vdr_core::{register_prediction_functions, Model};
+use vdr_ml::models::KmeansModel;
+use vdr_verticadb::{Segmentation, VerticaDb};
+use vdr_workloads::transfer_table;
+
+fn best_ms(db: &VerticaDb, query: &str, iters: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let out = db.query(query).unwrap();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.batch.num_rows(), 30_000);
+        best = best.min(ms);
+    }
+    best
+}
+
+fn main() {
+    let db = VerticaDb::new(SimCluster::for_tests(3));
+    register_prediction_functions(&db);
+    transfer_table(
+        &db,
+        "t",
+        30_000,
+        Segmentation::Hash {
+            column: "id".into(),
+        },
+        4,
+    )
+    .unwrap();
+    let model = Model::Kmeans(KmeansModel {
+        centers: (0..10).map(|i| vec![i as f64 * 150.0 - 700.0; 5]).collect(),
+        iterations: 1,
+        total_withinss: 0.0,
+    });
+    let rec = PhaseRecorder::new("save", PhaseKind::Sequential, 3);
+    db.models()
+        .save(
+            NodeId(0),
+            "km",
+            "dbadmin",
+            "kmeans",
+            "bench",
+            model.to_bytes(),
+            &rec,
+        )
+        .unwrap();
+
+    let scan = "SELECT a, b, c, d, e FROM t";
+    let predict = "SELECT KmeansPredict(a, b, c, d, e USING PARAMETERS model='km') \
+                   OVER (PARTITION BEST) FROM t";
+    // Warm both paths once (cache fill), then time.
+    best_ms(&db, scan, 1);
+    best_ms(&db, predict, 1);
+    let scan_ms = best_ms(&db, scan, 20);
+    let predict_ms = best_ms(&db, predict, 20);
+    println!("scan_probe_ms   {scan_ms:.3}");
+    println!("predict_ms      {predict_ms:.3}");
+    println!("gap_ms          {:.3}", predict_ms - scan_ms);
+}

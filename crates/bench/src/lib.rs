@@ -18,6 +18,7 @@ pub mod ablations;
 pub mod compute_figs;
 pub mod predict_figs;
 pub mod report;
+pub mod scan_figs;
 pub mod transfer_figs;
 
 pub use report::FigureReport;
@@ -44,5 +45,6 @@ pub fn all_figures() -> Vec<(&'static str, FigureFn)> {
         ("abl-pipelining", ablations::pipelining),
         ("abl-buffering", ablations::buffering),
         ("abl-replication", ablations::dfs_replication),
+        ("scan", scan_figs::scan_path),
     ]
 }

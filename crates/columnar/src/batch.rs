@@ -3,6 +3,7 @@
 //! The unit of vectorized execution, of on-disk containers, and of VFT wire
 //! transfers.
 
+use crate::bitmap::Bitmap;
 use crate::column::{Column, ColumnBuilder};
 use crate::error::{ColumnarError, Result};
 use crate::schema::Schema;
@@ -113,8 +114,8 @@ impl Batch {
         Batch::new(schema, columns)
     }
 
-    /// Keep rows where `mask` is true.
-    pub fn filter(&self, mask: &[bool]) -> Result<Batch> {
+    /// Keep rows where the selection `mask` is set.
+    pub fn filter(&self, mask: &Bitmap) -> Result<Batch> {
         let columns = self
             .columns
             .iter()
@@ -244,7 +245,9 @@ mod tests {
         let p = b.project(&["x"]).unwrap();
         assert_eq!(p.num_columns(), 1);
         assert_eq!(p.schema().names(), vec!["x"]);
-        let f = b.filter(&[false, true, false]).unwrap();
+        let f = b
+            .filter(&Bitmap::from_bools(&[false, true, false]))
+            .unwrap();
         assert_eq!(f.num_rows(), 1);
         assert_eq!(f.row(0), vec![Value::Int64(2), Value::Float64(0.2)]);
         let t = b.take(&[2, 0]);

@@ -1,7 +1,11 @@
-//! Bit-packed validity bitmap.
+//! Bit-packed bitmaps.
 //!
-//! One bit per row: set ⇒ the value is valid, clear ⇒ NULL. Stored in
-//! little-endian `u64` words.
+//! One bit per row, stored in little-endian `u64` words. Used in two roles:
+//!
+//! * **validity** — set ⇒ the value is valid, clear ⇒ NULL, and
+//! * **selection masks** — set ⇒ the row passed a predicate (the vectorized
+//!   filter path combines masks with word-level [`Bitmap::and`] /
+//!   [`Bitmap::or`] instead of per-row booleans).
 
 /// A growable bitmap.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -24,6 +28,36 @@ impl Bitmap {
             }
         }
         Bitmap { words, len }
+    }
+
+    /// A bitmap of `len` bits, all clear.
+    pub fn all_clear(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Build from a boolean slice (selection-mask construction).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut out = Bitmap::all_clear(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                out.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        out
+    }
+
+    /// Build `len` bits from a per-index predicate.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut out = Bitmap::all_clear(len);
+        for i in 0..len {
+            if f(i) {
+                out.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        out
     }
 
     pub fn len(&self) -> usize {
@@ -65,6 +99,60 @@ impl Bitmap {
     /// True iff every bit is set — lets encoders skip the null path.
     pub fn all_set(&self) -> bool {
         self.count_set() == self.len
+    }
+
+    /// True iff at least one bit is set. Word-level, so an all-false
+    /// selection mask short-circuits in O(words).
+    pub fn any_set(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Set bit `i` (must be in range).
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Word-level intersection of two equal-length bitmaps (Kleene "both
+    /// definitely true" for selection masks).
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch in and()");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Word-level union of two equal-length bitmaps.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch in or()");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Visit every set bit's index in ascending order, skipping clear words
+    /// wholesale (the fast inner loop of the vectorized filter).
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
     }
 
     /// Append all bits of `other`.

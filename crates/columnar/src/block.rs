@@ -7,17 +7,24 @@
 //! * **VFT wire batches** — `ExportToDistributedR` streams blocks to the
 //!   Distributed R workers' receive pools.
 //!
-//! Layout:
+//! Version 2 layout (current writer):
 //! ```text
 //! magic  "VCOL"            4 bytes
-//! version u8               1 byte  (currently 1)
+//! version u8               1 byte  (2)
 //! crc32  of body           4 bytes
 //! body:
 //!   rows   u64
 //!   ncols  u16
-//!   per column: name (uvarint len + utf8), dtype u8, encoding u8,
-//!               payload-len u64, payload bytes
+//!   index: ncols × u64     byte offset of each column entry from body start
+//!   per column entry: name (uvarint len + utf8), dtype u8, encoding u8,
+//!                     payload-len u64, payload bytes
 //! ```
+//!
+//! The offset index is what makes **projection pushdown** cheap: a scan that
+//! wants `k` of `m` columns seeks straight to the `k` entries it needs and
+//! never touches the other payloads ([`decode_batch_columns`]). Version 1
+//! blocks (no index) are still readable — the per-column `payload-len`
+//! lets the decoder skip unwanted payloads sequentially.
 
 use crate::batch::Batch;
 use crate::checksum::crc32;
@@ -27,9 +34,11 @@ use crate::error::{ColumnarError, Result};
 use crate::schema::{Field, Schema};
 use crate::value::DataType;
 use bytes::Bytes;
+use std::collections::HashSet;
 
 const MAGIC: &[u8; 4] = b"VCOL";
-const VERSION: u8 = 1;
+const VERSION_V1: u8 = 1;
+const VERSION_V2: u8 = 2;
 
 fn dtype_to_u8(dt: DataType) -> u8 {
     match dt {
@@ -50,6 +59,31 @@ fn dtype_from_u8(v: u8) -> Result<DataType> {
     }
 }
 
+/// What a [`decode_batch_columns`] call actually did — drives the cost
+/// ledger (charge only decoded values) and the `exec.scan.cols_skipped`
+/// observability counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Columns present in the block.
+    pub cols_total: usize,
+    /// Columns actually decoded.
+    pub cols_decoded: usize,
+    /// Rows in the block.
+    pub rows: usize,
+}
+
+impl DecodeStats {
+    /// Columns whose payloads were skipped without decoding.
+    pub fn cols_skipped(&self) -> usize {
+        self.cols_total - self.cols_decoded
+    }
+
+    /// Scalar values materialized (the unit `db_scan_ns_per_value` charges).
+    pub fn values_decoded(&self) -> u64 {
+        (self.rows * self.cols_decoded) as u64
+    }
+}
+
 /// Serialize a batch, choosing each column's encoding heuristically.
 pub fn encode_batch(batch: &Batch) -> Bytes {
     encode_batch_with(batch, None)
@@ -58,13 +92,24 @@ pub fn encode_batch(batch: &Batch) -> Bytes {
 /// Serialize a batch forcing one encoding for every column (used by the
 /// encoding ablation bench). `None` selects per-column heuristics.
 pub fn encode_batch_with(batch: &Batch, force: Option<Encoding>) -> Bytes {
-    let mut body = Vec::with_capacity(batch.byte_size() as usize + 64);
-    body.extend_from_slice(&(batch.num_rows() as u64).to_le_bytes());
-    body.extend_from_slice(&(batch.num_columns() as u16).to_le_bytes());
+    encode_batch_version(batch, force, VERSION_V2)
+}
+
+/// Serialize in the legacy v1 layout (no column offset index). Kept so the
+/// backward-compatibility tests can manufacture old-format containers; the
+/// engine itself always writes v2.
+pub fn encode_batch_v1(batch: &Batch) -> Bytes {
+    encode_batch_version(batch, None, VERSION_V1)
+}
+
+fn encode_batch_version(batch: &Batch, force: Option<Encoding>, version: u8) -> Bytes {
+    let ncols = batch.num_columns();
+    let mut entries: Vec<Vec<u8>> = Vec::with_capacity(ncols);
     for (field, col) in batch.schema().fields().iter().zip(batch.columns()) {
-        write_uvarint(field.name.len() as u64, &mut body);
-        body.extend_from_slice(field.name.as_bytes());
-        body.push(dtype_to_u8(field.dtype));
+        let mut entry = Vec::new();
+        write_uvarint(field.name.len() as u64, &mut entry);
+        entry.extend_from_slice(field.name.as_bytes());
+        entry.push(dtype_to_u8(field.dtype));
         let (enc, payload) = match force {
             Some(enc) => {
                 let mut out = Vec::new();
@@ -82,31 +127,75 @@ pub fn encode_batch_with(batch: &Batch, force: Option<Encoding>) -> Bytes {
             }
             None => encoding::encode_auto(col),
         };
-        body.push(enc as u8);
-        body.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        body.extend_from_slice(&payload);
+        entry.push(enc as u8);
+        entry.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        entry.extend_from_slice(&payload);
+        entries.push(entry);
     }
+
+    let entries_len: usize = entries.iter().map(Vec::len).sum();
+    let index_len = if version >= VERSION_V2 { ncols * 8 } else { 0 };
+    let mut body = Vec::with_capacity(10 + index_len + entries_len);
+    body.extend_from_slice(&(batch.num_rows() as u64).to_le_bytes());
+    body.extend_from_slice(&(ncols as u16).to_le_bytes());
+    if version >= VERSION_V2 {
+        // Per-column offset index: entry offsets from body start.
+        let mut offset = (10 + index_len) as u64;
+        for e in &entries {
+            body.extend_from_slice(&offset.to_le_bytes());
+            offset += e.len() as u64;
+        }
+    }
+    for e in &entries {
+        body.extend_from_slice(e);
+    }
+
     let mut out = Vec::with_capacity(body.len() + 9);
     out.extend_from_slice(MAGIC);
-    out.push(VERSION);
+    out.push(version);
     out.extend_from_slice(&crc32(&body).to_le_bytes());
     out.extend_from_slice(&body);
     Bytes::from(out)
 }
 
-/// Deserialize a block back into a batch, verifying magic, version, and
-/// checksum.
+/// Deserialize a block back into a batch (all columns), verifying magic,
+/// version, and checksum.
 pub fn decode_batch(bytes: &[u8]) -> Result<Batch> {
+    decode_batch_columns(bytes, None).map(|(batch, _)| batch)
+}
+
+/// The crc32 a block header carries over its body, without decoding it.
+/// Storage layers use it as the container's content version tag.
+pub fn block_checksum(bytes: &[u8]) -> Result<u32> {
+    if bytes.len() < 9 || &bytes[0..4] != MAGIC {
+        return Err(ColumnarError::BadBlockHeader("bad magic".into()));
+    }
+    Ok(u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")))
+}
+
+/// Deserialize only the named columns of a block (projection pushdown);
+/// `None` decodes everything. Column names match case-insensitively, like
+/// [`Schema::index_of`]. Unwanted column payloads are skipped via the v2
+/// offset index (or the per-column payload length in v1 blocks) and never
+/// decoded. Decoded columns keep the block's column order.
+///
+/// If the wanted set would select zero columns, the smallest-payload column
+/// is decoded anyway so the batch still carries the block's row count
+/// (`SELECT count(*)` needs rows, not values).
+pub fn decode_batch_columns(
+    bytes: &[u8],
+    wanted: Option<&HashSet<String>>,
+) -> Result<(Batch, DecodeStats)> {
     if bytes.len() < 9 {
         return Err(ColumnarError::BadBlockHeader("block too short".into()));
     }
     if &bytes[0..4] != MAGIC {
         return Err(ColumnarError::BadBlockHeader("bad magic".into()));
     }
-    if bytes[4] != VERSION {
+    let version = bytes[4];
+    if version != VERSION_V1 && version != VERSION_V2 {
         return Err(ColumnarError::BadBlockHeader(format!(
-            "unsupported version {}",
-            bytes[4]
+            "unsupported version {version}"
         )));
     }
     let expected = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes"));
@@ -119,9 +208,39 @@ pub fn decode_batch(bytes: &[u8]) -> Result<Batch> {
     let mut pos = 0usize;
     let rows = read_u64_le(body, &mut pos)? as usize;
     let ncols = read_u16_le(body, &mut pos)? as usize;
-    let mut fields = Vec::with_capacity(ncols);
-    let mut columns: Vec<Column> = Vec::with_capacity(ncols);
-    for _ in 0..ncols {
+
+    // Column entry offsets: read from the v2 index, or discovered by the
+    // sequential walk below for v1.
+    let index: Option<Vec<u64>> = if version >= VERSION_V2 {
+        let mut offsets = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            offsets.push(read_u64_le(body, &mut pos)?);
+        }
+        Some(offsets)
+    } else {
+        None
+    };
+
+    // First pass: read every entry header (cheap — name + 2 bytes + len),
+    // remembering where each payload lives.
+    struct Entry {
+        name: String,
+        dtype: DataType,
+        enc: Encoding,
+        payload_start: usize,
+        payload_end: usize,
+    }
+    let mut entries = Vec::with_capacity(ncols);
+    for c in 0..ncols {
+        if let Some(idx) = &index {
+            let off = idx[c] as usize;
+            if off < pos || off > body.len() {
+                return Err(ColumnarError::Corrupt(format!(
+                    "column {c} index offset {off} out of range"
+                )));
+            }
+            pos = off;
+        }
         let name_len = read_uvarint(body, &mut pos)? as usize;
         let name_end = pos
             .checked_add(name_len)
@@ -139,20 +258,17 @@ pub fn decode_batch(bytes: &[u8]) -> Result<Batch> {
         let payload_end = pos
             .checked_add(payload_len)
             .ok_or_else(|| ColumnarError::Corrupt("payload length overflow".into()))?;
-        let payload = body
-            .get(pos..payload_end)
-            .ok_or_else(|| ColumnarError::Corrupt("payload past end".into()))?;
-        let mut ppos = 0usize;
-        let col = encoding::decode_column(dtype, enc, rows, payload, &mut ppos)?;
-        if ppos != payload.len() {
-            return Err(ColumnarError::Corrupt(format!(
-                "column {name}: {} trailing payload bytes",
-                payload.len() - ppos
-            )));
+        if payload_end > body.len() {
+            return Err(ColumnarError::Corrupt("payload past end".into()));
         }
+        entries.push(Entry {
+            name,
+            dtype,
+            enc,
+            payload_start: pos,
+            payload_end,
+        });
         pos = payload_end;
-        fields.push(Field::new(name, dtype));
-        columns.push(col);
     }
     if pos != body.len() {
         return Err(ColumnarError::Corrupt(format!(
@@ -160,7 +276,53 @@ pub fn decode_batch(bytes: &[u8]) -> Result<Batch> {
             body.len() - pos
         )));
     }
-    Batch::new(Schema::new(fields), columns)
+
+    // Which entries to materialize. An empty selection still decodes the
+    // cheapest column so the row count survives.
+    let is_wanted = |name: &str| match wanted {
+        None => true,
+        Some(set) => set.iter().any(|w| w.eq_ignore_ascii_case(name)),
+    };
+    let mut selected: Vec<bool> = entries.iter().map(|e| is_wanted(&e.name)).collect();
+    if ncols > 0 && !selected.iter().any(|&s| s) {
+        let cheapest = entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.payload_end - e.payload_start)
+            .map(|(i, _)| i)
+            .expect("ncols > 0");
+        selected[cheapest] = true;
+    }
+
+    let mut fields = Vec::new();
+    let mut columns: Vec<Column> = Vec::new();
+    for (e, keep) in entries.iter().zip(&selected) {
+        if !keep {
+            continue;
+        }
+        let payload = &body[e.payload_start..e.payload_end];
+        let mut ppos = 0usize;
+        let col = encoding::decode_column(e.dtype, e.enc, rows, payload, &mut ppos)?;
+        if ppos != payload.len() {
+            return Err(ColumnarError::Corrupt(format!(
+                "column {}: {} trailing payload bytes",
+                e.name,
+                payload.len() - ppos
+            )));
+        }
+        fields.push(Field::new(e.name.clone(), e.dtype));
+        columns.push(col);
+    }
+    let cols_decoded = columns.len();
+    let batch = Batch::new(Schema::new(fields), columns)?;
+    Ok((
+        batch,
+        DecodeStats {
+            cols_total: ncols,
+            cols_decoded,
+            rows,
+        },
+    ))
 }
 
 fn read_u8(bytes: &[u8], pos: &mut usize) -> Result<u8> {
@@ -181,7 +343,9 @@ fn read_u16_le(bytes: &[u8], pos: &mut usize) -> Result<u16> {
 }
 
 fn read_u64_le(bytes: &[u8], pos: &mut usize) -> Result<u64> {
-    let end = *pos + 8;
+    let end = pos
+        .checked_add(8)
+        .ok_or_else(|| ColumnarError::Corrupt("u64 past end".into()))?;
     let s = bytes
         .get(*pos..end)
         .ok_or_else(|| ColumnarError::Corrupt("u64 past end".into()))?;
@@ -213,12 +377,61 @@ mod tests {
         .unwrap()
     }
 
+    fn set(names: &[&str]) -> HashSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn roundtrip_preserves_everything() {
         let batch = sample_batch();
         let bytes = encode_batch(&batch);
         let back = decode_batch(&bytes).unwrap();
         assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn v1_blocks_still_decode() {
+        let batch = sample_batch();
+        let bytes = encode_batch_v1(&batch);
+        assert_eq!(bytes[4], VERSION_V1);
+        let back = decode_batch(&bytes).unwrap();
+        assert_eq!(back, batch);
+        // Projection works on v1 too, via sequential payload skipping.
+        let (narrow, stats) = decode_batch_columns(&bytes, Some(&set(&["x"]))).unwrap();
+        assert_eq!(narrow.schema().names(), vec!["x"]);
+        assert_eq!(stats.cols_skipped(), 3);
+    }
+
+    #[test]
+    fn projection_decodes_only_wanted_columns() {
+        let batch = sample_batch();
+        let bytes = encode_batch(&batch);
+        let (narrow, stats) = decode_batch_columns(&bytes, Some(&set(&["tag", "id"]))).unwrap();
+        // Block column order is preserved, not selection order.
+        assert_eq!(narrow.schema().names(), vec!["id", "tag"]);
+        assert_eq!(narrow.num_rows(), 100);
+        assert_eq!(
+            narrow.column_by_name("tag").unwrap().get(7),
+            batch.row(7)[3]
+        );
+        assert_eq!(stats.cols_total, 4);
+        assert_eq!(stats.cols_decoded, 2);
+        assert_eq!(stats.values_decoded(), 200);
+    }
+
+    #[test]
+    fn projection_matches_case_insensitively() {
+        let bytes = encode_batch(&sample_batch());
+        let (narrow, _) = decode_batch_columns(&bytes, Some(&set(&["ID", "Tag"]))).unwrap();
+        assert_eq!(narrow.schema().names(), vec!["id", "tag"]);
+    }
+
+    #[test]
+    fn empty_projection_keeps_row_count() {
+        let bytes = encode_batch(&sample_batch());
+        let (b, stats) = decode_batch_columns(&bytes, Some(&set(&["nope"]))).unwrap();
+        assert_eq!(b.num_rows(), 100);
+        assert_eq!(stats.cols_decoded, 1, "cheapest column stands in for rows");
     }
 
     #[test]
@@ -270,6 +483,14 @@ mod tests {
             Err(ColumnarError::BadBlockHeader(_))
         ));
         assert!(decode_batch(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn block_checksum_matches_header() {
+        let bytes = encode_batch(&sample_batch());
+        let crc = block_checksum(&bytes).unwrap();
+        assert_eq!(crc, crc32(&bytes[9..]));
+        assert!(block_checksum(&[0, 1, 2]).is_err());
     }
 
     #[test]

@@ -63,6 +63,36 @@ impl Column {
         Column::Varchar { data, validity }
     }
 
+    /// A column of `n` copies of `value` — the constant-column path for
+    /// literal expressions, built with `vec!` fills instead of `n` boxed
+    /// [`Value`] pushes through a type-checking builder. A NULL literal
+    /// becomes an all-NULL Varchar column (the same default type the
+    /// builder-based path used for untyped NULLs).
+    pub fn from_value(value: &Value, n: usize) -> Column {
+        match value {
+            Value::Int64(v) => Column::Int64 {
+                data: vec![*v; n],
+                validity: Bitmap::all_valid(n),
+            },
+            Value::Float64(v) => Column::Float64 {
+                data: vec![*v; n],
+                validity: Bitmap::all_valid(n),
+            },
+            Value::Bool(v) => Column::Bool {
+                data: vec![*v; n],
+                validity: Bitmap::all_valid(n),
+            },
+            Value::Varchar(s) => Column::Varchar {
+                data: vec![s.clone(); n],
+                validity: Bitmap::all_valid(n),
+            },
+            Value::Null => Column::Varchar {
+                data: vec![String::new(); n],
+                validity: Bitmap::all_clear(n),
+            },
+        }
+    }
+
     pub fn data_type(&self) -> DataType {
         match self {
             Column::Int64 { .. } => DataType::Int64,
@@ -272,21 +302,59 @@ impl Column {
         Ok(())
     }
 
-    /// Keep rows where `mask` is true.
-    pub fn filter(&self, mask: &[bool]) -> Result<Column> {
+    /// Keep rows where the selection `mask` is set. Typed gather loops —
+    /// no boxed [`Value`]s — driven by [`Bitmap::for_each_set`], which
+    /// skips all-clear words wholesale.
+    pub fn filter(&self, mask: &Bitmap) -> Result<Column> {
         if mask.len() != self.len() {
             return Err(ColumnarError::LengthMismatch {
                 expected: self.len(),
                 found: mask.len(),
             });
         }
-        let mut b = ColumnBuilder::new(self.data_type());
-        for (i, &keep) in mask.iter().enumerate() {
-            if keep {
-                b.push(self.get(i))?;
+        let keep = mask.count_set();
+        fn gather_validity(src: &Bitmap, mask: &Bitmap, keep: usize) -> Bitmap {
+            if src.all_set() {
+                return Bitmap::all_valid(keep);
             }
+            let mut out = Bitmap::new();
+            mask.for_each_set(|i| out.push(src.get(i)));
+            out
         }
-        Ok(b.finish())
+        Ok(match self {
+            Column::Int64 { data, validity } => {
+                let mut out = Vec::with_capacity(keep);
+                mask.for_each_set(|i| out.push(data[i]));
+                Column::Int64 {
+                    data: out,
+                    validity: gather_validity(validity, mask, keep),
+                }
+            }
+            Column::Float64 { data, validity } => {
+                let mut out = Vec::with_capacity(keep);
+                mask.for_each_set(|i| out.push(data[i]));
+                Column::Float64 {
+                    data: out,
+                    validity: gather_validity(validity, mask, keep),
+                }
+            }
+            Column::Bool { data, validity } => {
+                let mut out = Vec::with_capacity(keep);
+                mask.for_each_set(|i| out.push(data[i]));
+                Column::Bool {
+                    data: out,
+                    validity: gather_validity(validity, mask, keep),
+                }
+            }
+            Column::Varchar { data, validity } => {
+                let mut out = Vec::with_capacity(keep);
+                mask.for_each_set(|i| out.push(data[i].clone()));
+                Column::Varchar {
+                    data: out,
+                    validity: gather_validity(validity, mask, keep),
+                }
+            }
+        })
     }
 
     /// Gather rows at `indices` (in order, duplicates allowed).
@@ -473,13 +541,49 @@ mod tests {
     #[test]
     fn filter_and_take() {
         let col = Column::from_strings(vec!["a", "b", "c", "d"]);
-        let filtered = col.filter(&[true, false, false, true]).unwrap();
+        let filtered = col
+            .filter(&Bitmap::from_bools(&[true, false, false, true]))
+            .unwrap();
         assert_eq!(filtered.len(), 2);
         assert_eq!(filtered.get(1), Value::Varchar("d".into()));
         let taken = col.take(&[3, 3, 0]);
         assert_eq!(taken.get(0), Value::Varchar("d".into()));
         assert_eq!(taken.get(2), Value::Varchar("a".into()));
-        assert!(col.filter(&[true]).is_err());
+        assert!(col.filter(&Bitmap::from_bools(&[true])).is_err());
+    }
+
+    #[test]
+    fn filter_preserves_nulls() {
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        for i in 0..130 {
+            if i % 3 == 0 {
+                b.push_null();
+            } else {
+                b.push(Value::Float64(i as f64)).unwrap();
+            }
+        }
+        let col = b.finish();
+        let mask = Bitmap::from_fn(130, |i| i % 2 == 0);
+        let f = col.filter(&mask).unwrap();
+        assert_eq!(f.len(), 65);
+        // Row 2i of the source lands at row i of the result.
+        for i in 0..65 {
+            assert_eq!(f.get(i), col.get(2 * i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn from_value_builds_constant_columns() {
+        let c = Column::from_value(&Value::Float64(2.5), 3);
+        assert_eq!(c.as_f64_slice(), Some(&[2.5, 2.5, 2.5][..]));
+        let c = Column::from_value(&Value::Varchar("hi".into()), 2);
+        assert_eq!(c.get(1), Value::Varchar("hi".into()));
+        let c = Column::from_value(&Value::Null, 4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.null_count(), 4);
+        assert_eq!(c.get(0), Value::Null);
+        assert_eq!(c.data_type(), DataType::Varchar);
+        assert!(Column::from_value(&Value::Bool(true), 0).is_empty());
     }
 
     #[test]

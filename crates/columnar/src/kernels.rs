@@ -1,0 +1,330 @@
+//! Vectorized predicate and arithmetic kernels.
+//!
+//! The row-at-a-time expression evaluator boxes every value (`Value`) and
+//! pushes through a type-checking builder; on numeric columns that is almost
+//! pure overhead. These kernels run tight typed loops over `Int64`/`Float64`
+//! data with validity bitmaps, and return `None` whenever the operands fall
+//! outside the fast path (Varchar, Bool, mixed non-numeric) so the caller
+//! can keep the boxed path as the semantic fallback.
+//!
+//! Comparison results come back as a pair of [`Bitmap`]s:
+//!
+//! * **truth** — set iff both operands are valid *and* the comparison holds
+//!   (exactly the SQL "is TRUE" selection mask a WHERE clause needs), and
+//! * **validity** — set iff both operands are valid (what a materialized
+//!   three-valued `Bool` column needs for its NULLs).
+//!
+//! Semantics match the boxed evaluator bit for bit: numerics compare in the
+//! `f64` domain via `partial_cmp(..).unwrap_or(Equal)` (ints widen; NaN
+//! compares Equal), and `Int64 ⊕ Int64` arithmetic computes in `f64` before
+//! truncating back, as the `Value`-based path does.
+
+use crate::bitmap::Bitmap;
+use crate::column::Column;
+use std::cmp::Ordering;
+
+/// Comparison operators the kernels implement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`), for
+    /// normalizing literal-on-the-left comparisons.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    #[inline]
+    fn holds(self, a: f64, b: f64) -> bool {
+        // Mirrors compare_values: incomparable (NaN) collapses to Equal.
+        let ord = a.partial_cmp(&b).unwrap_or(Ordering::Equal);
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Arithmetic operators the kernels implement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl ArithOp {
+    #[inline]
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => a / b,
+            ArithOp::Mod => a % b,
+        }
+    }
+
+    fn null_on_zero_rhs(self) -> bool {
+        matches!(self, ArithOp::Div | ArithOp::Mod)
+    }
+}
+
+/// A borrowed numeric view of a column: the typed data plus its validity.
+/// `None` for Bool/Varchar columns (those stay on the boxed path).
+enum NumView<'a> {
+    I64(&'a [i64]),
+    F64(&'a [f64]),
+}
+
+impl NumView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            NumView::I64(d) => d[i] as f64,
+            NumView::F64(d) => d[i],
+        }
+    }
+}
+
+fn numeric_view(col: &Column) -> Option<(NumView<'_>, &Bitmap)> {
+    match col {
+        Column::Int64 { data, validity } => Some((NumView::I64(data), validity)),
+        Column::Float64 { data, validity } => Some((NumView::F64(data), validity)),
+        _ => None,
+    }
+}
+
+/// Compare a numeric column against a numeric scalar. Returns
+/// `(truth, validity)` bitmaps, or `None` if the column is not numeric.
+/// A NULL scalar makes every result NULL (both bitmaps all-clear).
+pub fn cmp_scalar(col: &Column, op: CmpOp, rhs: Option<f64>) -> Option<(Bitmap, Bitmap)> {
+    let n = col.len();
+    let (view, valid) = numeric_view(col)?;
+    let Some(rhs) = rhs else {
+        return Some((Bitmap::all_clear(n), Bitmap::all_clear(n)));
+    };
+    if valid.all_set() {
+        let truth = Bitmap::from_fn(n, |i| op.holds(view.get(i), rhs));
+        return Some((truth, Bitmap::all_valid(n)));
+    }
+    let truth = Bitmap::from_fn(n, |i| valid.get(i) && op.holds(view.get(i), rhs));
+    Some((truth, valid.clone()))
+}
+
+/// Compare two equal-length numeric columns element-wise. Returns
+/// `(truth, validity)` bitmaps, or `None` if either side is non-numeric.
+pub fn cmp_columns(l: &Column, r: &Column, op: CmpOp) -> Option<(Bitmap, Bitmap)> {
+    if l.len() != r.len() {
+        return None;
+    }
+    let n = l.len();
+    let (lv, lval) = numeric_view(l)?;
+    let (rv, rval) = numeric_view(r)?;
+    if lval.all_set() && rval.all_set() {
+        let truth = Bitmap::from_fn(n, |i| op.holds(lv.get(i), rv.get(i)));
+        return Some((truth, Bitmap::all_valid(n)));
+    }
+    let validity = lval.and(rval);
+    let truth = Bitmap::from_fn(n, |i| validity.get(i) && op.holds(lv.get(i), rv.get(i)));
+    Some((truth, validity))
+}
+
+/// Element-wise arithmetic over two equal-length numeric columns. Mirrors
+/// the boxed evaluator: `Int64 ⊕ Int64` (except Div) yields Int64 computed
+/// through `f64`, everything else yields Float64; Div/Mod by zero yields
+/// NULL. Returns `None` if either side is non-numeric.
+pub fn arith_columns(l: &Column, r: &Column, op: ArithOp) -> Option<Column> {
+    if l.len() != r.len() {
+        return None;
+    }
+    let n = l.len();
+    let (lv, lval) = numeric_view(l)?;
+    let (rv, rval) = numeric_view(r)?;
+    let int_out =
+        matches!(lv, NumView::I64(_)) && matches!(rv, NumView::I64(_)) && op != ArithOp::Div;
+    let both_valid = lval.all_set() && rval.all_set();
+    let mut validity = if both_valid {
+        Bitmap::all_valid(n)
+    } else {
+        lval.and(rval)
+    };
+    if int_out {
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            let b = rv.get(i);
+            if op.null_on_zero_rhs() && b == 0.0 {
+                data.push(0);
+                if validity.get(i) {
+                    validity = clear_bit(validity, i);
+                }
+            } else {
+                data.push(op.apply(lv.get(i), b) as i64);
+            }
+        }
+        Some(Column::Int64 { data, validity })
+    } else {
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            let b = rv.get(i);
+            if op.null_on_zero_rhs() && b == 0.0 {
+                data.push(0.0);
+                if validity.get(i) {
+                    validity = clear_bit(validity, i);
+                }
+            } else {
+                data.push(op.apply(lv.get(i), b));
+            }
+        }
+        Some(Column::Float64 { data, validity })
+    }
+}
+
+/// Clear one bit by rebuilding through `from_fn` — division-by-zero is the
+/// rare path, so this stays out of the hot loop's way.
+fn clear_bit(bm: Bitmap, idx: usize) -> Bitmap {
+    Bitmap::from_fn(bm.len(), |i| i != idx && bm.get(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::value::{DataType, Value};
+
+    fn nullable_f64(vals: &[Option<f64>]) -> Column {
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        for v in vals {
+            match v {
+                Some(x) => b.push(Value::Float64(*x)).unwrap(),
+                None => b.push_null(),
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn scalar_compare_respects_validity() {
+        let col = nullable_f64(&[Some(1.0), None, Some(3.0)]);
+        let (truth, validity) = cmp_scalar(&col, CmpOp::Gt, Some(2.0)).unwrap();
+        assert_eq!(
+            (truth.get(0), truth.get(1), truth.get(2)),
+            (false, false, true)
+        );
+        assert!(!validity.get(1));
+        // NULL scalar: nothing is true, nothing is valid.
+        let (truth, validity) = cmp_scalar(&col, CmpOp::Gt, None).unwrap();
+        assert!(!truth.any_set());
+        assert!(!validity.any_set());
+    }
+
+    #[test]
+    fn int_columns_compare_in_f64_domain() {
+        let col = Column::from_i64(vec![1, 5, 9]);
+        let (truth, _) = cmp_scalar(&col, CmpOp::Le, Some(5.0)).unwrap();
+        assert_eq!(
+            (truth.get(0), truth.get(1), truth.get(2)),
+            (true, true, false)
+        );
+        // Mixed int/float column-column comparison.
+        let r = Column::from_f64(vec![0.5, 5.0, 100.0]);
+        let (truth, _) = cmp_columns(&col, &r, CmpOp::Lt).unwrap();
+        assert_eq!(
+            (truth.get(0), truth.get(1), truth.get(2)),
+            (false, false, true)
+        );
+    }
+
+    #[test]
+    fn nan_compares_equal_like_the_boxed_path() {
+        // compare_values collapses incomparable pairs to Equal; kernels must
+        // agree so the fast path never changes query results.
+        let col = Column::from_f64(vec![f64::NAN]);
+        let (truth, _) = cmp_scalar(&col, CmpOp::Eq, Some(7.0)).unwrap();
+        assert!(truth.get(0));
+        let (truth, _) = cmp_scalar(&col, CmpOp::Lt, Some(7.0)).unwrap();
+        assert!(!truth.get(0));
+    }
+
+    #[test]
+    fn flip_is_an_involution_that_swaps_operands() {
+        let l = Column::from_i64(vec![1, 2, 3]);
+        let r = Column::from_i64(vec![2, 2, 2]);
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(op.flip().flip(), op);
+            let (a, _) = cmp_columns(&l, &r, op).unwrap();
+            let (b, _) = cmp_columns(&r, &l, op.flip()).unwrap();
+            assert_eq!(a, b, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn non_numeric_columns_decline() {
+        let s = Column::from_strings(vec!["a"]);
+        let b = Column::from_bool(vec![true]);
+        assert!(cmp_scalar(&s, CmpOp::Eq, Some(0.0)).is_none());
+        assert!(cmp_columns(&s, &s, CmpOp::Eq).is_none());
+        assert!(cmp_columns(&b, &b, CmpOp::Eq).is_none());
+        assert!(arith_columns(&s, &s, ArithOp::Add).is_none());
+        // Length mismatch declines rather than panicking.
+        let a = Column::from_i64(vec![1]);
+        let c = Column::from_i64(vec![1, 2]);
+        assert!(cmp_columns(&a, &c, CmpOp::Eq).is_none());
+    }
+
+    #[test]
+    fn arithmetic_types_and_zero_division() {
+        let l = Column::from_i64(vec![7, 8, 9]);
+        let r = Column::from_i64(vec![2, 0, 3]);
+        // Int + Int stays Int.
+        let sum = arith_columns(&l, &r, ArithOp::Add).unwrap();
+        assert_eq!(sum.data_type(), DataType::Int64);
+        assert_eq!(sum.get(0), Value::Int64(9));
+        // Int / Int widens to Float, and /0 is NULL.
+        let div = arith_columns(&l, &r, ArithOp::Div).unwrap();
+        assert_eq!(div.data_type(), DataType::Float64);
+        assert_eq!(div.get(0), Value::Float64(3.5));
+        assert_eq!(div.get(1), Value::Null);
+        // Mod by zero is NULL even on the Int64 output path.
+        let m = arith_columns(&l, &r, ArithOp::Mod).unwrap();
+        assert_eq!(m.data_type(), DataType::Int64);
+        assert_eq!(m.get(1), Value::Null);
+        assert_eq!(m.get(2), Value::Int64(0));
+    }
+
+    #[test]
+    fn arithmetic_propagates_nulls() {
+        let l = nullable_f64(&[Some(1.0), None]);
+        let r = Column::from_f64(vec![2.0, 2.0]);
+        let out = arith_columns(&l, &r, ArithOp::Mul).unwrap();
+        assert_eq!(out.get(0), Value::Float64(2.0));
+        assert_eq!(out.get(1), Value::Null);
+    }
+}

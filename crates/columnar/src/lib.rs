@@ -12,7 +12,11 @@
 //! * [`encoding`] — plain, run-length, dictionary, and delta-varint
 //!   encodings, with a heuristic encoder that picks the cheapest,
 //! * [`block`] — the checksummed binary format used both for on-disk
-//!   segment containers and for Vertica Fast Transfer's wire batches.
+//!   segment containers and for Vertica Fast Transfer's wire batches, with
+//!   a per-column offset index enabling projection pushdown
+//!   ([`block::decode_batch_columns`]),
+//! * [`kernels`] — vectorized comparison/arithmetic kernels over typed
+//!   slices and validity bitmaps, feeding `Bitmap` selection masks.
 
 pub mod batch;
 pub mod bitmap;
@@ -21,12 +25,16 @@ pub mod checksum;
 pub mod column;
 pub mod encoding;
 pub mod error;
+pub mod kernels;
 pub mod schema;
 pub mod value;
 
 pub use batch::Batch;
 pub use bitmap::Bitmap;
-pub use block::{decode_batch, encode_batch, encode_batch_with};
+pub use block::{
+    block_checksum, decode_batch, decode_batch_columns, encode_batch, encode_batch_v1,
+    encode_batch_with, DecodeStats,
+};
 pub use column::{Column, ColumnBuilder};
 pub use error::{ColumnarError, Result};
 pub use schema::{Field, Schema};

@@ -2,9 +2,11 @@
 //! block format survives arbitrary batches.
 
 use proptest::prelude::*;
+use std::collections::HashSet;
 use vdr_columnar::encoding::{decode_column, encode_column, Encoding};
 use vdr_columnar::{
-    decode_batch, encode_batch, Batch, Column, ColumnBuilder, DataType, Schema, Value,
+    decode_batch, decode_batch_columns, encode_batch, encode_batch_v1, encode_batch_with, Batch,
+    Column, ColumnBuilder, DataType, Schema, Value,
 };
 
 fn int_column() -> impl Strategy<Value = Column> {
@@ -112,6 +114,104 @@ proptest! {
     fn decode_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..200)) {
         // Must error or succeed, never panic.
         let _ = decode_batch(&data);
+    }
+
+    /// Projection pushdown is an optimization, never a semantic change:
+    /// decoding only the wanted columns must equal a full decode followed
+    /// by projection — across v1 and v2 layouts, heuristic and forced
+    /// encodings (RLE/dictionary paths), NULL-bearing columns, and 0-row
+    /// batches.
+    #[test]
+    fn projected_decode_equals_full_decode_then_project(
+        ints in int_column(),
+        floats in float_column(),
+        strs in string_column(),
+        mask in prop::collection::vec(any::<bool>(), 3..4),
+        force_plain in any::<bool>(),
+    ) {
+        let n = ints.len().min(floats.len()).min(strs.len());
+        let schema = Schema::of(&[
+            ("i", DataType::Int64),
+            ("f", DataType::Float64),
+            ("s", DataType::Varchar),
+        ]);
+        let batch = Batch::new(
+            schema,
+            vec![ints.slice(0, n), floats.slice(0, n), strs.slice(0, n)],
+        )
+        .unwrap();
+        let wanted: HashSet<String> = ["i", "f", "s"]
+            .iter()
+            .zip(&mask)
+            .filter(|(_, keep)| **keep)
+            .map(|(name, _)| name.to_string())
+            .collect();
+        let force = force_plain.then_some(Encoding::Plain);
+        let blocks = [encode_batch_with(&batch, force), encode_batch_v1(&batch)];
+        for bytes in &blocks {
+            let full = decode_batch(bytes).unwrap();
+            let (projected, stats) = decode_batch_columns(bytes, Some(&wanted)).unwrap();
+            prop_assert_eq!(stats.cols_total, 3);
+            prop_assert_eq!(stats.rows, n);
+            // Projection must keep the row count.
+            prop_assert_eq!(projected.num_rows(), n);
+            if wanted.is_empty() {
+                // Degenerate projection (SELECT count(*)): one cheap
+                // column survives to carry the row count.
+                prop_assert_eq!(projected.num_columns(), 1);
+                prop_assert_eq!(stats.cols_decoded, 1);
+                continue;
+            }
+            prop_assert_eq!(stats.cols_decoded, wanted.len());
+            let names: Vec<&str> = projected.schema().names();
+            prop_assert_eq!(names.len(), wanted.len());
+            for name in names {
+                prop_assert!(wanted.contains(name));
+                let full_col = full.column(full.schema().index_of(name).unwrap());
+                let proj_col = projected.column(projected.schema().index_of(name).unwrap());
+                prop_assert!(columns_equivalent(full_col, proj_col));
+            }
+        }
+    }
+
+    /// Same equivalence, steered at low-cardinality data so the heuristic
+    /// encoder actually takes the RLE and dictionary paths, and the
+    /// *skipped* column is the compressed one.
+    #[test]
+    fn projected_decode_skips_rle_and_dictionary_columns(
+        vals in prop::collection::vec(prop::option::of(0..3i64), 0..300),
+        tags in prop::collection::vec(prop::option::of("[ab]"), 0..300),
+        keep_ints in any::<bool>(),
+    ) {
+        let n = vals.len().min(tags.len());
+        let mut ib = ColumnBuilder::new(DataType::Int64);
+        let mut tb = ColumnBuilder::new(DataType::Varchar);
+        for v in vals.iter().take(n) {
+            match v {
+                Some(x) => ib.push(Value::Int64(*x)).unwrap(),
+                None => ib.push_null(),
+            }
+        }
+        for t in tags.iter().take(n) {
+            match t {
+                Some(s) => tb.push(Value::Varchar(s.clone())).unwrap(),
+                None => tb.push_null(),
+            }
+        }
+        let schema = Schema::of(&[("v", DataType::Int64), ("t", DataType::Varchar)]);
+        let batch = Batch::new(schema, vec![ib.finish(), tb.finish()]).unwrap();
+        let wanted: HashSet<String> =
+            [if keep_ints { "v" } else { "t" }.to_string()].into_iter().collect();
+        for bytes in &[encode_batch(&batch), encode_batch_v1(&batch)] {
+            let full = decode_batch(bytes).unwrap();
+            let (projected, stats) = decode_batch_columns(bytes, Some(&wanted)).unwrap();
+            prop_assert_eq!(stats.cols_decoded, 1);
+            prop_assert_eq!(stats.cols_skipped(), 1);
+            prop_assert_eq!(projected.num_rows(), n);
+            let name = if keep_ints { "v" } else { "t" };
+            let full_col = full.column(full.schema().index_of(name).unwrap());
+            prop_assert!(columns_equivalent(full_col, projected.column(0)));
+        }
     }
 
     #[test]

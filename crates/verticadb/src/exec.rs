@@ -12,10 +12,11 @@ use crate::expr::{compare_values, Expr};
 use crate::segmentation::hash_value;
 use crate::sql::{AggFunc, Partition, SelectItem, SelectStmt, Statement};
 use crate::udx::UdxContext;
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use vdr_cluster::{NodeId, PhaseRecorder};
-use vdr_columnar::{Batch, Column, ColumnBuilder, DataType, Field, Schema, Value};
+use vdr_columnar::{Batch, Bitmap, Column, ColumnBuilder, DataType, Field, Schema, Value};
 
 /// The node that runs final merges — where the client is connected.
 const INITIATOR: NodeId = NodeId(0);
@@ -149,24 +150,30 @@ fn execute_select(db: &VerticaDb, stmt: &SelectStmt, rec: &Arc<PhaseRecorder>) -
     // Per-node pipelines.
     let per_node: Vec<Result<NodeResult>> = if table.eq_ignore_ascii_case("r_models") {
         // The metadata table lives on the initiator.
-        let filtered = apply_where(stmt, db.models().as_batch())?;
-        vec![Ok(node_result(stmt, filtered)?)]
+        let models = db.models().as_batch();
+        let filtered = apply_where(stmt, &models)?;
+        vec![Ok(node_result(stmt, &filtered)?)]
     } else {
         let def = db.catalog().get(table)?;
         let _ = def; // existence check; schema validated during evaluation
         select_span.record("table", table);
+        // Planner: push the referenced-column set down to the scan so
+        // unused column payloads are never decoded.
+        let wanted = referenced_columns(stmt);
         db.cluster().scatter(|node| -> Result<NodeResult> {
             let mut scan_span = vdr_obs::span_with_parent("exec.scan", select_span_id);
             scan_span.set_node(node.id().0);
-            let batches = db.storage().scan_node(table, node.id(), rec, false)?;
+            let batches =
+                db.storage()
+                    .scan_node_projected(table, node.id(), rec, false, wanted.as_ref())?;
             let mut rows_in = 0u64;
             let mut rows_out = 0u64;
             let mut combined: Option<NodeResult> = None;
             for batch in batches {
                 rows_in += batch.num_rows() as u64;
-                let filtered = apply_where(stmt, batch)?;
+                let filtered = apply_where(stmt, &batch)?;
                 rows_out += filtered.num_rows() as u64;
-                let nr = node_result(stmt, filtered)?;
+                let nr = node_result(stmt, &filtered)?;
                 combined = Some(match combined {
                     None => nr,
                     Some(acc) => acc.merge(nr)?,
@@ -179,7 +186,7 @@ fn execute_select(db: &VerticaDb, stmt: &SelectStmt, rec: &Arc<PhaseRecorder>) -
             match combined {
                 Some(c) => Ok(c),
                 // Node holds no containers: contribute an empty result.
-                None => node_result(stmt, empty_table_batch(db, table)?),
+                None => node_result(stmt, &empty_table_batch(db, table)?),
             }
         })
     };
@@ -212,14 +219,61 @@ fn empty_table_batch(db: &VerticaDb, table: &str) -> Result<Batch> {
     Ok(Batch::empty(db.catalog().get(table)?.schema))
 }
 
-fn apply_where(stmt: &SelectStmt, batch: Batch) -> Result<Batch> {
+/// Apply the WHERE clause, borrowing the input when nothing is filtered
+/// out (no predicate, or an all-true mask) so cached batches aren't copied.
+fn apply_where<'a>(stmt: &SelectStmt, batch: &'a Batch) -> Result<Cow<'a, Batch>> {
     match &stmt.where_clause {
         Some(pred) => {
-            let mask = pred.eval_predicate(&batch)?;
-            Ok(batch.filter(&mask)?)
+            let mask = pred.eval_predicate(batch)?;
+            if mask.all_set() {
+                Ok(Cow::Borrowed(batch))
+            } else {
+                Ok(Cow::Owned(batch.filter(&mask)?))
+            }
         }
-        None => Ok(batch),
+        None => Ok(Cow::Borrowed(batch)),
     }
+}
+
+fn add_expr_columns(set: &mut HashSet<String>, e: &Expr) {
+    for c in e.columns() {
+        set.insert(c.to_ascii_lowercase());
+    }
+}
+
+/// The lowercased set of table columns a SELECT references anywhere
+/// (projection, WHERE, ORDER BY, GROUP BY) — the scan only needs to decode
+/// these. `None` means "all columns" (a wildcard appears). An empty set is
+/// legitimate (`SELECT count(*)`): the decoder keeps one cheap column to
+/// preserve row counts.
+fn referenced_columns(stmt: &SelectStmt) -> Option<HashSet<String>> {
+    let mut cols = HashSet::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => return None,
+            SelectItem::Expr { expr, .. } => add_expr_columns(&mut cols, expr),
+            SelectItem::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    add_expr_columns(&mut cols, a);
+                }
+            }
+            SelectItem::Transform { args, .. } => {
+                for a in args {
+                    add_expr_columns(&mut cols, a);
+                }
+            }
+        }
+    }
+    if let Some(w) = &stmt.where_clause {
+        add_expr_columns(&mut cols, w);
+    }
+    for k in &stmt.order_by {
+        add_expr_columns(&mut cols, &k.expr);
+    }
+    for g in &stmt.group_by {
+        add_expr_columns(&mut cols, g);
+    }
+    Some(cols)
 }
 
 // --------------------------------------------------- per-node partial state
@@ -235,13 +289,11 @@ enum NodeResult {
     },
 }
 
-fn node_result(stmt: &SelectStmt, batch: Batch) -> Result<NodeResult> {
+fn node_result(stmt: &SelectStmt, batch: &Batch) -> Result<NodeResult> {
     if stmt.has_aggregates() || !stmt.group_by.is_empty() {
-        aggregate_partial(stmt, &batch)
+        aggregate_partial(stmt, batch)
     } else {
-        Ok(NodeResult::Rows(project_rows_with_order_keys(
-            stmt, &batch,
-        )?))
+        Ok(NodeResult::Rows(project_rows_with_order_keys(stmt, batch)?))
     }
 }
 
@@ -249,10 +301,16 @@ impl NodeResult {
     fn byte_size(&self) -> u64 {
         match self {
             NodeResult::Rows(b) => b.byte_size(),
-            NodeResult::Aggregated { groups, .. } => {
-                // Each group ships its key and fixed-size states.
-                (groups.len() * 64) as u64
-            }
+            // Each group ships its key values plus per-aggregate state —
+            // a COUNT(DISTINCT) state carrying thousands of keys costs
+            // what it actually weighs on the wire.
+            NodeResult::Aggregated { groups, .. } => groups
+                .iter()
+                .map(|(key, states)| {
+                    key.0.iter().map(value_size).sum::<u64>()
+                        + states.iter().map(AggState::byte_size).sum::<u64>()
+                })
+                .sum(),
         }
     }
 
@@ -521,7 +579,34 @@ fn value_key(v: &Value) -> Vec<u8> {
     }
 }
 
+/// Serialized size of one [`Value`] in the gather wire accounting: a type
+/// tag plus the payload ([`value_key`]'s shape).
+fn value_size(v: &Value) -> u64 {
+    match v {
+        Value::Null => 1,
+        Value::Int64(_) | Value::Float64(_) => 9,
+        Value::Bool(_) => 2,
+        Value::Varchar(s) => 1 + s.len() as u64,
+    }
+}
+
 impl AggState {
+    /// Wire size of this partial state: the three fixed counters, the
+    /// min/max values if set, and every distinct key actually carried.
+    fn byte_size(&self) -> u64 {
+        let mut n = 24; // rows + non_null + sum
+        if let Some(v) = &self.min {
+            n += value_size(v);
+        }
+        if let Some(v) = &self.max {
+            n += value_size(v);
+        }
+        if let Some(set) = &self.distinct {
+            n += set.iter().map(|k| k.len() as u64).sum::<u64>();
+        }
+        n
+    }
+
     fn for_spec(distinct: bool) -> AggState {
         AggState {
             distinct: distinct.then(std::collections::BTreeSet::new),
@@ -830,6 +915,22 @@ fn run_transform(
     // profile's export-lane count per node, bounded by the containers
     // available (an instance with no containers would idle).
     let lanes = db.cluster().profile().costs.vft_export_lanes;
+    // Transforms reference a known column set — function args, WHERE, and
+    // the PARTITION BY routing column — so the scan always gets a
+    // projection to push down.
+    let wanted: HashSet<String> = {
+        let mut cols = HashSet::new();
+        for a in args {
+            add_expr_columns(&mut cols, a);
+        }
+        if let Some(w) = &stmt.where_clause {
+            add_expr_columns(&mut cols, w);
+        }
+        if let Partition::By(col) = partition {
+            cols.insert(col.to_ascii_lowercase());
+        }
+        cols
+    };
     let per_node_outputs: Vec<Result<Vec<Batch>>> = db.cluster().scatter(|node| {
         let node_id = node.id();
         let n_containers = db.storage().containers(table, node_id).len();
@@ -851,28 +952,44 @@ fn run_transform(
                     // containers ("UDFs on each database node read a unique
                     // segment of the table stored on that node").
                     let raw = match partition {
-                        Partition::Best => db
-                            .storage()
-                            .scan_node_slice(table, node_id, instance, instances, rec, false)?,
+                        Partition::Best => db.storage().scan_node_slice(
+                            table,
+                            node_id,
+                            instance,
+                            instances,
+                            rec,
+                            false,
+                            Some(&wanted),
+                        )?,
                         Partition::By(col) => {
                             // Route rows among local instances by hash(col).
                             let all = if instance == 0 {
-                                db.storage().scan_node(table, node_id, rec, false)?
+                                db.storage().scan_node_projected(
+                                    table,
+                                    node_id,
+                                    rec,
+                                    false,
+                                    Some(&wanted),
+                                )?
                             } else {
                                 // Re-read through the page cache: the first
                                 // instance warmed it.
-                                db.storage().scan_node(table, node_id, rec, true)?
+                                db.storage().scan_node_projected(
+                                    table,
+                                    node_id,
+                                    rec,
+                                    true,
+                                    Some(&wanted),
+                                )?
                             };
                             let mut mine = Vec::new();
                             for b in all {
                                 let key = b.column_by_name(col)?;
-                                let mask: Vec<bool> = (0..b.num_rows())
-                                    .map(|r| {
-                                        (hash_value(&key.get(r)) % instances as u64) as usize
-                                            == instance
-                                    })
-                                    .collect();
-                                mine.push(b.filter(&mask)?);
+                                let mask = Bitmap::from_fn(b.num_rows(), |r| {
+                                    (hash_value(&key.get(r)) % instances as u64) as usize
+                                        == instance
+                                });
+                                mine.push(Arc::new(b.filter(&mask)?));
                             }
                             mine
                         }
@@ -880,7 +997,7 @@ fn run_transform(
                     // WHERE + argument projection.
                     let mut input = Vec::with_capacity(raw.len());
                     for b in raw {
-                        let filtered = apply_where(stmt, b)?;
+                        let filtered = apply_where(stmt, &b)?;
                         let cols: Vec<Column> = args
                             .iter()
                             .map(|e| e.eval(&filtered))

@@ -2,7 +2,8 @@
 
 use crate::error::{DbError, Result};
 use std::fmt;
-use vdr_columnar::{Batch, Column, ColumnBuilder, DataType, Value};
+use vdr_columnar::kernels::{self, ArithOp, CmpOp};
+use vdr_columnar::{Batch, Bitmap, Column, ColumnBuilder, DataType, Value};
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,14 +176,7 @@ impl Expr {
         let n = batch.num_rows();
         match self {
             Expr::Column(name) => Ok(batch.column_by_name(name)?.clone()),
-            Expr::Literal(v) => {
-                let dtype = v.data_type().unwrap_or(DataType::Varchar);
-                let mut b = ColumnBuilder::with_capacity(dtype, n);
-                for _ in 0..n {
-                    b.push(v.clone())?;
-                }
-                Ok(b.finish())
-            }
+            Expr::Literal(v) => Ok(Column::from_value(v, n)),
             Expr::Neg(e) => {
                 let col = e.eval(batch)?;
                 map_numeric(&col, n, |v| -v)
@@ -278,19 +272,99 @@ impl Expr {
         }
     }
 
-    /// Evaluate as a filter predicate: a boolean mask where NULL counts as
-    /// false (SQL three-valued logic collapses at the WHERE clause).
-    pub fn eval_predicate(&self, batch: &Batch) -> Result<Vec<bool>> {
-        let col = self.eval(batch)?;
-        if col.data_type() != DataType::Bool {
-            return Err(DbError::Plan(format!(
-                "predicate must be boolean, got {:?}",
-                col.data_type()
-            )));
+    /// Evaluate as a filter predicate: a selection [`Bitmap`] set where the
+    /// predicate is TRUE — NULL counts as false (SQL three-valued logic
+    /// collapses at the WHERE clause).
+    ///
+    /// This is the vectorized filter path: numeric comparisons run through
+    /// the typed kernels in `vdr_columnar::kernels`, and AND/OR combine
+    /// masks with word-level bit ops. The composition is sound under
+    /// three-valued logic because `is-TRUE` masks obey
+    /// `is-TRUE(a AND b) = is-TRUE(a) ∧ is-TRUE(b)` and
+    /// `is-TRUE(a OR b) = is-TRUE(a) ∨ is-TRUE(b)` even with NULLs. An
+    /// all-false left arm short-circuits an AND (and an all-true left arm
+    /// an OR) without evaluating the right arm. Everything outside the fast
+    /// path (NOT, LIKE, IN, Varchar comparisons, …) falls back to the boxed
+    /// evaluator and collapses its three-valued Bool column to a mask.
+    pub fn eval_predicate(&self, batch: &Batch) -> Result<Bitmap> {
+        let n = batch.num_rows();
+        match self {
+            Expr::Literal(Value::Bool(true)) => Ok(Bitmap::all_valid(n)),
+            Expr::Literal(Value::Bool(false)) => Ok(Bitmap::all_clear(n)),
+            Expr::Binary { op, left, right } if matches!(op, BinOp::And | BinOp::Or) => {
+                let l = left.eval_predicate(batch)?;
+                match op {
+                    BinOp::And if !l.any_set() => Ok(l),
+                    BinOp::And => Ok(l.and(&right.eval_predicate(batch)?)),
+                    _ if l.all_set() => Ok(l),
+                    _ => Ok(l.or(&right.eval_predicate(batch)?)),
+                }
+            }
+            Expr::Binary { op, left, right } if op.is_comparison() => {
+                let cop = cmp_op(*op);
+                // Column-vs-literal: scalar kernel, no constant column.
+                if let (Expr::Column(name), Expr::Literal(v)) = (&**left, &**right) {
+                    if let Some(rhs) = literal_num(v) {
+                        let col = batch.column_by_name(name)?;
+                        if let Some((truth, _)) = kernels::cmp_scalar(col, cop, rhs) {
+                            return Ok(truth);
+                        }
+                    }
+                }
+                if let (Expr::Literal(v), Expr::Column(name)) = (&**left, &**right) {
+                    if let Some(lhs) = literal_num(v) {
+                        let col = batch.column_by_name(name)?;
+                        if let Some((truth, _)) = kernels::cmp_scalar(col, cop.flip(), lhs) {
+                            return Ok(truth);
+                        }
+                    }
+                }
+                let l = left.eval(batch)?;
+                let r = right.eval(batch)?;
+                if let Some((truth, _)) = kernels::cmp_columns(&l, &r, cop) {
+                    return Ok(truth);
+                }
+                collapse_is_true(&eval_binary(*op, &l, &r, n)?)
+            }
+            _ => collapse_is_true(&self.eval(batch)?),
         }
-        Ok((0..batch.num_rows())
-            .map(|i| matches!(col.get(i), Value::Bool(true)))
-            .collect())
+    }
+}
+
+/// Map a comparison [`BinOp`] onto the kernel operator. Callers must have
+/// checked `op.is_comparison()`.
+fn cmp_op(op: BinOp) -> CmpOp {
+    match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::Ne => CmpOp::Ne,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::Le => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::Ge => CmpOp::Ge,
+        _ => unreachable!("comparison checked by caller"),
+    }
+}
+
+/// A literal as a numeric kernel scalar: `Some(Some(x))` for numbers,
+/// `Some(None)` for NULL (comparison result is all-NULL), `None` for
+/// non-numeric literals (kernel doesn't apply).
+fn literal_num(v: &Value) -> Option<Option<f64>> {
+    match v {
+        Value::Int64(i) => Some(Some(*i as f64)),
+        Value::Float64(f) => Some(Some(*f)),
+        Value::Null => Some(None),
+        _ => None,
+    }
+}
+
+/// Collapse a three-valued Bool column to its `is-TRUE` selection mask.
+fn collapse_is_true(col: &Column) -> Result<Bitmap> {
+    match col {
+        Column::Bool { data, validity } => Ok(Bitmap::from_bools(data).and(validity)),
+        other => Err(DbError::Plan(format!(
+            "predicate must be boolean, got {:?}",
+            other.data_type()
+        ))),
     }
 }
 
@@ -355,6 +429,14 @@ fn eval_binary(op: BinOp, l: &Column, r: &Column, n: usize) -> Result<Column> {
             Ok(b.finish())
         }
         _ if op.is_comparison() => {
+            // Numeric columns take the vectorized kernel; the truth/validity
+            // bitmap pair is exactly a three-valued Bool column.
+            if let Some((truth, validity)) = kernels::cmp_columns(l, r, cmp_op(op)) {
+                return Ok(Column::Bool {
+                    data: (0..n).map(|i| truth.get(i)).collect(),
+                    validity,
+                });
+            }
             let mut b = ColumnBuilder::with_capacity(DataType::Bool, n);
             for i in 0..n {
                 let lv = l.get(i);
@@ -378,6 +460,20 @@ fn eval_binary(op: BinOp, l: &Column, r: &Column, n: usize) -> Result<Column> {
             Ok(b.finish())
         }
         _ => {
+            // Numeric columns take the vectorized arithmetic kernel.
+            let aop = match op {
+                BinOp::Add => Some(ArithOp::Add),
+                BinOp::Sub => Some(ArithOp::Sub),
+                BinOp::Mul => Some(ArithOp::Mul),
+                BinOp::Div => Some(ArithOp::Div),
+                BinOp::Mod => Some(ArithOp::Mod),
+                _ => None,
+            };
+            if let Some(aop) = aop {
+                if let Some(col) = kernels::arith_columns(l, r, aop) {
+                    return Ok(col);
+                }
+            }
             // Arithmetic. Int ⊕ Int stays Int except division.
             let int_out = l.data_type() == DataType::Int64
                 && r.data_type() == DataType::Int64
@@ -566,6 +662,12 @@ mod tests {
     use super::*;
     use vdr_columnar::Schema;
 
+    /// Predicate mask as plain bools, for readable assertions.
+    fn pred(e: &Expr, b: &Batch) -> Vec<bool> {
+        let m = e.eval_predicate(b).unwrap();
+        (0..m.len()).map(|i| m.get(i)).collect()
+    }
+
     fn batch() -> Batch {
         let schema = Schema::of(&[
             ("a", DataType::Int64),
@@ -618,16 +720,10 @@ mod tests {
             Expr::binary(BinOp::Gt, Expr::col("a"), Expr::lit(1i64)),
             Expr::binary(BinOp::Lt, Expr::col("b"), Expr::lit(3.0)),
         );
-        assert_eq!(
-            e.eval_predicate(&b).unwrap(),
-            vec![false, true, true, false]
-        );
+        assert_eq!(pred(&e, &b), vec![false, true, true, false]);
         // String equality.
         let e = Expr::binary(BinOp::Eq, Expr::col("s"), Expr::lit("x"));
-        assert_eq!(
-            e.eval_predicate(&b).unwrap(),
-            vec![true, false, true, false]
-        );
+        assert_eq!(pred(&e, &b), vec![true, false, true, false]);
     }
 
     #[test]
@@ -641,11 +737,11 @@ mod tests {
         let b = Batch::from_rows(schema, &rows).unwrap();
         // NULL > 1 is NULL → excluded from the filter.
         let e = Expr::binary(BinOp::Gt, Expr::col("v"), Expr::lit(0i64));
-        assert_eq!(e.eval_predicate(&b).unwrap(), vec![true, false, true]);
+        assert_eq!(pred(&e, &b), vec![true, false, true]);
         let e = Expr::IsNull(Box::new(Expr::col("v")));
-        assert_eq!(e.eval_predicate(&b).unwrap(), vec![false, true, false]);
+        assert_eq!(pred(&e, &b), vec![false, true, false]);
         let e = Expr::IsNotNull(Box::new(Expr::col("v")));
-        assert_eq!(e.eval_predicate(&b).unwrap(), vec![true, false, true]);
+        assert_eq!(pred(&e, &b), vec![true, false, true]);
     }
 
     #[test]
@@ -745,7 +841,7 @@ mod tests {
         assert_eq!(col.get(1), Value::Null); // no match but NULL in list
         assert_eq!(col.get(2), Value::Null); // NULL subject
                                              // Predicates treat NULL as excluded.
-        assert_eq!(e.eval_predicate(&b).unwrap(), vec![true, false, false]);
+        assert_eq!(pred(&e, &b), vec![true, false, false]);
     }
 
     #[test]
@@ -758,9 +854,53 @@ mod tests {
             Expr::col("s"),
             Expr::lit("x"),
         )));
-        assert_eq!(
-            e.eval_predicate(&b).unwrap(),
-            vec![false, true, false, true]
-        );
+        assert_eq!(pred(&e, &b), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn kernel_and_boxed_predicates_agree() {
+        // Nullable numeric batch exercising both kernels and fallbacks.
+        let schema = Schema::of(&[("v", DataType::Int64), ("w", DataType::Float64)]);
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| {
+                vec![
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int64(i - 25)
+                    },
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float64((i as f64) / 3.0 - 8.0)
+                    },
+                ]
+            })
+            .collect();
+        let b = Batch::from_rows(schema, &rows).unwrap();
+        let exprs = [
+            Expr::binary(BinOp::Gt, Expr::col("v"), Expr::lit(0i64)),
+            Expr::binary(BinOp::Le, Expr::lit(1.5), Expr::col("w")),
+            Expr::binary(BinOp::Eq, Expr::col("v"), Expr::col("v")),
+            Expr::binary(
+                BinOp::And,
+                Expr::binary(BinOp::Ge, Expr::col("v"), Expr::lit(-10i64)),
+                Expr::binary(BinOp::Lt, Expr::col("w"), Expr::lit(5.0)),
+            ),
+            Expr::binary(
+                BinOp::Or,
+                Expr::binary(BinOp::Lt, Expr::col("v"), Expr::lit(-20i64)),
+                Expr::binary(BinOp::Gt, Expr::col("w"), Expr::col("v")),
+            ),
+        ];
+        for e in &exprs {
+            // Reference: materialize the 3VL Bool column row-at-a-time and
+            // collapse NULL→false, the pre-vectorization definition.
+            let col = e.eval(&b).unwrap();
+            let reference: Vec<bool> = (0..b.num_rows())
+                .map(|i| matches!(col.get(i), Value::Bool(true)))
+                .collect();
+            assert_eq!(pred(e, &b), reference, "{e}");
+        }
     }
 }

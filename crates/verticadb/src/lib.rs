@@ -24,6 +24,7 @@
 //!   of simultaneous ODBC queries queue (Section 1.1).
 
 pub mod admission;
+pub mod blockcache;
 pub mod catalog;
 pub mod db;
 pub mod dfs;
@@ -36,6 +37,7 @@ pub mod sql;
 pub mod storage;
 pub mod udx;
 
+pub use blockcache::BlockCache;
 pub use catalog::{Catalog, TableDef};
 pub use db::{QueryOutput, VerticaDb};
 pub use dfs::Dfs;
