@@ -97,4 +97,34 @@ print(f"    cold: cols_skipped={cold['exec.scan.cols_skipped']} miss={cold['scan
 EOF
 rm -f "$SMOKE_OUT"
 
+# Smoke the v_monitor virtual schema: `SELECT * FROM v_monitor.metrics` must
+# return live rows over plain SQL, and `PROFILE SELECT …` must return
+# non-empty, query-id-attributed profile rows including the scan-cache
+# counters.
+MONITOR_OUT="$(mktemp)"
+echo "==> cargo run --release $OFFLINE -p vdr-bench --bin monitor_smoke"
+cargo run --release $OFFLINE -p vdr-bench --bin monitor_smoke > "$MONITOR_OUT"
+echo "==> checking v_monitor / PROFILE smoke output"
+python3 - "$MONITOR_OUT" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+if int(doc["metrics_rows"]) <= 0:
+    sys.exit("SELECT FROM v_monitor.metrics returned no rows")
+if int(doc["scan_query_id"]) <= 0:
+    sys.exit("scan statement was not assigned a query id")
+prof = doc["profile"]
+if int(prof["query_id"]) <= int(doc["scan_query_id"]):
+    sys.exit("PROFILE statement did not get a fresh (monotone) query id")
+if int(prof["rows"]) <= 0 or int(prof["phase_rows"]) <= 0:
+    sys.exit("PROFILE returned no phase rows")
+if int(prof["scan_cache_rows"]) <= 0:
+    sys.exit("PROFILE of a scan surfaced no scan.cache.* counters")
+if not prof["all_rows_attributed"]:
+    sys.exit("PROFILE rows not all attributed to the profiled query id")
+print(f"    metrics_rows={doc['metrics_rows']} profile: query_id={prof['query_id']} "
+      f"rows={prof['rows']} (phase={prof['phase_rows']}, scan.cache={prof['scan_cache_rows']})")
+EOF
+rm -f "$MONITOR_OUT"
+
 echo "==> CI green"

@@ -1,0 +1,96 @@
+//! CI smoke for the `v_monitor` virtual schema: run a scan through a
+//! session, read the live metrics table over SQL, and `PROFILE` a second
+//! scan. Emits a JSON summary on stdout that ci.sh asserts on — non-empty
+//! system-table output, and every profile row attributed to the profiled
+//! statement's query id.
+
+use serde::Serialize;
+use std::sync::Arc;
+use vdr_cluster::SimCluster;
+use vdr_columnar::{Batch, Column, DataType, Schema, Value};
+use vdr_core::{Session, SessionOptions};
+use vdr_verticadb::{Segmentation, TableDef, VerticaDb};
+
+#[derive(Serialize)]
+struct ProfileSummary {
+    query_id: u64,
+    rows: usize,
+    phase_rows: u64,
+    scan_cache_rows: u64,
+    all_rows_attributed: bool,
+}
+
+#[derive(Serialize)]
+struct Smoke {
+    metrics_rows: usize,
+    scan_query_id: u64,
+    profile: ProfileSummary,
+}
+
+fn main() {
+    let db = VerticaDb::new(SimCluster::for_tests(3));
+    let schema = Schema::of(&[("a", DataType::Float64), ("b", DataType::Float64)]);
+    db.create_table(TableDef {
+        name: "samples".into(),
+        schema: schema.clone(),
+        segmentation: Segmentation::RoundRobin,
+    })
+    .expect("create table");
+    let a: Vec<f64> = (0..2_000).map(|i| i as f64).collect();
+    let b: Vec<f64> = a.iter().map(|x| 3.0 * x).collect();
+    db.copy(
+        "samples",
+        vec![Batch::new(schema, vec![Column::from_f64(a), Column::from_f64(b)]).expect("batch")],
+    )
+    .expect("copy");
+
+    let session = Session::connect_colocated(
+        Arc::clone(&db),
+        SessionOptions {
+            r_instances_per_node: 2,
+            ..Default::default()
+        },
+    )
+    .expect("connect");
+
+    let scan = session
+        .sql("SELECT a, b FROM samples WHERE a >= 10.0")
+        .expect("scan");
+
+    let metrics = session
+        .sql("SELECT name, kind, value FROM v_monitor.metrics")
+        .expect("metrics table")
+        .batch;
+
+    let profile = session
+        .sql("PROFILE SELECT a, b FROM samples")
+        .expect("profile");
+    let pb = &profile.batch;
+    let mut phase_rows = 0u64;
+    let mut scan_cache_rows = 0u64;
+    let mut attributed = true;
+    for r in 0..pb.num_rows() {
+        let row = pb.row(r);
+        if row[0] != Value::Int64(profile.query_id as i64) {
+            attributed = false;
+        }
+        match (&row[1], &row[2]) {
+            (Value::Varchar(section), _) if section == "phase" => phase_rows += 1,
+            (_, Value::Varchar(name)) if name.starts_with("scan.cache.") => scan_cache_rows += 1,
+            _ => {}
+        }
+    }
+
+    let doc = Smoke {
+        metrics_rows: metrics.num_rows(),
+        scan_query_id: scan.query_id,
+        profile: ProfileSummary {
+            query_id: profile.query_id,
+            rows: pb.num_rows(),
+            phase_rows,
+            scan_cache_rows,
+            all_rows_attributed: attributed,
+        },
+    };
+    println!("{}", serde_json::to_string_pretty(&doc).expect("json"));
+}

@@ -17,6 +17,7 @@ use crate::node::NodeId;
 use crate::profile::HardwareProfile;
 use crate::time::SimDuration;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How a phase's per-node resource times combine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +91,8 @@ pub struct PhaseRecorder {
     name: String,
     kind: PhaseKind,
     usage: Mutex<Vec<NodeUsage>>,
+    /// The query this phase belongs to; 0 (the default) means unattributed.
+    query_id: AtomicU64,
 }
 
 impl PhaseRecorder {
@@ -98,6 +101,7 @@ impl PhaseRecorder {
             name: name.into(),
             kind,
             usage: Mutex::new(vec![NodeUsage::default(); num_nodes]),
+            query_id: AtomicU64::new(0),
         }
     }
 
@@ -107,6 +111,17 @@ impl PhaseRecorder {
 
     pub fn kind(&self) -> PhaseKind {
         self.kind
+    }
+
+    /// Attribute this phase to a query (see `vdr-obs`'s query ids). The
+    /// ledger crate doesn't allocate ids itself — the executor does — so
+    /// this is a plain setter.
+    pub fn set_query_id(&self, query_id: u64) {
+        self.query_id.store(query_id, Ordering::Relaxed);
+    }
+
+    pub fn query_id(&self) -> u64 {
+        self.query_id.load(Ordering::Relaxed)
     }
 
     /// Record `bytes` read from cold disk on `node`.
@@ -169,31 +184,57 @@ impl PhaseRecorder {
     /// Freeze into a report.
     pub fn finish(self, profile: &HardwareProfile) -> PhaseReport {
         let duration = self.duration(profile);
+        let kind = self.kind;
         let usage = self.usage.into_inner();
         let mut totals = NodeUsage::default();
         for u in &usage {
             totals.merge(u);
         }
+        let nodes = usage
+            .iter()
+            .enumerate()
+            .map(|(node, u)| NodePhase {
+                node,
+                duration_secs: u.duration(profile, kind).as_secs(),
+                usage: u.clone(),
+            })
+            .collect();
         PhaseReport {
             name: self.name,
+            query_id: self.query_id.load(Ordering::Relaxed),
             duration_secs: duration.as_secs(),
             total_bytes_moved: totals.net_in_bytes,
             total_disk_read: totals.disk_read_bytes + totals.disk_cached_read_bytes,
             total_cpu_core_ns: totals.cpu_core_ns,
+            nodes,
         }
     }
 }
 
+/// One node's share of a completed phase: its simulated duration (the
+/// phase's overall duration is the max of these) and the raw usage it
+/// recorded. This is the row shape `v_monitor.execution_engine_profiles`
+/// serves.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct NodePhase {
+    pub node: usize,
+    pub duration_secs: f64,
+    pub usage: NodeUsage,
+}
+
 /// A completed phase: its name, duration, and aggregate counts (for harness
 /// output and for tests that cross-check analytic formulas against counts
-/// recorded during real execution).
+/// recorded during real execution), plus the per-node breakdown and the
+/// query the phase was executed for (0 when unattributed).
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct PhaseReport {
     pub name: String,
+    pub query_id: u64,
     pub duration_secs: f64,
     pub total_bytes_moved: u64,
     pub total_disk_read: u64,
     pub total_cpu_core_ns: f64,
+    pub nodes: Vec<NodePhase>,
 }
 
 impl PhaseReport {
@@ -206,10 +247,12 @@ impl PhaseReport {
     pub fn synthetic(name: impl Into<String>, duration: SimDuration) -> Self {
         PhaseReport {
             name: name.into(),
+            query_id: 0,
             duration_secs: duration.as_secs(),
             total_bytes_moved: 0,
             total_disk_read: 0,
             total_cpu_core_ns: 0.0,
+            nodes: Vec::new(),
         }
     }
 }
@@ -384,6 +427,29 @@ mod tests {
         let rec = std::sync::Arc::into_inner(rec).unwrap();
         let report = rec.finish(&p);
         assert_eq!(report.total_disk_read, 8 * 1000 * 1000);
+    }
+
+    #[test]
+    fn finish_breaks_out_per_node_rows_and_query_id() {
+        let p = profile();
+        let rec = PhaseRecorder::new("scan", PhaseKind::Sequential, 3);
+        rec.set_query_id(42);
+        rec.disk_read(NodeId(0), 500_000_000); // 1 s
+        rec.disk_read(NodeId(1), 1_500_000_000); // 3 s — straggler
+        let report = rec.finish(&p);
+        assert_eq!(report.query_id, 42);
+        assert_eq!(report.nodes.len(), 3, "every node gets a row");
+        assert!((report.nodes[0].duration_secs - 1.0).abs() < 1e-6);
+        assert!((report.nodes[1].duration_secs - 3.0).abs() < 1e-6);
+        assert_eq!(report.nodes[2].duration_secs, 0.0);
+        assert_eq!(report.nodes[1].usage.disk_read_bytes, 1_500_000_000);
+        // The phase duration is the max over the per-node rows.
+        let max = report
+            .nodes
+            .iter()
+            .map(|n| n.duration_secs)
+            .fold(0.0f64, f64::max);
+        assert_eq!(report.duration_secs, max);
     }
 
     #[test]

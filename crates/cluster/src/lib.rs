@@ -29,7 +29,7 @@ pub mod time;
 
 pub use disk::SimDisk;
 pub use error::{ClusterError, Result};
-pub use ledger::{Ledger, PhaseKind, PhaseRecorder, PhaseReport};
+pub use ledger::{Ledger, NodePhase, NodeUsage, PhaseKind, PhaseRecorder, PhaseReport};
 pub use net::{Network, StreamRx, StreamTx};
 pub use node::{Node, NodeId};
 pub use profile::{EngineCosts, HardwareProfile, KernelRegime};

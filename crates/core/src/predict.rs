@@ -17,7 +17,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use vdr_cluster::SimDuration;
 use vdr_columnar::{Batch, Column, DataType, Schema};
-use vdr_verticadb::{DbError, Result, TransformFunction, UdxContext, VerticaDb};
+use vdr_verticadb::{
+    DbError, Result, SystemTableProvider, TransformFunction, UdxContext, VerticaDb,
+};
 
 /// SQL name of the K-means scorer (Figure 15's `KmeansPredict`).
 pub const KMEANS_PREDICT: &str = "KmeansPredict";
@@ -241,6 +243,28 @@ impl TransformFunction for PredictFunction {
     }
 }
 
+/// `v_monitor.model_cache`: the deserialized-model cache's hit/miss/
+/// invalidation counters and resident-entry count, as a system table
+/// (alongside `v_monitor.block_cache`, which the database registers itself).
+struct ModelCacheTable {
+    cache: Arc<ModelCache>,
+}
+
+impl SystemTableProvider for ModelCacheTable {
+    fn name(&self) -> &str {
+        "model_cache"
+    }
+
+    fn batch(&self, _db: &VerticaDb) -> Result<Batch> {
+        vdr_verticadb::monitor::cache_stats_batch(&[
+            ("hits", None, self.cache.hits()),
+            ("misses", None, self.cache.misses()),
+            ("invalidations", None, self.cache.invalidations()),
+            ("entries", None, self.cache.len() as u64),
+        ])
+    }
+}
+
 /// Register the three built-in prediction functions with a database.
 ///
 /// Idempotent with respect to the model cache: if prediction functions are
@@ -269,6 +293,7 @@ pub fn register_prediction_functions(db: &VerticaDb) {
             cache: Arc::clone(&cache),
         }));
     }
+    db.register_system_table(Arc::new(ModelCacheTable { cache }));
 }
 
 #[cfg(test)]

@@ -242,7 +242,10 @@ impl Session {
 
     /// Run SQL (Figure 3 lines 10–11: predictions are plain queries). The
     /// statement is charged as a phase of the *session* ledger, so it shows
-    /// up in [`Session::trace_report`] alongside transfers and deploys.
+    /// up in [`Session::trace_report`] alongside transfers and deploys — and
+    /// it is also recorded in the shared `v_monitor` query history with a
+    /// fresh query id, so `SELECT … FROM v_monitor.execution_engine_profiles
+    /// WHERE query_id = …` agrees with the session's own trace report.
     pub fn sql(&self, query: &str) -> Result<QueryOutput> {
         let mut sql_span = vdr_obs::span("session.sql");
         let verb = query
@@ -250,21 +253,14 @@ impl Session {
             .next()
             .unwrap_or("?")
             .to_uppercase();
-        let rec = Arc::new(PhaseRecorder::new(
-            format!("sql {verb}"),
-            PhaseKind::Pipelined,
-            self.db.cluster().num_nodes(),
-        ));
-        let batch = self.db.query_with(query, &rec)?;
-        let report = Arc::into_inner(rec)
-            .expect("no stray phase references after execution")
-            .finish(self.db.cluster().profile());
-        let sim_time = report.duration();
-        self.ledger.push(report);
+        let output = self
+            .db
+            .query_on_ledger(query, &self.ledger, Some(format!("sql {verb}")))?;
         sql_span.record("stmt", &verb);
-        sql_span.record("rows", batch.num_rows());
-        sql_span.set_sim_time(sim_time);
-        Ok(QueryOutput { batch, sim_time })
+        sql_span.record("rows", output.batch.num_rows());
+        sql_span.set_query_id(output.query_id);
+        sql_span.set_sim_time(output.sim_time);
+        Ok(output)
     }
 
     /// Total simulated time this session has spent in transfers, deploys,

@@ -25,7 +25,9 @@
 //! | `summary` | record everything; text reports show the phase table      |
 //! | `trace`   | as `summary`, plus the full span tree in text reports     |
 //!
-//! Unset behaves as `summary`.
+//! Unset behaves as `summary`. [`set_verbosity`] overrides the environment
+//! default at runtime (and [`reset_verbosity`] restores it) — the `PROFILE`
+//! SQL form uses this to force recording for the statement it measures.
 //!
 //! ## Recording
 //!
@@ -45,19 +47,23 @@
 //! ```
 
 pub mod metrics;
+pub mod query;
 pub mod report;
 pub mod table;
 pub mod trace;
 
 pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use query::{current_query_id, next_query_id, QueryScope};
 pub use report::TraceReport;
 pub use table::Table;
 pub use trace::{SpanGuard, SpanRecord, TraceSink};
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
-/// How much the observability layer records and renders. Parsed once from
-/// `VDR_OBS`.
+/// How much the observability layer records and renders. The `VDR_OBS`
+/// environment variable sets the default; [`set_verbosity`] overrides it at
+/// runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verbosity {
     /// Record nothing.
@@ -89,8 +95,57 @@ impl Verbosity {
         })
     }
 
+    /// The effective verbosity: a runtime override installed with
+    /// [`set_verbosity`] if one is active, else the `VDR_OBS` default. All
+    /// recording gates consult this.
+    pub fn current() -> Verbosity {
+        match VERBOSITY_OVERRIDE.load(Ordering::Relaxed) {
+            OVERRIDE_OFF => Verbosity::Off,
+            OVERRIDE_SUMMARY => Verbosity::Summary,
+            OVERRIDE_TRACE => Verbosity::Trace,
+            _ => Verbosity::from_env(),
+        }
+    }
+
     pub fn recording(self) -> bool {
         self != Verbosity::Off
+    }
+}
+
+const OVERRIDE_UNSET: u8 = 0;
+const OVERRIDE_OFF: u8 = 1;
+const OVERRIDE_SUMMARY: u8 = 2;
+const OVERRIDE_TRACE: u8 = 3;
+
+static VERBOSITY_OVERRIDE: AtomicU8 = AtomicU8::new(OVERRIDE_UNSET);
+
+/// Override the process verbosity at runtime. Unlike mutating `VDR_OBS`,
+/// this is race-free with respect to the parsed-once environment default;
+/// tests and the `PROFILE` execution path use it to force recording on.
+/// Undo with [`reset_verbosity`].
+pub fn set_verbosity(v: Verbosity) {
+    let tag = match v {
+        Verbosity::Off => OVERRIDE_OFF,
+        Verbosity::Summary => OVERRIDE_SUMMARY,
+        Verbosity::Trace => OVERRIDE_TRACE,
+    };
+    VERBOSITY_OVERRIDE.store(tag, Ordering::Relaxed);
+}
+
+/// Drop any [`set_verbosity`] override; `VDR_OBS` (or its `Summary`
+/// default) applies again.
+pub fn reset_verbosity() {
+    VERBOSITY_OVERRIDE.store(OVERRIDE_UNSET, Ordering::Relaxed);
+}
+
+/// The active [`set_verbosity`] override, if any. Callers that force a
+/// temporary verbosity (e.g. `PROFILE`) save this and restore it after.
+pub fn verbosity_override() -> Option<Verbosity> {
+    match VERBOSITY_OVERRIDE.load(Ordering::Relaxed) {
+        OVERRIDE_OFF => Some(Verbosity::Off),
+        OVERRIDE_SUMMARY => Some(Verbosity::Summary),
+        OVERRIDE_TRACE => Some(Verbosity::Trace),
+        _ => None,
     }
 }
 

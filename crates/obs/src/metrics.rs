@@ -108,7 +108,7 @@ impl MetricsRegistry {
         f: impl FnOnce(&mut Metric),
         init: fn() -> Metric,
     ) {
-        if !crate::Verbosity::from_env().recording() {
+        if !crate::Verbosity::current().recording() {
             return;
         }
         let key = MetricKey {
@@ -564,6 +564,66 @@ mod tests {
         assert_eq!(abc, cba);
         assert_eq!(abc.counter_total("c"), 3);
         assert_eq!(abc.get("g", None), Some(&MetricValue::Gauge(8.0)));
+    }
+
+    #[test]
+    fn diff_keeps_gauge_current_level() {
+        // Gauges are levels, not rates: diffing two snapshots must report
+        // the *current* level (last write wins), never a subtraction.
+        let mut prev = MetricsSnapshot::default();
+        prev.insert("pool.size", None, MetricValue::Gauge(8.0));
+        let mut cur = MetricsSnapshot::default();
+        cur.insert("pool.size", None, MetricValue::Gauge(3.0));
+        let d = cur.diff(&prev);
+        assert_eq!(d.get("pool.size", None), Some(&MetricValue::Gauge(3.0)));
+        // A gauge that disappeared from the current snapshot is simply
+        // absent from the diff — no phantom negative level.
+        let empty = MetricsSnapshot::default();
+        assert_eq!(empty.diff(&prev).get("pool.size", None), None);
+    }
+
+    fn one_obs_histogram(value: f64) -> MetricValue {
+        let mut h = Histogram::new();
+        h.observe(value);
+        MetricValue::from(&Metric::Histogram(h))
+    }
+
+    #[test]
+    fn one_sided_histograms_pass_through_merge_and_diff() {
+        let mut left = MetricsSnapshot::default();
+        left.insert("lat", Some(0), one_obs_histogram(4.0));
+        let right = MetricsSnapshot::default();
+        // Merge with an empty right side keeps the histogram intact, in
+        // either argument order.
+        for merged in [left.merge(&right), right.merge(&left)] {
+            let h = merged.histogram_total("lat").unwrap();
+            assert_eq!((h.count, h.sum), (1, 4.0));
+        }
+        // Diff against a prev that never saw the histogram passes it
+        // through whole; diff of a prev-only histogram yields nothing.
+        let d = left.diff(&right);
+        assert_eq!(d.histogram_total("lat").unwrap().count, 1);
+        assert!(right.diff(&left).histogram_total("lat").is_none());
+    }
+
+    #[test]
+    fn node_labelled_and_unlabelled_keys_stay_distinct() {
+        let mut a = MetricsSnapshot::default();
+        a.insert("rows", None, MetricValue::Counter(5));
+        a.insert("rows", Some(1), MetricValue::Counter(7));
+        let mut b = MetricsSnapshot::default();
+        b.insert("rows", None, MetricValue::Counter(10));
+        let m = a.merge(&b);
+        // Same name, different label: merge must not conflate them…
+        assert_eq!(m.get("rows", None), Some(&MetricValue::Counter(15)));
+        assert_eq!(m.get("rows", Some(1)), Some(&MetricValue::Counter(7)));
+        // …while the per-name aggregate sums across both labels.
+        assert_eq!(m.counter_total("rows"), 22);
+        // Diff likewise subtracts per-key: the unlabelled entry diffs,
+        // the node-labelled one (absent from prev) passes through.
+        let d = m.diff(&b);
+        assert_eq!(d.get("rows", None), Some(&MetricValue::Counter(5)));
+        assert_eq!(d.get("rows", Some(1)), Some(&MetricValue::Counter(7)));
     }
 
     #[test]

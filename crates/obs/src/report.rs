@@ -163,7 +163,7 @@ impl TraceReport {
 
     /// Full text report at the `VDR_OBS` verbosity.
     pub fn render(&self) -> String {
-        self.render_with(Verbosity::from_env())
+        self.render_with(Verbosity::current())
     }
 
     /// Machine-readable form: phases, spans, and totals.
@@ -196,6 +196,7 @@ mod tests {
             parent,
             name: name.to_string(),
             node: None,
+            query_id: 0,
             fields: Vec::new(),
             start_seq: seq,
             wall_ns: 1_500_000,

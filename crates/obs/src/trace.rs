@@ -9,7 +9,8 @@ use crate::Verbosity;
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use vdr_cluster::SimDuration;
 
@@ -31,6 +32,9 @@ pub struct SpanRecord {
     pub name: String,
     /// Node the work ran on, if it was node-scoped.
     pub node: Option<usize>,
+    /// Query this span is attributed to (see [`crate::query`]); 0 when the
+    /// work ran outside any query scope.
+    pub query_id: u64,
     /// key=value annotations in recording order.
     pub fields: Vec<(String, String)>,
     /// Position in the global open order (monotone; used for sorting and
@@ -43,13 +47,44 @@ pub struct SpanRecord {
     pub sim_secs: f64,
 }
 
-thread_local! {
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+/// One entry on a thread's open-span stack. The shared `alive` flag is
+/// how a guard signals closure without touching the stack it was opened
+/// on: a guard may be moved to — and dropped on — a *different* thread, so
+/// its `Drop` cannot assume the opening thread's stack is reachable.
+/// Closed entries are lazily pruned from the tail on the next access.
+struct StackEntry {
+    id: u64,
+    alive: Arc<AtomicBool>,
 }
 
-/// The innermost open span on the calling thread, or 0.
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<StackEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pop entries whose guard has already closed. Only the dead *tail* needs
+/// removing: a dead entry below a live one stays (and is skipped by
+/// [`current_span_id`]) until everything above it closes too.
+fn prune_dead_tail(stack: &mut Vec<StackEntry>) {
+    while stack
+        .last()
+        .is_some_and(|e| !e.alive.load(Ordering::Relaxed))
+    {
+        stack.pop();
+    }
+}
+
+/// The innermost *still-open* span on the calling thread, or 0.
 pub fn current_span_id() -> u64 {
-    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        prune_dead_tail(&mut stack);
+        stack
+            .iter()
+            .rev()
+            .find(|e| e.alive.load(Ordering::Relaxed))
+            .map(|e| e.id)
+            .unwrap_or(0)
+    })
 }
 
 /// Bounded in-memory store of closed spans.
@@ -85,19 +120,29 @@ impl TraceSink {
     /// Open a span under an explicit parent id (0 for a root). Use when the
     /// opening thread differs from the logical parent's thread.
     pub fn span_with_parent(&self, name: &str, parent: u64) -> SpanGuard<'_> {
-        if !Verbosity::from_env().recording() {
+        if !Verbosity::current().recording() {
             return SpanGuard::disabled();
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let start_seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
-        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        let alive = Arc::new(AtomicBool::new(true));
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            prune_dead_tail(&mut stack);
+            stack.push(StackEntry {
+                id,
+                alive: Arc::clone(&alive),
+            });
+        });
         SpanGuard {
             sink: Some(self),
+            alive,
             record: SpanRecord {
                 id,
                 parent,
                 name: name.to_string(),
                 node: None,
+                query_id: crate::query::current_query_id(),
                 fields: Vec::new(),
                 start_seq,
                 wall_ns: 0,
@@ -149,6 +194,9 @@ impl Default for TraceSink {
 pub struct SpanGuard<'a> {
     /// `None` for the disabled guard (`VDR_OBS=off`).
     sink: Option<&'a TraceSink>,
+    /// Shared with this guard's [`StackEntry`]; cleared on drop so the
+    /// opening thread's stack can prune it lazily.
+    alive: Arc<AtomicBool>,
     record: SpanRecord,
     started: Instant,
 }
@@ -157,11 +205,13 @@ impl SpanGuard<'static> {
     fn disabled() -> Self {
         SpanGuard {
             sink: None,
+            alive: Arc::new(AtomicBool::new(false)),
             record: SpanRecord {
                 id: 0,
                 parent: 0,
                 name: String::new(),
                 node: None,
+                query_id: 0,
                 fields: Vec::new(),
                 start_seq: 0,
                 wall_ns: 0,
@@ -197,21 +247,26 @@ impl SpanGuard<'_> {
     pub fn set_sim_time(&mut self, sim: SimDuration) {
         self.record.sim_secs = sim.as_secs();
     }
+
+    /// Override the query id stamped at open (e.g. when the id is only
+    /// allocated after the span starts).
+    pub fn set_query_id(&mut self, query_id: u64) {
+        self.record.query_id = query_id;
+    }
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let Some(sink) = self.sink else { return };
         self.record.wall_ns = self.started.elapsed().as_nanos() as u64;
-        // Pop this span from the thread's stack. Guards drop LIFO under
-        // normal scoping; search from the end to stay correct if a guard
-        // outlived its scope (e.g. moved into a container).
-        SPAN_STACK.with(|s| {
-            let mut stack = s.borrow_mut();
-            if let Some(pos) = stack.iter().rposition(|&id| id == self.record.id) {
-                stack.remove(pos);
-            }
-        });
+        // Closing only flips the shared alive flag — never indexes into a
+        // stack. The guard may be dropping on a different thread than the
+        // one that opened it (moved into a worker), during unwinding, or
+        // out of LIFO order; in every case the opening thread's stack
+        // prunes the dead entry lazily and `current_span_id` skips it, so
+        // no stale id can be handed out as a parent.
+        self.alive.store(false, Ordering::Relaxed);
+        SPAN_STACK.with(|s| prune_dead_tail(&mut s.borrow_mut()));
         sink.push(std::mem::replace(
             &mut self.record,
             SpanRecord {
@@ -219,6 +274,7 @@ impl Drop for SpanGuard<'_> {
                 parent: 0,
                 name: String::new(),
                 node: None,
+                query_id: 0,
                 fields: Vec::new(),
                 start_seq: 0,
                 wall_ns: 0,
@@ -304,5 +360,76 @@ mod tests {
             s.set_sim_time(SimDuration::from_secs(2.5));
         }
         assert_eq!(sink.snapshot()[0].sim_secs, 2.5);
+    }
+
+    #[test]
+    fn out_of_lifo_drop_keeps_live_spans_current() {
+        let sink = TraceSink::new();
+        let outer = sink.span("outer");
+        let inner = sink.span("inner");
+        let inner_id = inner.id();
+        // Drop the *outer* guard first: the inner span is still open and
+        // must stay the current parent.
+        drop(outer);
+        assert_eq!(current_span_id(), inner_id);
+        let sibling = sink.span("sibling");
+        drop(sibling);
+        drop(inner);
+        assert_eq!(current_span_id(), 0);
+        let spans = sink.snapshot();
+        let sibling = spans.iter().find(|s| s.name == "sibling").unwrap();
+        assert_eq!(sibling.parent, inner_id);
+    }
+
+    #[test]
+    fn cross_thread_drop_does_not_corrupt_opening_stack() {
+        let sink = std::sync::Arc::new(TraceSink::new());
+        let root = sink.span("root");
+        let root_id = root.id();
+        // Move a guard opened on this thread into a worker and drop it
+        // there. The entry it left on *this* thread's stack must not leak
+        // into future parent resolution.
+        let moved = sink.span("moved");
+        std::thread::scope(|scope| {
+            scope.spawn(move || drop(moved));
+        });
+        assert_eq!(current_span_id(), root_id);
+        let child = sink.span("child");
+        drop(child);
+        drop(root);
+        assert_eq!(current_span_id(), 0);
+        let spans = sink.snapshot();
+        let child = spans.iter().find(|s| s.name == "child").unwrap();
+        assert_eq!(child.parent, root_id, "dead entry must not become parent");
+    }
+
+    #[test]
+    fn unwind_through_open_spans_leaves_a_clean_stack() {
+        let sink = std::sync::Arc::new(TraceSink::new());
+        let s2 = std::sync::Arc::clone(&sink);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _a = s2.span("panicking.outer");
+            let _b = s2.span("panicking.inner");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(current_span_id(), 0, "unwind must close both spans");
+        assert_eq!(sink.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn spans_carry_the_current_query_id() {
+        let sink = TraceSink::new();
+        let qid = crate::query::next_query_id();
+        {
+            let _scope = crate::query::QueryScope::enter(qid);
+            drop(sink.span("attributed"));
+        }
+        drop(sink.span("unattributed"));
+        let spans = sink.snapshot();
+        let hit = spans.iter().find(|s| s.name == "attributed").unwrap();
+        let miss = spans.iter().find(|s| s.name == "unattributed").unwrap();
+        assert_eq!(hit.query_id, qid);
+        assert_eq!(miss.query_id, 0);
     }
 }

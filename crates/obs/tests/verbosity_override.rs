@@ -1,0 +1,52 @@
+//! Runtime verbosity override (`set_verbosity` / `reset_verbosity`).
+//!
+//! Deliberately a single test in its own binary: the override is
+//! process-global, and this is the only place the workspace ever forces
+//! `Off` — in a shared test binary that window could race other tests that
+//! expect recording to be on. Keeping it isolated is exactly the
+//! env-mutation race `set_verbosity` exists to avoid.
+
+use vdr_obs::{global, reset_verbosity, set_verbosity, Verbosity};
+
+#[test]
+fn override_gates_recording_and_restores_the_env_default() {
+    // No override installed: VDR_OBS is unset in CI, so the default is
+    // Summary and recording is on.
+    assert!(vdr_obs::verbosity_override().is_none());
+
+    set_verbosity(Verbosity::Off);
+    assert_eq!(Verbosity::current(), Verbosity::Off);
+    assert_eq!(vdr_obs::verbosity_override(), Some(Verbosity::Off));
+    let before = global().metrics().snapshot();
+    vdr_obs::counter("verbosity.test.counter", 5);
+    let guard = vdr_obs::span("verbosity.test.span");
+    assert_eq!(guard.id(), 0, "disabled guard has no id");
+    drop(guard);
+    let after = global().metrics().snapshot();
+    assert_eq!(
+        after.diff(&before).counter_total("verbosity.test.counter"),
+        0,
+        "Off must drop metric writes"
+    );
+
+    // Forcing recording back on takes effect immediately — no env re-read.
+    set_verbosity(Verbosity::Trace);
+    assert_eq!(Verbosity::current(), Verbosity::Trace);
+    let seq = global().trace().current_seq();
+    vdr_obs::counter("verbosity.test.counter", 7);
+    drop(vdr_obs::span("verbosity.test.span"));
+    let spans = global().trace().spans_since(seq);
+    assert!(spans.iter().any(|s| s.name == "verbosity.test.span"));
+    assert_eq!(
+        global()
+            .metrics()
+            .snapshot()
+            .diff(&before)
+            .counter_total("verbosity.test.counter"),
+        7
+    );
+
+    reset_verbosity();
+    assert!(vdr_obs::verbosity_override().is_none());
+    assert_eq!(Verbosity::current(), Verbosity::from_env());
+}

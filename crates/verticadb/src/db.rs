@@ -7,6 +7,7 @@ use crate::dfs::Dfs;
 use crate::error::Result;
 use crate::exec;
 use crate::models::ModelStore;
+use crate::monitor::{Monitor, QueryRecord, SystemTableProvider};
 use crate::sql;
 use crate::storage::SegmentStore;
 use crate::udx::{TransformFunction, UdxRegistry};
@@ -14,12 +15,14 @@ use std::sync::Arc;
 use vdr_cluster::{Ledger, PhaseKind, PhaseRecorder, SimCluster, SimDuration};
 use vdr_columnar::Batch;
 
-/// Result of one SQL statement: the rows plus the statement's simulated
-/// duration under the cluster's hardware profile.
+/// Result of one SQL statement: the rows, the statement's simulated
+/// duration under the cluster's hardware profile, and the query id it was
+/// attributed under (filter `v_monitor` tables by it).
 #[derive(Debug, Clone)]
 pub struct QueryOutput {
     pub batch: Batch,
     pub sim_time: SimDuration,
+    pub query_id: u64,
 }
 
 /// A running database instance spanning all cluster nodes.
@@ -32,6 +35,7 @@ pub struct VerticaDb {
     udx: UdxRegistry,
     admission: AdmissionController,
     ledger: Arc<Ledger>,
+    monitor: Monitor,
 }
 
 impl VerticaDb {
@@ -48,6 +52,7 @@ impl VerticaDb {
             udx: UdxRegistry::new(),
             admission: AdmissionController::new(max_q),
             ledger: Arc::new(Ledger::new()),
+            monitor: Monitor::new(),
             cluster,
         })
     }
@@ -56,23 +61,126 @@ impl VerticaDb {
     /// after the statement.
     pub fn query(&self, sql_text: &str) -> Result<QueryOutput> {
         let stmt = sql::parse(sql_text)?;
-        self.execute(&stmt)
+        self.execute_tracked(&stmt, Some(sql_text), &self.ledger, None)
     }
 
     /// Execute a pre-parsed statement.
     pub fn execute(&self, stmt: &sql::Statement) -> Result<QueryOutput> {
+        self.execute_tracked(stmt, None, &self.ledger, None)
+    }
+
+    /// Parse and execute, committing the phase to `target` instead of the
+    /// database ledger (sessions account statements on their own ledgers),
+    /// with an optional phase-label override. The query is still recorded
+    /// into the shared `v_monitor` history either way.
+    pub fn query_on_ledger(
+        &self,
+        sql_text: &str,
+        target: &Ledger,
+        label: Option<String>,
+    ) -> Result<QueryOutput> {
+        let stmt = sql::parse(sql_text)?;
+        self.execute_tracked(&stmt, Some(sql_text), target, label)
+    }
+
+    /// The tracked execution path every SQL entry point funnels through:
+    /// allocates a query id, scopes execution to it, diffs metrics around
+    /// it, and records the outcome in the query history. `PROFILE` is
+    /// intercepted here — its inner statement runs normally (with recording
+    /// forced on if verbosity is `Off`), then the result batch is replaced
+    /// by the profile rows.
+    fn execute_tracked(
+        &self,
+        stmt: &sql::Statement,
+        sql_text: Option<&str>,
+        target: &Ledger,
+        label: Option<String>,
+    ) -> Result<QueryOutput> {
+        if let sql::Statement::Profile(inner) = stmt {
+            let saved = vdr_obs::verbosity_override();
+            let forced = !vdr_obs::Verbosity::current().recording();
+            if forced {
+                vdr_obs::set_verbosity(vdr_obs::Verbosity::Summary);
+            }
+            let run = self.run_tracked(inner, sql_text, target, label);
+            if forced {
+                match saved {
+                    Some(v) => vdr_obs::set_verbosity(v),
+                    None => vdr_obs::reset_verbosity(),
+                }
+            }
+            let (output, record) = run?;
+            let batch = crate::monitor::profile_batch(&record)?;
+            return Ok(QueryOutput { batch, ..output });
+        }
+        self.run_tracked(stmt, sql_text, target, label)
+            .map(|(output, _)| output)
+    }
+
+    fn run_tracked(
+        &self,
+        stmt: &sql::Statement,
+        sql_text: Option<&str>,
+        target: &Ledger,
+        label: Option<String>,
+    ) -> Result<(QueryOutput, QueryRecord)> {
+        let query_id = vdr_obs::next_query_id();
+        let _scope = vdr_obs::QueryScope::enter(query_id);
+        let metrics_before = vdr_obs::global().metrics().snapshot();
+        let started = std::time::Instant::now();
         let rec = Arc::new(PhaseRecorder::new(
-            statement_label(stmt),
+            label.unwrap_or_else(|| statement_label(stmt)),
             PhaseKind::Pipelined,
             self.cluster.num_nodes(),
         ));
-        let batch = self.execute_with(stmt, &rec)?;
+        rec.set_query_id(query_id);
+        let result = self.execute_with(stmt, &rec);
         let report = Arc::into_inner(rec)
             .expect("no stray phase references after execution")
             .finish(self.cluster.profile());
-        let sim_time = report.duration();
-        self.ledger.push(report);
-        Ok(QueryOutput { batch, sim_time })
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let metrics_delta = vdr_obs::global().metrics().snapshot().diff(&metrics_before);
+        let sql = sql_text.map_or_else(|| report.name.clone(), str::to_string);
+        match result {
+            Ok(batch) => {
+                let sim_time = report.duration();
+                let record = QueryRecord {
+                    id: query_id,
+                    sql,
+                    status: "complete".to_string(),
+                    sim_secs: sim_time.as_secs(),
+                    wall_ns,
+                    rows: batch.num_rows() as u64,
+                    bytes: batch.byte_size(),
+                    phases: vec![report.clone()],
+                    metrics_delta,
+                };
+                target.push(report);
+                self.monitor.history().record(record.clone());
+                Ok((
+                    QueryOutput {
+                        batch,
+                        sim_time,
+                        query_id,
+                    },
+                    record,
+                ))
+            }
+            Err(e) => {
+                self.monitor.history().record(QueryRecord {
+                    id: query_id,
+                    sql,
+                    status: format!("error: {e}"),
+                    sim_secs: 0.0,
+                    wall_ns,
+                    rows: 0,
+                    bytes: 0,
+                    phases: Vec::new(),
+                    metrics_delta,
+                });
+                Err(e)
+            }
+        }
     }
 
     /// Execute a statement charging an externally owned phase recorder.
@@ -156,6 +264,16 @@ impl VerticaDb {
     pub fn ledger(&self) -> &Arc<Ledger> {
         &self.ledger
     }
+
+    /// The `v_monitor` registry and query history.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Expose extra state as a `v_monitor` table.
+    pub fn register_system_table(&self, provider: Arc<dyn SystemTableProvider>) {
+        self.monitor.register(provider);
+    }
 }
 
 pub(crate) fn statement_label(stmt: &sql::Statement) -> String {
@@ -168,6 +286,7 @@ pub(crate) fn statement_label(stmt: &sql::Statement) -> String {
         sql::Statement::CreateTableAs { name, .. } => format!("CREATE TABLE {name} AS SELECT"),
         sql::Statement::Insert { table, .. } => format!("INSERT {table}"),
         sql::Statement::DropTable { name, .. } => format!("DROP TABLE {name}"),
+        sql::Statement::Profile(inner) => format!("PROFILE {}", statement_label(inner)),
     }
 }
 

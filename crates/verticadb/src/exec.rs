@@ -107,6 +107,12 @@ pub fn execute(db: &VerticaDb, stmt: &Statement, rec: &Arc<PhaseRecorder>) -> Re
             db.storage().drop_table(name);
             status_batch(&format!("DROP TABLE {name}"))
         }
+        // The tracked path (`VerticaDb::execute_tracked`) unwraps one
+        // PROFILE layer before dispatching here, so reaching this arm means
+        // PROFILE PROFILE … or a caller bypassing the tracked entry points.
+        Statement::Profile(_) => Err(DbError::Plan(
+            "PROFILE must be the outermost statement".into(),
+        )),
     }
 }
 
@@ -148,7 +154,17 @@ fn execute_select(db: &VerticaDb, stmt: &SelectStmt, rec: &Arc<PhaseRecorder>) -
     };
 
     // Per-node pipelines.
-    let per_node: Vec<Result<NodeResult>> = if table.eq_ignore_ascii_case("r_models") {
+    let per_node: Vec<Result<NodeResult>> = if let Some(sys) =
+        crate::monitor::v_monitor_table(table)
+    {
+        // System tables materialize on the initiator: the provider builds
+        // the batch, then the ordinary WHERE/projection/ORDER BY machinery
+        // runs over it like any gathered result.
+        select_span.record("table", table);
+        let batch = db.monitor().materialize(sys, db)?;
+        let filtered = apply_where(stmt, &batch)?;
+        vec![Ok(node_result(stmt, &filtered)?)]
+    } else if table.eq_ignore_ascii_case("r_models") {
         // The metadata table lives on the initiator.
         let models = db.models().as_batch();
         let filtered = apply_where(stmt, &models)?;
@@ -160,7 +176,12 @@ fn execute_select(db: &VerticaDb, stmt: &SelectStmt, rec: &Arc<PhaseRecorder>) -
         // Planner: push the referenced-column set down to the scan so
         // unused column payloads are never decoded.
         let wanted = referenced_columns(stmt);
+        // Scatter spawns one OS thread per node: the query scope is
+        // thread-local, so re-enter it in each worker (as span parents are
+        // passed explicitly).
+        let query_id = vdr_obs::current_query_id();
         db.cluster().scatter(|node| -> Result<NodeResult> {
+            let _q = vdr_obs::QueryScope::enter(query_id);
             let mut scan_span = vdr_obs::span_with_parent("exec.scan", select_span_id);
             scan_span.set_node(node.id().0);
             let batches =
@@ -931,7 +952,11 @@ fn run_transform(
         }
         cols
     };
+    // Scatter workers and rayon instances run on their own threads;
+    // re-enter the query scope in each so their spans stay attributed.
+    let query_id = vdr_obs::current_query_id();
     let per_node_outputs: Vec<Result<Vec<Batch>>> = db.cluster().scatter(|node| {
+        let _q = vdr_obs::QueryScope::enter(query_id);
         let node_id = node.id();
         let n_containers = db.storage().containers(table, node_id).len();
         let instances = match partition {
@@ -944,6 +969,7 @@ fn run_transform(
             let results: Vec<Result<Vec<Batch>>> = (0..instances)
                 .into_par_iter()
                 .map(|instance| -> Result<Vec<Batch>> {
+                    let _q = vdr_obs::QueryScope::enter(query_id);
                     let mut inst_span =
                         vdr_obs::span_with_parent("exec.transform.instance", tf_span_id);
                     inst_span.set_node(node_id.0);

@@ -32,6 +32,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod models;
+pub mod monitor;
 pub mod segmentation;
 pub mod sql;
 pub mod storage;
@@ -43,5 +44,8 @@ pub use db::{QueryOutput, VerticaDb};
 pub use dfs::Dfs;
 pub use error::{DbError, Result};
 pub use models::{ModelMeta, ModelStore};
+pub use monitor::{
+    Monitor, QueryHistory, QueryRecord, SystemTableProvider, QUERY_HISTORY_CAPACITY,
+};
 pub use segmentation::Segmentation;
 pub use udx::{TransformFunction, UdxContext};

@@ -1,0 +1,614 @@
+//! The `v_monitor` virtual schema: monitoring state exposed as tables.
+//!
+//! Vertica answers "what is the database doing?" with SQL — the `V_MONITOR`
+//! schema and Data Collector tables the paper's evaluation reads its
+//! per-operator statistics from. This module is that surface for our
+//! engine: a [`SystemTableProvider`] materializes a [`Batch`] on demand,
+//! and the executor resolves any `FROM v_monitor.<name>` through the
+//! [`Monitor`] registry instead of the catalog, so the ordinary
+//! `SELECT ... WHERE ... ORDER BY` machinery (projection pushdown,
+//! predicate kernels, sorts) runs unchanged over telemetry.
+//!
+//! Built-in tables:
+//!
+//! | table                       | contents                                  |
+//! |-----------------------------|-------------------------------------------|
+//! | `query_requests`            | per-query history (ring of last 1024)     |
+//! | `execution_engine_profiles` | per-query, per-node, per-phase counters   |
+//! | `metrics`                   | live counter/gauge/histogram snapshot     |
+//! | `spans`                     | the vdr-obs trace ring                    |
+//! | `storage_containers`        | ROS containers per table and node         |
+//! | `block_cache`               | decoded-block cache stats (PR 3)          |
+//! | `dfs_objects`               | DFS object store listing                  |
+//! | `model_cache`               | prediction model cache stats (registered  |
+//! |                             | by `vdr-core` alongside the UDx funcs)    |
+//!
+//! System tables materialize on the initiator node — they are metadata
+//! reads, like `R_Models` — so no scatter/gather or ledger charge applies.
+
+use crate::db::VerticaDb;
+use crate::error::{DbError, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use vdr_cluster::{NodeId, PhaseReport};
+use vdr_columnar::{Batch, ColumnBuilder, DataType, Field, Schema, Value};
+use vdr_obs::{MetricValue, MetricsSnapshot};
+
+/// The virtual schema name system tables live under.
+pub const V_MONITOR_SCHEMA: &str = "v_monitor";
+
+/// The query-history ring keeps the last N completed (or failed)
+/// statements; older entries are evicted and counted on
+/// `obs.query_history.evicted`.
+pub const QUERY_HISTORY_CAPACITY: usize = 1024;
+
+/// If `name` is `v_monitor.<table>` (case-insensitive), the bare table name.
+pub fn v_monitor_table(name: &str) -> Option<&str> {
+    let (schema, table) = name.split_once('.')?;
+    schema
+        .eq_ignore_ascii_case(V_MONITOR_SCHEMA)
+        .then_some(table)
+}
+
+/// One completed statement in the query history.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// The query id allocated for the statement (see `vdr_obs::query`).
+    pub id: u64,
+    /// SQL text, or the statement label when executed pre-parsed.
+    pub sql: String,
+    /// `complete`, or `error: <message>`.
+    pub status: String,
+    /// Simulated execution time, seconds.
+    pub sim_secs: f64,
+    /// Real (host) execution time, nanoseconds.
+    pub wall_ns: u64,
+    /// Rows in the statement's result batch.
+    pub rows: u64,
+    /// Bytes in the statement's result batch.
+    pub bytes: u64,
+    /// The ledger phases this statement produced.
+    pub phases: Vec<PhaseReport>,
+    /// Metrics activity during the statement (snapshot diff).
+    pub metrics_delta: MetricsSnapshot,
+}
+
+/// Bounded ring of recent [`QueryRecord`]s.
+pub struct QueryHistory {
+    entries: Mutex<VecDeque<QueryRecord>>,
+    capacity: usize,
+}
+
+impl QueryHistory {
+    pub fn new() -> Self {
+        QueryHistory::with_capacity(QUERY_HISTORY_CAPACITY)
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        QueryHistory {
+            entries: Mutex::new(VecDeque::new()),
+            capacity,
+        }
+    }
+
+    /// Append a record, evicting the oldest past capacity.
+    pub fn record(&self, record: QueryRecord) {
+        let mut entries = self.entries.lock();
+        entries.push_back(record);
+        while entries.len() > self.capacity {
+            entries.pop_front();
+            vdr_obs::counter("obs.query_history.evicted", 1);
+        }
+    }
+
+    pub fn snapshot(&self) -> Vec<QueryRecord> {
+        self.entries.lock().iter().cloned().collect()
+    }
+
+    pub fn get(&self, id: u64) -> Option<QueryRecord> {
+        self.entries
+            .lock()
+            .iter()
+            .rev()
+            .find(|r| r.id == id)
+            .cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+impl Default for QueryHistory {
+    fn default() -> Self {
+        QueryHistory::new()
+    }
+}
+
+/// A virtual table: materializes its rows on demand. Providers must be
+/// cheap to call repeatedly and must not execute SQL (the executor calls
+/// them mid-statement).
+pub trait SystemTableProvider: Send + Sync {
+    /// Bare table name under `v_monitor.` (lowercase).
+    fn name(&self) -> &str;
+    /// Materialize the table's current contents.
+    fn batch(&self, db: &VerticaDb) -> Result<Batch>;
+}
+
+/// The registry of system-table providers plus the query history.
+pub struct Monitor {
+    providers: RwLock<BTreeMap<String, Arc<dyn SystemTableProvider>>>,
+    history: QueryHistory,
+}
+
+impl Monitor {
+    /// A registry pre-loaded with the built-in providers.
+    pub fn new() -> Self {
+        let m = Monitor {
+            providers: RwLock::new(BTreeMap::new()),
+            history: QueryHistory::new(),
+        };
+        m.register(Arc::new(QueryRequestsTable));
+        m.register(Arc::new(ExecutionEngineProfilesTable));
+        m.register(Arc::new(MetricsTable));
+        m.register(Arc::new(SpansTable));
+        m.register(Arc::new(StorageContainersTable));
+        m.register(Arc::new(BlockCacheTable));
+        m.register(Arc::new(DfsObjectsTable));
+        m
+    }
+
+    /// Add (or replace) a provider. Other crates hook their own state in
+    /// this way — `vdr-core` registers `model_cache` when it installs the
+    /// prediction functions.
+    pub fn register(&self, provider: Arc<dyn SystemTableProvider>) {
+        self.providers
+            .write()
+            .insert(provider.name().to_ascii_lowercase(), provider);
+    }
+
+    pub fn history(&self) -> &QueryHistory {
+        &self.history
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.providers.read().keys().cloned().collect()
+    }
+
+    /// Materialize `v_monitor.<table>`.
+    pub fn materialize(&self, table: &str, db: &VerticaDb) -> Result<Batch> {
+        let provider = self
+            .providers
+            .read()
+            .get(&table.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| {
+                DbError::Plan(format!("unknown system table '{V_MONITOR_SCHEMA}.{table}'"))
+            })?;
+        provider.batch(db)
+    }
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor::new()
+    }
+}
+
+/// Build a batch from `(name, type, builder-fill)` columns with equal row
+/// counts — the common shape of every provider below.
+struct Rows {
+    fields: Vec<Field>,
+    builders: Vec<ColumnBuilder>,
+}
+
+impl Rows {
+    fn new(cols: &[(&str, DataType)]) -> Self {
+        Rows {
+            fields: cols
+                .iter()
+                .map(|(n, t)| Field::new(n.to_string(), *t))
+                .collect(),
+            builders: cols.iter().map(|(_, t)| ColumnBuilder::new(*t)).collect(),
+        }
+    }
+
+    fn push(&mut self, row: Vec<Value>) -> Result<()> {
+        debug_assert_eq!(row.len(), self.builders.len());
+        for (builder, value) in self.builders.iter_mut().zip(row) {
+            match value {
+                Value::Null => builder.push_null(),
+                v => builder.push(v)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Batch> {
+        let columns = self.builders.into_iter().map(|b| b.finish()).collect();
+        Ok(Batch::new(Schema::new(self.fields), columns)?)
+    }
+}
+
+fn opt_node(node: Option<usize>) -> Value {
+    match node {
+        Some(n) => Value::Int64(n as i64),
+        None => Value::Null,
+    }
+}
+
+// ------------------------------------------------------ built-in providers
+
+struct QueryRequestsTable;
+
+impl SystemTableProvider for QueryRequestsTable {
+    fn name(&self) -> &str {
+        "query_requests"
+    }
+
+    fn batch(&self, db: &VerticaDb) -> Result<Batch> {
+        let mut rows = Rows::new(&[
+            ("query_id", DataType::Int64),
+            ("sql", DataType::Varchar),
+            ("status", DataType::Varchar),
+            ("sim_us", DataType::Float64),
+            ("wall_us", DataType::Float64),
+            ("rows", DataType::Int64),
+            ("bytes", DataType::Int64),
+        ]);
+        for r in db.monitor().history().snapshot() {
+            rows.push(vec![
+                Value::Int64(r.id as i64),
+                Value::Varchar(r.sql),
+                Value::Varchar(r.status),
+                Value::Float64(r.sim_secs * 1e6),
+                Value::Float64(r.wall_ns as f64 / 1e3),
+                Value::Int64(r.rows as i64),
+                Value::Int64(r.bytes as i64),
+            ])?;
+        }
+        rows.finish()
+    }
+}
+
+struct ExecutionEngineProfilesTable;
+
+impl SystemTableProvider for ExecutionEngineProfilesTable {
+    fn name(&self) -> &str {
+        "execution_engine_profiles"
+    }
+
+    fn batch(&self, db: &VerticaDb) -> Result<Batch> {
+        let mut rows = Rows::new(&[
+            ("query_id", DataType::Int64),
+            ("phase", DataType::Varchar),
+            ("node", DataType::Int64),
+            ("sim_us", DataType::Float64),
+            ("disk_read_bytes", DataType::Int64),
+            ("disk_cached_read_bytes", DataType::Int64),
+            ("disk_write_bytes", DataType::Int64),
+            ("net_in_bytes", DataType::Int64),
+            ("net_out_bytes", DataType::Int64),
+            ("cpu_core_ns", DataType::Float64),
+        ]);
+        for r in db.monitor().history().snapshot() {
+            for phase in &r.phases {
+                // Phases recorded before attribution existed (or synthetic
+                // ones) carry 0; fall back to the owning query's id.
+                let qid = if phase.query_id != 0 {
+                    phase.query_id
+                } else {
+                    r.id
+                };
+                for n in &phase.nodes {
+                    rows.push(vec![
+                        Value::Int64(qid as i64),
+                        Value::Varchar(phase.name.clone()),
+                        Value::Int64(n.node as i64),
+                        Value::Float64(n.duration_secs * 1e6),
+                        Value::Int64(n.usage.disk_read_bytes as i64),
+                        Value::Int64(n.usage.disk_cached_read_bytes as i64),
+                        Value::Int64(n.usage.disk_write_bytes as i64),
+                        Value::Int64(n.usage.net_in_bytes as i64),
+                        Value::Int64(n.usage.net_out_bytes as i64),
+                        Value::Float64(n.usage.cpu_core_ns),
+                    ])?;
+                }
+            }
+        }
+        rows.finish()
+    }
+}
+
+struct MetricsTable;
+
+impl SystemTableProvider for MetricsTable {
+    fn name(&self) -> &str {
+        "metrics"
+    }
+
+    fn batch(&self, _db: &VerticaDb) -> Result<Batch> {
+        let snap = vdr_obs::global().metrics().snapshot();
+        let mut rows = Rows::new(&[
+            ("name", DataType::Varchar),
+            ("node", DataType::Int64),
+            ("kind", DataType::Varchar),
+            ("value", DataType::Float64),
+        ]);
+        for (key, value) in snap.iter() {
+            let (kind, v) = match value {
+                MetricValue::Counter(c) => ("counter", *c as f64),
+                MetricValue::Gauge(g) => ("gauge", *g),
+                // A histogram's scalar projection is its observation count;
+                // distributions stay on the Rust API.
+                MetricValue::Histogram(h) => ("histogram", h.count as f64),
+            };
+            rows.push(vec![
+                Value::Varchar(key.name.clone()),
+                opt_node(key.node),
+                Value::Varchar(kind.to_string()),
+                Value::Float64(v),
+            ])?;
+        }
+        rows.finish()
+    }
+}
+
+struct SpansTable;
+
+impl SystemTableProvider for SpansTable {
+    fn name(&self) -> &str {
+        "spans"
+    }
+
+    fn batch(&self, _db: &VerticaDb) -> Result<Batch> {
+        let mut rows = Rows::new(&[
+            ("span_id", DataType::Int64),
+            ("parent_id", DataType::Int64),
+            ("query_id", DataType::Int64),
+            ("name", DataType::Varchar),
+            ("node", DataType::Int64),
+            ("start_seq", DataType::Int64),
+            ("wall_ns", DataType::Int64),
+            ("sim_us", DataType::Float64),
+            ("fields", DataType::Varchar),
+        ]);
+        for s in vdr_obs::global().trace().snapshot() {
+            let fields = s
+                .fields
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            rows.push(vec![
+                Value::Int64(s.id as i64),
+                Value::Int64(s.parent as i64),
+                Value::Int64(s.query_id as i64),
+                Value::Varchar(s.name),
+                opt_node(s.node),
+                Value::Int64(s.start_seq as i64),
+                Value::Int64(s.wall_ns as i64),
+                Value::Float64(s.sim_secs * 1e6),
+                Value::Varchar(fields),
+            ])?;
+        }
+        rows.finish()
+    }
+}
+
+struct StorageContainersTable;
+
+impl SystemTableProvider for StorageContainersTable {
+    fn name(&self) -> &str {
+        "storage_containers"
+    }
+
+    fn batch(&self, db: &VerticaDb) -> Result<Batch> {
+        let mut rows = Rows::new(&[
+            ("table_name", DataType::Varchar),
+            ("node", DataType::Int64),
+            ("path", DataType::Varchar),
+            ("rows", DataType::Int64),
+            ("bytes", DataType::Int64),
+            ("crc32", DataType::Int64),
+        ]);
+        for table in db.catalog().table_names() {
+            for node in 0..db.cluster().num_nodes() {
+                for c in db.storage().containers(&table, NodeId(node)) {
+                    rows.push(vec![
+                        Value::Varchar(table.clone()),
+                        Value::Int64(node as i64),
+                        Value::Varchar(c.path),
+                        Value::Int64(c.rows as i64),
+                        Value::Int64(c.bytes as i64),
+                        Value::Int64(c.crc as i64),
+                    ])?;
+                }
+            }
+        }
+        rows.finish()
+    }
+}
+
+/// Stat-row shape shared by the cache tables: one `(stat, node, value)`
+/// row per counter, with per-node rows where the cache tracks them.
+pub fn cache_stats_batch(stats: &[(&str, Option<usize>, u64)]) -> Result<Batch> {
+    let mut rows = Rows::new(&[
+        ("stat", DataType::Varchar),
+        ("node", DataType::Int64),
+        ("value", DataType::Int64),
+    ]);
+    for (stat, node, value) in stats {
+        rows.push(vec![
+            Value::Varchar(stat.to_string()),
+            opt_node(*node),
+            Value::Int64(*value as i64),
+        ])?;
+    }
+    rows.finish()
+}
+
+struct BlockCacheTable;
+
+impl SystemTableProvider for BlockCacheTable {
+    fn name(&self) -> &str {
+        "block_cache"
+    }
+
+    fn batch(&self, db: &VerticaDb) -> Result<Batch> {
+        let cache = db.storage().block_cache();
+        let mut stats: Vec<(&str, Option<usize>, u64)> = vec![
+            ("hits", None, cache.hits()),
+            ("misses", None, cache.misses()),
+            ("evictions", None, cache.evictions()),
+            ("invalidations", None, cache.invalidations()),
+            ("entries", None, cache.len() as u64),
+        ];
+        for node in 0..db.cluster().num_nodes() {
+            stats.push(("bytes", Some(node), cache.bytes_on(NodeId(node))));
+        }
+        cache_stats_batch(&stats)
+    }
+}
+
+struct DfsObjectsTable;
+
+impl SystemTableProvider for DfsObjectsTable {
+    fn name(&self) -> &str {
+        "dfs_objects"
+    }
+
+    fn batch(&self, db: &VerticaDb) -> Result<Batch> {
+        let dfs = db.dfs();
+        let mut rows = Rows::new(&[
+            ("name", DataType::Varchar),
+            ("bytes", DataType::Int64),
+            ("crc32", DataType::Int64),
+            ("replicas", DataType::Int64),
+            ("readable", DataType::Bool),
+        ]);
+        for name in dfs.list() {
+            rows.push(vec![
+                Value::Varchar(name.clone()),
+                Value::Int64(dfs.size_of(&name).unwrap_or(0) as i64),
+                Value::Int64(dfs.checksum_of(&name).unwrap_or(0) as i64),
+                Value::Int64(dfs.replicas_of(&name).len() as i64),
+                Value::Bool(dfs.is_readable(&name)),
+            ])?;
+        }
+        rows.finish()
+    }
+}
+
+// ----------------------------------------------------------------- PROFILE
+
+/// The result batch of `PROFILE <statement>`: the inner statement's
+/// per-node phase rows followed by its metric deltas, every row stamped
+/// with the inner statement's query id.
+pub fn profile_batch(record: &QueryRecord) -> Result<Batch> {
+    let mut rows = Rows::new(&[
+        ("query_id", DataType::Int64),
+        ("section", DataType::Varchar),
+        ("name", DataType::Varchar),
+        ("node", DataType::Int64),
+        ("value", DataType::Float64),
+        ("unit", DataType::Varchar),
+    ]);
+    let qid = Value::Int64(record.id as i64);
+    for phase in &record.phases {
+        for n in &phase.nodes {
+            rows.push(vec![
+                qid.clone(),
+                Value::Varchar("phase".to_string()),
+                Value::Varchar(phase.name.clone()),
+                Value::Int64(n.node as i64),
+                Value::Float64(n.duration_secs * 1e6),
+                Value::Varchar("sim_us".to_string()),
+            ])?;
+        }
+    }
+    for (key, value) in record.metrics_delta.iter() {
+        let (section, v, unit) = match value {
+            // Zero counter deltas are metrics the query never touched —
+            // the diff passes every process-lifetime key through, so drop
+            // the noise here.
+            MetricValue::Counter(0) => continue,
+            MetricValue::Counter(c) => ("counter", *c as f64, "count"),
+            MetricValue::Gauge(g) => ("gauge", *g, "level"),
+            MetricValue::Histogram(h) if h.count == 0 => continue,
+            MetricValue::Histogram(h) => ("histogram", h.count as f64, "events"),
+        };
+        rows.push(vec![
+            qid.clone(),
+            Value::Varchar(section.to_string()),
+            Value::Varchar(key.name.clone()),
+            opt_node(key.node),
+            Value::Float64(v),
+            Value::Varchar(unit.to_string()),
+        ])?;
+    }
+    rows.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64) -> QueryRecord {
+        QueryRecord {
+            id,
+            sql: format!("SELECT {id}"),
+            status: "complete".to_string(),
+            sim_secs: 0.0,
+            wall_ns: 0,
+            rows: 1,
+            bytes: 8,
+            phases: Vec::new(),
+            metrics_delta: MetricsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn schema_prefix_resolution() {
+        assert_eq!(v_monitor_table("v_monitor.metrics"), Some("metrics"));
+        assert_eq!(v_monitor_table("V_MONITOR.Spans"), Some("Spans"));
+        assert_eq!(v_monitor_table("public.t"), None);
+        assert_eq!(v_monitor_table("metrics"), None);
+    }
+
+    #[test]
+    fn history_ring_evicts_and_counts() {
+        let before = vdr_obs::global().metrics().snapshot();
+        let h = QueryHistory::with_capacity(4);
+        for i in 1..=10 {
+            h.record(record(i));
+        }
+        assert_eq!(h.len(), 4);
+        let ids: Vec<u64> = h.snapshot().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10], "oldest evicted first");
+        assert!(h.get(3).is_none());
+        assert_eq!(h.get(9).unwrap().sql, "SELECT 9");
+        let diff = vdr_obs::global().metrics().snapshot().diff(&before);
+        assert_eq!(diff.counter_total("obs.query_history.evicted"), 6);
+    }
+
+    #[test]
+    fn profile_batch_stamps_query_id_and_drops_untouched_metrics() {
+        let mut r = record(77);
+        r.metrics_delta
+            .insert("scan.cache.miss", Some(1), MetricValue::Counter(3));
+        r.metrics_delta
+            .insert("exec.untouched", None, MetricValue::Counter(0));
+        let batch = profile_batch(&r).unwrap();
+        assert_eq!(batch.num_rows(), 1, "zero-delta counter dropped");
+        assert_eq!(batch.row(0)[0], Value::Int64(77));
+        assert_eq!(batch.row(0)[2], Value::Varchar("scan.cache.miss".into()));
+        assert_eq!(batch.row(0)[4], Value::Float64(3.0));
+    }
+}

@@ -27,6 +27,9 @@ pub enum Statement {
         name: String,
         if_exists: bool,
     },
+    /// `PROFILE <statement>` — execute the inner statement and return its
+    /// per-node/per-phase profile rows instead of its result.
+    Profile(Box<Statement>),
 }
 
 /// `SEGMENTED BY …` clause of CREATE TABLE.

@@ -5,6 +5,9 @@
 //! TABLE`, and `SELECT` with expressions, aggregates, `GROUP BY`,
 //! `ORDER BY … LIMIT/OFFSET` (the ODBC range-fetch baseline), and Vertica's
 //! UDx form `SELECT f(args USING PARAMETERS k='v') OVER (PARTITION BEST)`.
+//! `FROM` accepts schema-qualified names (`v_monitor.metrics`), and
+//! `PROFILE <statement>` executes the inner statement but returns its
+//! per-node/per-phase profile rows instead of its result.
 
 pub mod ast;
 pub mod lexer;

@@ -101,9 +101,24 @@ impl Parser {
         }
     }
 
+    /// An optionally schema-qualified name (`t` or `v_monitor.metrics`),
+    /// flattened to one dotted string for table resolution.
+    fn qualified_ident(&mut self) -> Result<String> {
+        let first = self.ident()?;
+        if self.accept_token(&Token::Dot) {
+            let second = self.ident()?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
     // ------------------------------------------------------------ statements
 
     fn parse_statement(&mut self) -> Result<Statement> {
+        if self.accept_kw("PROFILE") {
+            return Ok(Statement::Profile(Box::new(self.parse_statement()?)));
+        }
         if self.accept_kw("SELECT") {
             Ok(Statement::Select(self.parse_select()?))
         } else if self.accept_kw("CREATE") {
@@ -232,7 +247,7 @@ impl Parser {
             stmt.items.push(self.parse_select_item()?);
         }
         if self.accept_kw("FROM") {
-            stmt.from = Some(self.ident()?);
+            stmt.from = Some(self.qualified_ident()?);
         }
         if self.accept_kw("WHERE") {
             stmt.where_clause = Some(self.parse_expr()?);
@@ -911,5 +926,26 @@ mod tests {
     #[test]
     fn using_parameters_without_over_is_rejected() {
         assert!(parse("SELECT f(a USING PARAMETERS k='v') FROM t").is_err());
+    }
+
+    #[test]
+    fn schema_qualified_from_parses_as_dotted_name() {
+        let s = select("SELECT name, value FROM v_monitor.metrics WHERE value > 0");
+        assert_eq!(s.from.as_deref(), Some("v_monitor.metrics"));
+        // Unqualified names are untouched.
+        assert_eq!(select("SELECT * FROM t").from.as_deref(), Some("t"));
+    }
+
+    #[test]
+    fn profile_wraps_any_statement() {
+        let stmt = parse("PROFILE SELECT count(*) FROM t WHERE x > 1").unwrap();
+        let Statement::Profile(inner) = stmt else {
+            panic!("expected Profile, got {stmt:?}");
+        };
+        assert!(matches!(*inner, Statement::Select(_)));
+        let stmt = parse("PROFILE INSERT INTO t VALUES (1)").unwrap();
+        assert!(matches!(stmt, Statement::Profile(_)));
+        // Bare PROFILE with nothing to profile is a parse error.
+        assert!(parse("PROFILE").is_err());
     }
 }
