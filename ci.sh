@@ -34,10 +34,11 @@ run cargo build --release $OFFLINE
 run cargo test --workspace -q $OFFLINE
 
 # Benchmarks must keep compiling even though CI doesn't time them. The
-# scan micro-bench is named explicitly so a [[bench]] stanza typo can't
-# silently drop it from the sweep.
+# micro-benches are named explicitly so a [[bench]] stanza typo can't
+# silently drop them from the sweep.
 run cargo bench --no-run $OFFLINE
 run cargo bench --no-run $OFFLINE -p vdr-bench --bench scan_micro
+run cargo bench --no-run $OFFLINE -p vdr-bench --bench transfer_micro
 
 # Every checked-in A/B artifact must be well-formed: each benchmark entry
 # needs both a "before" and an "after" arm with non-empty runs_ms.
@@ -122,8 +123,20 @@ if int(prof["scan_cache_rows"]) <= 0:
     sys.exit("PROFILE of a scan surfaced no scan.cache.* counters")
 if not prof["all_rows_attributed"]:
     sys.exit("PROFILE rows not all attributed to the profiled query id")
+vft = doc["vft"]
+if int(vft["rows"]) <= 0:
+    sys.exit("VFT smoke transfer moved no rows")
+if float(vft["segment_rows"]) <= 0:
+    sys.exit("vft.segment.rows counter missing from v_monitor.metrics after a transfer")
+if float(vft["worker_rows"]) <= 0:
+    sys.exit("vft.worker.rows counter missing from v_monitor.metrics after a transfer")
+if float(vft["receive_frames"]) <= 0:
+    sys.exit("vft.receive.frames counter missing: pipelined receive decoded nothing")
 print(f"    metrics_rows={doc['metrics_rows']} profile: query_id={prof['query_id']} "
       f"rows={prof['rows']} (phase={prof['phase_rows']}, scan.cache={prof['scan_cache_rows']})")
+print(f"    vft: rows={vft['rows']} segment_rows={vft['segment_rows']} "
+      f"worker_rows={vft['worker_rows']} frames={vft['receive_frames']} "
+      f"queue_ms={vft['queue_ms']:.3f}")
 EOF
 rm -f "$MONITOR_OUT"
 

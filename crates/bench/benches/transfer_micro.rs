@@ -1,0 +1,161 @@
+//! VFT transfer-path micro-benchmarks: end-to-end `db2darray`/`db2dframe`
+//! under both distribution policies, on the standard 6-column table and on a
+//! wide 17-column one (where per-block conversion cost dominates).
+//!
+//! Uses only the public transfer surface so the identical file can be timed
+//! against older commits for A/B comparisons (see BENCH_transfer.json).
+
+mod common;
+
+use common::{criterion, transfer_bench, COLS};
+use criterion::Criterion;
+use vdr_cluster::Ledger;
+use vdr_columnar::{Batch, Column, DataType, Schema};
+use vdr_transfer::TransferPolicy;
+use vdr_verticadb::{Segmentation, TableDef, VerticaDb};
+
+const ROWS: usize = 40_000;
+const WIDE_COLS: usize = 16;
+const BATCHES: usize = 4;
+
+/// A 16-float-column table (plus id), loaded in 4 chunks so each node holds
+/// several containers.
+fn load_wide(db: &VerticaDb) {
+    let mut fields = vec![("id".to_string(), DataType::Int64)];
+    for i in 0..WIDE_COLS {
+        fields.push((format!("c{i:02}"), DataType::Float64));
+    }
+    let schema = Schema::of(
+        &fields
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect::<Vec<_>>(),
+    );
+    db.create_table(TableDef {
+        name: "wide".into(),
+        schema: schema.clone(),
+        segmentation: Segmentation::Hash {
+            column: "id".into(),
+        },
+    })
+    .unwrap();
+    let chunk = ROWS / BATCHES;
+    for b in 0..BATCHES {
+        let lo = (b * chunk) as i64;
+        let hi = lo + chunk as i64;
+        let mut cols = vec![Column::from_i64((lo..hi).collect())];
+        for c in 0..WIDE_COLS {
+            cols.push(Column::from_f64(
+                (lo..hi).map(|i| i as f64 * (c + 1) as f64).collect(),
+            ));
+        }
+        db.copy("wide", vec![Batch::new(schema.clone(), cols).unwrap()])
+            .unwrap();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let tb = transfer_bench(3, ROWS, 4);
+    load_wide(&tb.db);
+    let wide_cols: Vec<String> = std::iter::once("id".to_string())
+        .chain((0..WIDE_COLS).map(|i| format!("c{i:02}")))
+        .collect();
+    let wide_refs: Vec<&str> = wide_cols.iter().map(String::as_str).collect();
+
+    // Narrow numeric load over the standard 6-column table.
+    c.bench_function("vft_darray_6col_40k_locality", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (arr, report) = tb
+                .vft
+                .db2darray(
+                    &tb.db,
+                    &tb.dr,
+                    "t",
+                    &COLS,
+                    TransferPolicy::Locality,
+                    &ledger,
+                )
+                .unwrap();
+            assert_eq!(report.rows, ROWS as u64);
+            drop(arr);
+        })
+    });
+
+    // Wide loads: 17 columns per row stress encode/decode and assembly.
+    c.bench_function("vft_darray_wide17_40k_locality", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (arr, report) = tb
+                .vft
+                .db2darray(
+                    &tb.db,
+                    &tb.dr,
+                    "wide",
+                    &wide_refs,
+                    TransferPolicy::Locality,
+                    &ledger,
+                )
+                .unwrap();
+            assert_eq!(report.rows, ROWS as u64);
+            drop(arr);
+        })
+    });
+
+    c.bench_function("vft_darray_wide17_40k_uniform", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (arr, report) = tb
+                .vft
+                .db2darray(
+                    &tb.db,
+                    &tb.dr,
+                    "wide",
+                    &wide_refs,
+                    TransferPolicy::Uniform,
+                    &ledger,
+                )
+                .unwrap();
+            assert_eq!(report.rows, ROWS as u64);
+            drop(arr);
+        })
+    });
+
+    // Typed (dframe) loads keep per-column types through assembly.
+    c.bench_function("vft_dframe_wide17_40k_locality", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (frame, report) = tb
+                .vft
+                .db2dframe(
+                    &tb.db,
+                    &tb.dr,
+                    "wide",
+                    &wide_refs,
+                    TransferPolicy::Locality,
+                    &ledger,
+                )
+                .unwrap();
+            assert_eq!(report.rows, ROWS as u64);
+            drop(frame);
+        })
+    });
+
+    c.bench_function("vft_dframe_6col_40k_uniform", |b| {
+        b.iter(|| {
+            let ledger = Ledger::new();
+            let (frame, report) = tb
+                .vft
+                .db2dframe(&tb.db, &tb.dr, "t", &COLS, TransferPolicy::Uniform, &ledger)
+                .unwrap();
+            assert_eq!(report.rows, ROWS as u64);
+            drop(frame);
+        })
+    });
+}
+
+fn main() {
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

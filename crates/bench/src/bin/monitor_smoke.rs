@@ -1,14 +1,17 @@
 //! CI smoke for the `v_monitor` virtual schema: run a scan through a
-//! session, read the live metrics table over SQL, and `PROFILE` a second
-//! scan. Emits a JSON summary on stdout that ci.sh asserts on — non-empty
-//! system-table output, and every profile row attributed to the profiled
-//! statement's query id.
+//! session, read the live metrics table over SQL, `PROFILE` a second scan,
+//! and run one VFT transfer. Emits a JSON summary on stdout that ci.sh
+//! asserts on — non-empty system-table output, every profile row attributed
+//! to the profiled statement's query id, and the transfer's `vft.*`
+//! counters visible through `v_monitor.metrics`.
 
 use serde::Serialize;
 use std::sync::Arc;
-use vdr_cluster::SimCluster;
+use vdr_cluster::{Ledger, SimCluster};
 use vdr_columnar::{Batch, Column, DataType, Schema, Value};
 use vdr_core::{Session, SessionOptions};
+use vdr_distr::DistributedR;
+use vdr_transfer::{install_export_function, TransferPolicy};
 use vdr_verticadb::{Segmentation, TableDef, VerticaDb};
 
 #[derive(Serialize)]
@@ -20,15 +23,30 @@ struct ProfileSummary {
     all_rows_attributed: bool,
 }
 
+/// One VFT transfer as seen by the monitor: report timings plus the `vft.*`
+/// counters read back over SQL from `v_monitor.metrics`.
+#[derive(Serialize)]
+struct VftSummary {
+    rows: u64,
+    db_ms: f64,
+    client_ms: f64,
+    queue_ms: f64,
+    segment_rows: f64,
+    worker_rows: f64,
+    receive_frames: f64,
+}
+
 #[derive(Serialize)]
 struct Smoke {
     metrics_rows: usize,
     scan_query_id: u64,
     profile: ProfileSummary,
+    vft: VftSummary,
 }
 
 fn main() {
-    let db = VerticaDb::new(SimCluster::for_tests(3));
+    let cluster = SimCluster::for_tests(3);
+    let db = VerticaDb::new(cluster.clone());
     let schema = Schema::of(&[("a", DataType::Float64), ("b", DataType::Float64)]);
     db.create_table(TableDef {
         name: "samples".into(),
@@ -81,6 +99,43 @@ fn main() {
         }
     }
 
+    // One pipelined VFT transfer; its counters must then be visible through
+    // the monitor schema.
+    let dr = DistributedR::on_all_nodes(cluster, 2).expect("runtime");
+    let vft = install_export_function(&db);
+    let ledger = Ledger::new();
+    let (arr, report) = vft
+        .db2darray(
+            &db,
+            &dr,
+            "samples",
+            &["a", "b"],
+            TransferPolicy::Locality,
+            &ledger,
+        )
+        .expect("vft transfer");
+    drop(arr);
+
+    let vm = session
+        .sql("SELECT name, kind, value FROM v_monitor.metrics")
+        .expect("metrics after transfer")
+        .batch;
+    let mut segment_rows = 0.0;
+    let mut worker_rows = 0.0;
+    let mut receive_frames = 0.0;
+    for r in 0..vm.num_rows() {
+        let row = vm.row(r);
+        let (Value::Varchar(name), Value::Float64(value)) = (&row[0], &row[2]) else {
+            continue;
+        };
+        match name.as_str() {
+            "vft.segment.rows" => segment_rows += value,
+            "vft.worker.rows" => worker_rows += value,
+            "vft.receive.frames" => receive_frames += value,
+            _ => {}
+        }
+    }
+
     let doc = Smoke {
         metrics_rows: metrics.num_rows(),
         scan_query_id: scan.query_id,
@@ -90,6 +145,15 @@ fn main() {
             phase_rows,
             scan_cache_rows,
             all_rows_attributed: attributed,
+        },
+        vft: VftSummary {
+            rows: report.rows,
+            db_ms: report.db_time.as_secs() * 1e3,
+            client_ms: report.client_time.as_secs() * 1e3,
+            queue_ms: report.queue_time.as_secs() * 1e3,
+            segment_rows,
+            worker_rows,
+            receive_frames,
         },
     };
     println!("{}", serde_json::to_string_pretty(&doc).expect("json"));

@@ -104,57 +104,65 @@ pub fn encode_batch_v1(batch: &Batch) -> Bytes {
 
 fn encode_batch_version(batch: &Batch, force: Option<Encoding>, version: u8) -> Bytes {
     let ncols = batch.num_columns();
-    let mut entries: Vec<Vec<u8>> = Vec::with_capacity(ncols);
-    for (field, col) in batch.schema().fields().iter().zip(batch.columns()) {
-        let mut entry = Vec::new();
-        write_uvarint(field.name.len() as u64, &mut entry);
-        entry.extend_from_slice(field.name.as_bytes());
-        entry.push(dtype_to_u8(field.dtype));
-        let (enc, payload) = match force {
+    // Single-buffer encode: header, index, and every column entry are written
+    // straight into `out`; the per-column offsets, payload lengths, and the
+    // body crc are back-patched once their values are known. No intermediate
+    // per-entry or whole-body buffers — the only copy is the encode itself.
+    const HEADER_LEN: usize = 9; // magic + version + crc32
+    let index_len = if version >= VERSION_V2 { ncols * 8 } else { 0 };
+    let mut out = Vec::with_capacity(HEADER_LEN + 10 + index_len);
+    out.extend_from_slice(MAGIC);
+    out.push(version);
+    out.extend_from_slice(&[0u8; 4]); // crc placeholder, patched last
+    out.extend_from_slice(&(batch.num_rows() as u64).to_le_bytes());
+    out.extend_from_slice(&(ncols as u16).to_le_bytes());
+    // Per-column offset index (entry offsets from body start), patched as
+    // each entry lands.
+    let index_pos = out.len();
+    out.resize(out.len() + index_len, 0);
+
+    for (c, (field, col)) in batch
+        .schema()
+        .fields()
+        .iter()
+        .zip(batch.columns())
+        .enumerate()
+    {
+        if version >= VERSION_V2 {
+            let entry_offset = (out.len() - HEADER_LEN) as u64;
+            out[index_pos + c * 8..index_pos + c * 8 + 8]
+                .copy_from_slice(&entry_offset.to_le_bytes());
+        }
+        write_uvarint(field.name.len() as u64, &mut out);
+        out.extend_from_slice(field.name.as_bytes());
+        out.push(dtype_to_u8(field.dtype));
+        let enc_pos = out.len();
+        out.push(0); // encoding placeholder
+        out.extend_from_slice(&[0u8; 8]); // payload-len placeholder
+        let payload_start = out.len();
+        let enc = match force {
             Some(enc) => {
-                let mut out = Vec::new();
                 // Fall back to plain when the forced encoding doesn't apply
                 // to this type (e.g. Dictionary on floats).
                 match encoding::encode_column(col, enc, &mut out) {
-                    Ok(()) => (enc, out),
+                    Ok(()) => enc,
                     Err(_) => {
-                        let mut out = Vec::new();
+                        out.truncate(payload_start);
                         encoding::encode_column(col, Encoding::Plain, &mut out)
                             .expect("plain supports all types");
-                        (Encoding::Plain, out)
+                        Encoding::Plain
                     }
                 }
             }
-            None => encoding::encode_auto(col),
+            None => encoding::encode_auto_into(col, &mut out),
         };
-        entry.push(enc as u8);
-        entry.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        entry.extend_from_slice(&payload);
-        entries.push(entry);
+        out[enc_pos] = enc as u8;
+        let payload_len = (out.len() - payload_start) as u64;
+        out[enc_pos + 1..enc_pos + 9].copy_from_slice(&payload_len.to_le_bytes());
     }
 
-    let entries_len: usize = entries.iter().map(Vec::len).sum();
-    let index_len = if version >= VERSION_V2 { ncols * 8 } else { 0 };
-    let mut body = Vec::with_capacity(10 + index_len + entries_len);
-    body.extend_from_slice(&(batch.num_rows() as u64).to_le_bytes());
-    body.extend_from_slice(&(ncols as u16).to_le_bytes());
-    if version >= VERSION_V2 {
-        // Per-column offset index: entry offsets from body start.
-        let mut offset = (10 + index_len) as u64;
-        for e in &entries {
-            body.extend_from_slice(&offset.to_le_bytes());
-            offset += e.len() as u64;
-        }
-    }
-    for e in &entries {
-        body.extend_from_slice(e);
-    }
-
-    let mut out = Vec::with_capacity(body.len() + 9);
-    out.extend_from_slice(MAGIC);
-    out.push(version);
-    out.extend_from_slice(&crc32(&body).to_le_bytes());
-    out.extend_from_slice(&body);
+    let crc = crc32(&out[HEADER_LEN..]);
+    out[5..9].copy_from_slice(&crc.to_le_bytes());
     Bytes::from(out)
 }
 

@@ -397,10 +397,17 @@ fn count_runs<T: PartialEq>(data: &[T]) -> usize {
 
 /// Encode with the heuristically chosen encoding.
 pub fn encode_auto(col: &Column) -> (Encoding, Vec<u8>) {
-    let enc = choose_encoding(col);
     let mut out = Vec::new();
-    encode_column(col, enc, &mut out).expect("chosen encoding always valid for its type");
+    let enc = encode_auto_into(col, &mut out);
     (enc, out)
+}
+
+/// Encode with the heuristically chosen encoding, appending to `out`
+/// (the copy-free form the block writer uses).
+pub fn encode_auto_into(col: &Column, out: &mut Vec<u8>) -> Encoding {
+    let enc = choose_encoding(col);
+    encode_column(col, enc, out).expect("chosen encoding always valid for its type");
+    enc
 }
 
 #[cfg(test)]

@@ -36,17 +36,29 @@ pub use vft::{install_export_function, FastTransfer, TransferPolicy};
 
 use vdr_verticadb::{DbError, Result};
 
-/// Numeric feature extraction shared by all loaders: the selected columns of
-/// a batch as a row-major `f64` matrix.
-pub(crate) fn batch_to_f64_rows(batch: &vdr_columnar::Batch) -> Result<Vec<f64>> {
-    let n = batch.num_rows();
-    let cols: Vec<Vec<f64>> = batch.columns().iter().map(|c| c.to_f64_vec()).collect();
-    let mut out = Vec::with_capacity(n * cols.len());
-    for r in 0..n {
-        for c in &cols {
-            out.push(c[r]);
+/// Numeric feature extraction shared by all loaders: gather the columns of a
+/// batch into a pre-sized row-major `f64` slice. Column-at-a-time (strided
+/// writes over `Cow` column views) instead of row-at-a-time pushes: no
+/// per-row bounds checks on a growing vector, no per-column `Vec`
+/// materialization for columns that are already `f64`.
+pub(crate) fn gather_f64_rows(batch: &vdr_columnar::Batch, out: &mut [f64]) -> Result<()> {
+    let nrow = batch.num_rows();
+    let ncol = batch.num_columns();
+    debug_assert_eq!(out.len(), nrow * ncol, "destination slice mis-sized");
+    for (c, col) in batch.columns().iter().enumerate() {
+        let vals = col.to_f64_cow();
+        for (r, v) in vals.iter().enumerate() {
+            out[r * ncol + c] = *v;
         }
     }
+    Ok(())
+}
+
+/// [`gather_f64_rows`] into a fresh allocation, for loaders that hand the
+/// matrix straight to `fill_partition_on`.
+pub(crate) fn batch_to_f64_rows(batch: &vdr_columnar::Batch) -> Result<Vec<f64>> {
+    let mut out = vec![0.0; batch.num_rows() * batch.num_columns()];
+    gather_f64_rows(batch, &mut out)?;
     Ok(out)
 }
 

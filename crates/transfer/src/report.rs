@@ -20,7 +20,11 @@ pub struct TransferReport {
     pub db_time: SimDuration,
     /// Client-side simulated time (buffer + convert to R objects).
     pub client_time: SimDuration,
-    /// Extra queuing time (ODBC bursts waiting on admission control).
+    /// Receive-side waiting. For ODBC bursts this is connections queuing on
+    /// admission control. For VFT it is the receive pools' idle window while
+    /// the export query was still producing: `db_time` minus the conversion
+    /// work that pipelined under it, clamped at zero when conversion is the
+    /// bottleneck.
     pub queue_time: SimDuration,
 }
 
