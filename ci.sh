@@ -39,6 +39,7 @@ run cargo test --workspace -q $OFFLINE
 run cargo bench --no-run $OFFLINE
 run cargo bench --no-run $OFFLINE -p vdr-bench --bench scan_micro
 run cargo bench --no-run $OFFLINE -p vdr-bench --bench transfer_micro
+run cargo bench --no-run $OFFLINE -p vdr-bench --bench obs_overhead
 
 # Every checked-in A/B artifact must be well-formed: each benchmark entry
 # needs both a "before" and an "after" arm with non-empty runs_ms.
@@ -66,6 +67,18 @@ for path in files:
     print(f"    {path}: {len(entries)} A/B entries ok" if not bad else f"    {path}: FAIL")
 if bad:
     sys.exit("\n".join(bad))
+
+# BENCH_obs.json is a budget, not just a record: default-on (summary)
+# instrumentation must cost < 2% on the best-min statistic for every
+# measured hot path, or the observability layer has regressed.
+obs = json.load(open("BENCH_obs.json"))
+for name, entry in obs.items():
+    if not isinstance(entry, dict) or "before" not in entry:
+        continue
+    pct = entry["overhead_min_pct"]
+    if pct >= 2.0:
+        sys.exit(f"BENCH_obs.json: {name} overhead_min_pct={pct} breaches the 2% budget")
+    print(f"    BENCH_obs.json: {name} overhead_min_pct={pct} < 2% ok")
 EOF
 
 # Smoke-run the figures binary: every figure generator must still execute
@@ -101,7 +114,10 @@ rm -f "$SMOKE_OUT"
 # Smoke the v_monitor virtual schema: `SELECT * FROM v_monitor.metrics` must
 # return live rows over plain SQL, and `PROFILE SELECT …` must return
 # non-empty, query-id-attributed profile rows including the scan-cache
-# counters.
+# counters. The same run covers the trace/event layer: v_monitor.events and
+# v_monitor.slow_requests must return attributed rows, `TRACE <stmt>` must
+# yield spans from >= 2 nodes under one query id, and the exported Chrome
+# trace file must parse and show the same multi-node picture.
 MONITOR_OUT="$(mktemp)"
 echo "==> cargo run --release $OFFLINE -p vdr-bench --bin monitor_smoke"
 cargo run --release $OFFLINE -p vdr-bench --bin monitor_smoke > "$MONITOR_OUT"
@@ -132,11 +148,35 @@ if float(vft["worker_rows"]) <= 0:
     sys.exit("vft.worker.rows counter missing from v_monitor.metrics after a transfer")
 if float(vft["receive_frames"]) <= 0:
     sys.exit("vft.receive.frames counter missing: pipelined receive decoded nothing")
+if int(doc["events_rows"]) <= 0:
+    sys.exit("v_monitor.events returned no rows")
+slow = doc["slow"]
+if int(slow["rows"]) <= 0:
+    sys.exit("v_monitor.slow_requests empty despite a 1ns slow threshold")
+if not slow["all_rows_attributed"]:
+    sys.exit("slow_requests rows missing query-id attribution")
+ts = doc["trace_stmt"]
+if int(ts["rows"]) <= 0 or int(ts["nodes"]) < 2:
+    sys.exit("TRACE statement did not return spans from >= 2 nodes")
+if not ts["all_rows_attributed"]:
+    sys.exit("TRACE rows not all attributed to one query id")
+tf = doc["trace_file"]
+if not tf["parses"]:
+    sys.exit("exported Chrome trace is not valid JSON")
+if int(tf["events"]) <= 0:
+    sys.exit("exported Chrome trace has no complete (ph=X) events")
+if int(tf["max_nodes_one_query"]) < 2:
+    sys.exit("exported trace never shows >= 2 nodes under a single query id")
+if not tf["has_vft_span"]:
+    sys.exit("exported trace has no vft.* span: transfer path not traced")
 print(f"    metrics_rows={doc['metrics_rows']} profile: query_id={prof['query_id']} "
       f"rows={prof['rows']} (phase={prof['phase_rows']}, scan.cache={prof['scan_cache_rows']})")
 print(f"    vft: rows={vft['rows']} segment_rows={vft['segment_rows']} "
       f"worker_rows={vft['worker_rows']} frames={vft['receive_frames']} "
       f"queue_ms={vft['queue_ms']:.3f}")
+print(f"    events_rows={doc['events_rows']} slow_rows={slow['rows']} "
+      f"trace_stmt: rows={ts['rows']} nodes={ts['nodes']} "
+      f"trace_file: events={tf['events']} max_nodes_one_query={tf['max_nodes_one_query']}")
 EOF
 rm -f "$MONITOR_OUT"
 

@@ -1,0 +1,121 @@
+//! Observability-overhead micro-benchmark: the instrumented scan and
+//! in-database predict hot paths, timed with recording off (`VDR_OBS=off`
+//! semantics) and with the default `summary` verbosity (counters, gauges,
+//! and histograms live). The A/B pairs feed BENCH_obs.json, whose gate is
+//! that `summary` regresses the `off` arm by < 2%.
+//!
+//! Uses only the public SQL surface, so the identical file times older
+//! commits for interleaved A/B runs.
+
+mod common;
+
+use criterion::Criterion;
+use vdr_cluster::{NodeId, PhaseKind, PhaseRecorder, SimCluster};
+use vdr_columnar::{Batch, Column, DataType, Schema, Value};
+use vdr_core::{register_prediction_functions, Model};
+use vdr_ml::models::KmeansModel;
+use vdr_verticadb::{Segmentation, TableDef, VerticaDb};
+use vdr_workloads::transfer_table;
+
+const ROWS: usize = 40_000;
+const WIDE_COLS: usize = 16;
+
+/// The scan_micro wide table: 16 float columns plus id, in 4 chunks.
+fn load_wide(db: &VerticaDb) {
+    let mut fields = vec![("id".to_string(), DataType::Int64)];
+    for i in 0..WIDE_COLS {
+        fields.push((format!("c{i:02}"), DataType::Float64));
+    }
+    let schema = Schema::of(
+        &fields
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect::<Vec<_>>(),
+    );
+    db.create_table(TableDef {
+        name: "wide".into(),
+        schema: schema.clone(),
+        segmentation: Segmentation::RoundRobin,
+    })
+    .unwrap();
+    let chunk = ROWS / 4;
+    for b in 0..4 {
+        let lo = (b * chunk) as i64;
+        let hi = lo + chunk as i64;
+        let mut cols = vec![Column::from_i64((lo..hi).collect())];
+        for c in 0..WIDE_COLS {
+            cols.push(Column::from_f64(
+                (lo..hi).map(|i| i as f64 * (c + 1) as f64).collect(),
+            ));
+        }
+        db.copy("wide", vec![Batch::new(schema.clone(), cols).unwrap()])
+            .unwrap();
+    }
+}
+
+/// Time `f` under both verbosities as `<name>/off` and `<name>/summary`.
+fn ab(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+    for verbosity in [vdr_obs::Verbosity::Off, vdr_obs::Verbosity::Summary] {
+        let arm = match verbosity {
+            vdr_obs::Verbosity::Off => "off",
+            _ => "summary",
+        };
+        let _v = vdr_obs::verbosity_guard(verbosity);
+        c.bench_function(format!("{name}/{arm}"), |b| b.iter(&mut f));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let db = VerticaDb::new(SimCluster::for_tests(3));
+    load_wide(&db);
+    let expected_sum = (0..ROWS).map(|i| i as f64).sum::<f64>();
+    ab(c, "obs_scan_sum_16col_40k", || {
+        let out = db.query("SELECT sum(c00) FROM wide").unwrap();
+        assert_eq!(out.batch.row(0)[0], Value::Float64(expected_sum));
+    });
+
+    let pdb = VerticaDb::new(SimCluster::for_tests(3));
+    register_prediction_functions(&pdb);
+    transfer_table(
+        &pdb,
+        "t",
+        30_000,
+        Segmentation::Hash {
+            column: "id".into(),
+        },
+        4,
+    )
+    .unwrap();
+    let model = Model::Kmeans(KmeansModel {
+        centers: (0..10).map(|i| vec![i as f64 * 150.0 - 700.0; 5]).collect(),
+        iterations: 1,
+        total_withinss: 0.0,
+    });
+    let rec = PhaseRecorder::new("save", PhaseKind::Sequential, 3);
+    pdb.models()
+        .save(
+            NodeId(0),
+            "km",
+            "dbadmin",
+            "kmeans",
+            "bench",
+            model.to_bytes(),
+            &rec,
+        )
+        .unwrap();
+    ab(c, "obs_kmeans_predict_30k", || {
+        let out = pdb
+            .query(
+                "SELECT KmeansPredict(a, b, c, d, e USING PARAMETERS model='km') \
+                 OVER (PARTITION BEST) FROM t",
+            )
+            .unwrap();
+        assert_eq!(out.batch.num_rows(), 30_000);
+    });
+}
+
+fn main() {
+    let mut c = common::criterion().sample_size(30);
+    bench(&mut c);
+    c.final_summary();
+}

@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Besides the requested rendering, every run writes the full machine-readable
-//! result set to `BENCH_obs.json` (override the path with `--out <file>`).
+//! result set to `FIGURES.json` (override the path with `--out <file>`).
 
 use serde_json::Value;
 
@@ -21,7 +21,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
-        .unwrap_or("BENCH_obs.json");
+        .unwrap_or("FIGURES.json");
     let mut skip_next = false;
     let selected: Vec<&String> = args
         .iter()

@@ -1,9 +1,13 @@
 //! CI smoke for the `v_monitor` virtual schema: run a scan through a
 //! session, read the live metrics table over SQL, `PROFILE` a second scan,
-//! and run one VFT transfer. Emits a JSON summary on stdout that ci.sh
-//! asserts on — non-empty system-table output, every profile row attributed
-//! to the profiled statement's query id, and the transfer's `vft.*`
-//! counters visible through `v_monitor.metrics`.
+//! run one VFT transfer, `TRACE` a statement, and export the session's
+//! Chrome trace file. Emits a JSON summary on stdout that ci.sh asserts on
+//! — non-empty system-table output, every profile row attributed to the
+//! profiled statement's query id, the transfer's `vft.*` counters visible
+//! through `v_monitor.metrics`, non-empty `v_monitor.events` /
+//! `v_monitor.slow_requests`, and a trace file whose spans cover ≥ 2 nodes
+//! under one query id. Human-readable extras (the latency percentile table)
+//! go to stderr so stdout stays pure JSON.
 
 use serde::Serialize;
 use std::sync::Arc;
@@ -36,15 +40,50 @@ struct VftSummary {
     receive_frames: f64,
 }
 
+/// The `TRACE <stmt>` flattened span tree, as returned over SQL.
+#[derive(Serialize)]
+struct TraceStmtSummary {
+    rows: usize,
+    /// Distinct node labels among the returned spans.
+    nodes: usize,
+    /// Every span row carries the traced statement's query id.
+    all_rows_attributed: bool,
+}
+
+/// The exported Chrome trace file, parsed back.
+#[derive(Serialize)]
+struct TraceFileSummary {
+    /// Complete ("X") events in the file.
+    events: usize,
+    /// Max distinct node pids sharing one query id — ≥ 2 proves a
+    /// distributed statement reconstructs as a single trace tree.
+    max_nodes_one_query: usize,
+    has_vft_span: bool,
+    parses: bool,
+}
+
+#[derive(Serialize)]
+struct SlowSummary {
+    rows: usize,
+    /// Every slow row carries a nonzero query id.
+    all_rows_attributed: bool,
+}
+
 #[derive(Serialize)]
 struct Smoke {
     metrics_rows: usize,
     scan_query_id: u64,
     profile: ProfileSummary,
     vft: VftSummary,
+    trace_stmt: TraceStmtSummary,
+    trace_file: TraceFileSummary,
+    events_rows: usize,
+    slow: SlowSummary,
 }
 
 fn main() {
+    // Record spans for the whole run so the exported trace file is populated.
+    let _verbosity = vdr_obs::verbosity_guard(vdr_obs::Verbosity::Trace);
     let cluster = SimCluster::for_tests(3);
     let db = VerticaDb::new(cluster.clone());
     let schema = Schema::of(&[("a", DataType::Float64), ("b", DataType::Float64)]);
@@ -61,6 +100,10 @@ fn main() {
         vec![Batch::new(schema, vec![Column::from_f64(a), Column::from_f64(b)]).expect("batch")],
     )
     .expect("copy");
+
+    // Lower the slow-query threshold to 1 ns so ordinary statements register
+    // as "artificially slow" and ci.sh can assert the ring is non-empty.
+    db.monitor().set_slow_threshold_ns(1);
 
     let session = Session::connect_colocated(
         Arc::clone(&db),
@@ -136,6 +179,87 @@ fn main() {
         }
     }
 
+    // TRACE <stmt>: the distributed span tree of one statement, over SQL.
+    // Columns: span_id, parent_id, query_id, name, node, tid, start_ms,
+    // wall_ms, sim_us, fields.
+    let traced = session
+        .sql("TRACE SELECT a, b FROM samples WHERE b >= 0.0")
+        .expect("trace statement");
+    let tb = &traced.batch;
+    let mut trace_nodes = std::collections::BTreeSet::new();
+    let mut trace_attributed = tb.num_rows() > 0;
+    for r in 0..tb.num_rows() {
+        let row = tb.row(r);
+        if row[2] != Value::Int64(traced.query_id as i64) {
+            trace_attributed = false;
+        }
+        if let Value::Int64(node) = row[4] {
+            trace_nodes.insert(node);
+        }
+    }
+
+    // Chrome trace export: every span since connect, one pid per node.
+    let trace_path =
+        std::env::temp_dir().join(format!("vdr_monitor_smoke_{}.json", std::process::id()));
+    session.export_trace(&trace_path).expect("export trace");
+    let text = std::fs::read_to_string(&trace_path).expect("read trace file");
+    let parsed: Option<serde_json::Value> = serde_json::from_str(&text).ok();
+    let mut events = 0usize;
+    let mut has_vft_span = false;
+    let mut nodes_by_query: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>> =
+        std::collections::BTreeMap::new();
+    if let Some(doc) = &parsed {
+        for ev in doc
+            .get("traceEvents")
+            .and_then(serde_json::Value::as_array)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+        {
+            if ev.get("ph").and_then(serde_json::Value::as_str) != Some("X") {
+                continue;
+            }
+            events += 1;
+            if let Some(name) = ev.get("name").and_then(serde_json::Value::as_str) {
+                has_vft_span |= name.starts_with("vft.");
+            }
+            let pid = ev.get("pid").and_then(serde_json::Value::as_u64);
+            let qid = ev
+                .get("args")
+                .and_then(|a| a.get("query_id"))
+                .and_then(serde_json::Value::as_u64);
+            if let (Some(pid), Some(qid)) = (pid, qid) {
+                if pid > 0 && qid > 0 {
+                    nodes_by_query.entry(qid).or_default().insert(pid);
+                }
+            }
+        }
+    }
+    let max_nodes_one_query = nodes_by_query.values().map(|s| s.len()).max().unwrap_or(0);
+    std::fs::remove_file(&trace_path).ok();
+
+    // Event log and slow-query ring, both over SQL.
+    let events_rows = session
+        .sql("SELECT kind, detail FROM v_monitor.events")
+        .expect("events table")
+        .batch
+        .num_rows();
+    let slow = session
+        .sql("SELECT query_id, sql, wall_ms FROM v_monitor.slow_requests")
+        .expect("slow_requests table")
+        .batch;
+    let mut slow_attributed = slow.num_rows() > 0;
+    for r in 0..slow.num_rows() {
+        if !matches!(slow.row(r)[0], Value::Int64(id) if id > 0) {
+            slow_attributed = false;
+        }
+    }
+
+    // Human-readable percentile summary — stderr, so stdout stays JSON.
+    let session_report = session.trace_report();
+    if let Some(table) = session_report.percentile_table() {
+        eprintln!("{}", table.to_text());
+    }
+
     let doc = Smoke {
         metrics_rows: metrics.num_rows(),
         scan_query_id: scan.query_id,
@@ -154,6 +278,22 @@ fn main() {
             segment_rows,
             worker_rows,
             receive_frames,
+        },
+        trace_stmt: TraceStmtSummary {
+            rows: tb.num_rows(),
+            nodes: trace_nodes.len(),
+            all_rows_attributed: trace_attributed,
+        },
+        trace_file: TraceFileSummary {
+            events,
+            max_nodes_one_query,
+            has_vft_span,
+            parses: parsed.is_some(),
+        },
+        events_rows,
+        slow: SlowSummary {
+            rows: slow.num_rows(),
+            all_rows_attributed: slow_attributed,
         },
     };
     println!("{}", serde_json::to_string_pretty(&doc).expect("json"));

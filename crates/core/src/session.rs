@@ -282,14 +282,35 @@ impl Session {
     /// `EXPLAIN ANALYZE` for the session: the ledger's phase breakdown (the
     /// authoritative simulated-time accounting — phase durations sum to
     /// [`Session::total_sim_time`]) joined with the span tree recorded since
-    /// connect. Render with [`vdr_obs::TraceReport::render`] or export with
-    /// [`vdr_obs::TraceReport::to_json`].
+    /// connect, plus latency percentiles for every histogram the session's
+    /// workload touched. Render with [`vdr_obs::TraceReport::render`] or
+    /// export with [`vdr_obs::TraceReport::to_json`].
     pub fn trace_report(&self) -> vdr_obs::TraceReport {
+        let metrics = self.metrics();
+        let mut histograms = Vec::new();
+        for name in metrics.names() {
+            if let Some(h) = metrics.histogram_total(name) {
+                if h.count > 0 {
+                    histograms.push((name.to_string(), h));
+                }
+            }
+        }
         vdr_obs::TraceReport::new(
             self.ledger.reports(),
             vdr_obs::global().trace().spans_since(self.obs_base_seq),
             self.ledger.total(),
         )
+        .with_histograms(histograms)
+    }
+
+    /// Export every span recorded since this session connected as a Chrome
+    /// trace-event JSON file (load it in `chrome://tracing` or Perfetto:
+    /// one track per cluster node, one row per recording thread). Requires
+    /// spans to have been recorded — i.e. `VDR_OBS=trace` or
+    /// [`vdr_obs::set_verbosity`]`(Trace)` while the workload ran.
+    pub fn export_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let spans = vdr_obs::global().trace().spans_since(self.obs_base_seq);
+        vdr_obs::export_chrome_trace(&spans, path.as_ref())
     }
 }
 
@@ -447,6 +468,48 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::Yarn(_)));
+    }
+
+    #[test]
+    fn trace_export_and_percentiles_cover_a_distributed_transfer() {
+        let _v = vdr_obs::verbosity_guard(vdr_obs::Verbosity::Trace);
+        let db = db_with_table(3);
+        let session = Session::connect_colocated(Arc::clone(&db), opts()).unwrap();
+        let (_, report) = session.db2darray("samples", &["x", "y"]).unwrap();
+        assert_eq!(report.rows, 600);
+
+        // The session report carries percentile rows for the histograms the
+        // transfer touched.
+        let trace = session.trace_report();
+        assert!(
+            !trace.histograms.is_empty(),
+            "transfer should have populated at least one histogram"
+        );
+        let json = trace.to_json().to_string();
+        assert!(json.contains("percentiles"), "report JSON: {json}");
+
+        // The Chrome export holds spans from more than one node, all under
+        // one query id (the distributed trace tree of a single transfer).
+        let dir = std::env::temp_dir().join(format!("vdr_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.trace.json");
+        session.export_trace(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = serde_json::from_str(&text).expect("trace file must be valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(serde_json::Value::as_array)
+            .expect("traceEvents array");
+        let pids: std::collections::BTreeSet<i64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(serde_json::Value::as_str) == Some("X"))
+            .filter_map(|e| e.get("pid").and_then(serde_json::Value::as_i64))
+            .collect();
+        assert!(
+            pids.iter().filter(|&&p| p > 0).count() >= 2,
+            "expected spans from >= 2 nodes, got pids {pids:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

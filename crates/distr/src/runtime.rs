@@ -264,7 +264,7 @@ impl DistributedR {
                 self.num_workers()
             )));
         }
-        let mut load_span = vdr_obs::span("distr.partition.load");
+        let mut load_span = vdr_obs::detail_span("distr.partition.load");
         load_span.set_node(self.inner.workers[worker].node.0);
         load_span.record("partition", part);
         load_span.record("bytes", bytes);
@@ -371,6 +371,10 @@ impl DistributedR {
         // run_on_workers call in the process — the runtime's queue depth.
         static TASKS_IN_FLIGHT: AtomicU64 = AtomicU64::new(0);
         let parent_span = vdr_obs::current_span_id();
+        // Worker threads don't inherit thread-locals: carry the query id
+        // across the fan-out so every distr.task (and the spans/events the
+        // shipped closure records) stays attributed to the statement.
+        let query_id = vdr_obs::current_query_id();
         std::thread::scope(|scope| {
             let handles: Vec<_> = worker_set
                 .iter()
@@ -379,10 +383,13 @@ impl DistributedR {
                     let node_id = self.inner.workers[w].node;
                     let f = &f;
                     scope.spawn(move || {
+                        let _q = vdr_obs::QueryScope::enter(query_id);
+                        let _n = vdr_obs::NodeScope::enter(node_id.0);
                         let depth = TASKS_IN_FLIGHT.fetch_add(1, Ordering::SeqCst) + 1;
                         vdr_obs::gauge("distr.task_queue.depth", depth as f64);
                         vdr_obs::observe("distr.task_queue.depth.hist", depth as f64);
-                        let mut task_span = vdr_obs::span_with_parent("distr.task", parent_span);
+                        let mut task_span =
+                            vdr_obs::detail_span_with_parent("distr.task", parent_span);
                         task_span.set_node(node_id.0);
                         task_span.record("worker", w);
                         let out = (w, node.run(|| f(w)));

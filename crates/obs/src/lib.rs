@@ -12,8 +12,13 @@
 //! * **Metrics** ([`metrics`]) — named counters, gauges, and log-bucketed
 //!   histograms with per-node labels, order-independent aggregation, and
 //!   snapshot/diff support.
+//! * **Events** ([`events`]) — a bounded structured log of moments (cache
+//!   evictions, admission waits, receive errors) with node and query
+//!   attribution, backing `v_monitor.events`.
 //! * **Reports** ([`report`]) — an `EXPLAIN ANALYZE`-style renderer joining
 //!   the trace with the cost ledger's `PhaseReport`s, as text or JSON.
+//! * **Trace export** ([`chrome`]) — Chrome trace-event JSON so any
+//!   recorded workload opens in `chrome://tracing` / Perfetto.
 //!
 //! ## Verbosity
 //!
@@ -46,14 +51,18 @@
 //! assert!(snap.counter_total("vft.segment.rows") >= 4096);
 //! ```
 
+pub mod chrome;
+pub mod events;
 pub mod metrics;
 pub mod query;
 pub mod report;
 pub mod table;
 pub mod trace;
 
+pub use chrome::{chrome_trace_json, export_chrome_trace};
+pub use events::{EventLog, EventRecord};
 pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot};
-pub use query::{current_query_id, next_query_id, QueryScope};
+pub use query::{current_node, current_query_id, next_query_id, NodeScope, QueryScope};
 pub use report::TraceReport;
 pub use table::Table;
 pub use trace::{SpanGuard, SpanRecord, TraceSink};
@@ -138,6 +147,29 @@ pub fn reset_verbosity() {
     VERBOSITY_OVERRIDE.store(OVERRIDE_UNSET, Ordering::Relaxed);
 }
 
+/// Force verbosity `v` for the guard's lifetime, then restore whatever
+/// override (or environment default) was active before. The RAII form of
+/// [`set_verbosity`] + [`reset_verbosity`] for tests and benchmarks.
+pub fn verbosity_guard(v: Verbosity) -> VerbosityGuard {
+    let prev = verbosity_override();
+    set_verbosity(v);
+    VerbosityGuard { prev }
+}
+
+/// Restores the previous verbosity override on drop. See [`verbosity_guard`].
+pub struct VerbosityGuard {
+    prev: Option<Verbosity>,
+}
+
+impl Drop for VerbosityGuard {
+    fn drop(&mut self) {
+        match self.prev {
+            Some(v) => set_verbosity(v),
+            None => reset_verbosity(),
+        }
+    }
+}
+
 /// The active [`set_verbosity`] override, if any. Callers that force a
 /// temporary verbosity (e.g. `PROFILE`) save this and restore it after.
 pub fn verbosity_override() -> Option<Verbosity> {
@@ -154,6 +186,7 @@ pub fn verbosity_override() -> Option<Verbosity> {
 pub struct Obs {
     trace: TraceSink,
     metrics: MetricsRegistry,
+    events: EventLog,
 }
 
 impl Obs {
@@ -161,6 +194,7 @@ impl Obs {
         Obs {
             trace: TraceSink::new(),
             metrics: MetricsRegistry::new(),
+            events: EventLog::new(),
         }
     }
 
@@ -170,6 +204,10 @@ impl Obs {
 
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    pub fn events(&self) -> &EventLog {
+        &self.events
     }
 }
 
@@ -196,6 +234,17 @@ pub fn span(name: &str) -> SpanGuard<'static> {
 /// (pass `SpanGuard::id()` of the parent across).
 pub fn span_with_parent(name: &str, parent: u64) -> SpanGuard<'static> {
     global().trace().span_with_parent(name, parent)
+}
+
+/// Open a *detail* span (per-partition / per-instance inner span on a hot
+/// path): recorded only at `VDR_OBS=trace`, a no-op at `summary`.
+pub fn detail_span(name: &str) -> SpanGuard<'static> {
+    global().trace().detail_span(name)
+}
+
+/// [`detail_span`] under an explicit parent id.
+pub fn detail_span_with_parent(name: &str, parent: u64) -> SpanGuard<'static> {
+    global().trace().detail_span_with_parent(name, parent)
 }
 
 /// The innermost open span on this thread (0 if none) — the value to pass
@@ -232,6 +281,18 @@ pub fn observe(name: &str, value: f64) {
 /// Record one observation into a per-node log-bucketed histogram.
 pub fn observe_on(name: &str, node: usize, value: f64) {
     global().metrics().observe(name, Some(node), value);
+}
+
+/// Record a structured event into the global bounded event log. The node
+/// label comes from the thread's [`NodeScope`] (if any); the query id from
+/// its [`QueryScope`].
+pub fn event(kind: &str, detail: impl Into<String>) {
+    global().events().record(kind, None, detail);
+}
+
+/// Record a structured event attributed to an explicit node.
+pub fn event_on(kind: &str, node: usize, detail: impl Into<String>) {
+    global().events().record(kind, Some(node), detail);
 }
 
 #[cfg(test)]

@@ -1,11 +1,19 @@
-//! Metrics: named counters, gauges, and log-bucketed histograms with
-//! optional per-node labels.
+//! Metrics: named counters, gauges, and log-linear (HDR-style) histograms
+//! with optional per-node labels.
 //!
 //! The registry is sharded by key hash; snapshots are plain values with
 //! order-independent `merge` (counters and histogram buckets add, gauges
 //! add — a gauge in a snapshot is a level contribution, so per-node levels
 //! sum to the cluster level) and `diff` (counters and histograms subtract,
 //! yielding the activity between two snapshots).
+//!
+//! Histograms use HdrHistogram-style log-linear buckets: each power-of-two
+//! range (octave) is split into [`SUB_BUCKETS`] equal-width sub-buckets, so
+//! any recorded value — and any percentile extracted from the buckets — is
+//! resolved to within `1/SUB_BUCKETS` (6.25%) relative error. That is what
+//! makes [`HistogramSnapshot::percentile`] (p50/p90/p99/p999) meaningful
+//! for tail-latency reporting, where the old pure-log₂ buckets could be off
+//! by 2×.
 
 use parking_lot::Mutex;
 use serde::{Content, Serialize};
@@ -15,9 +23,17 @@ use std::hash::{Hash, Hasher};
 
 const SHARDS: usize = 8;
 
-/// Power-of-two histogram bucket count: bucket `i` covers `[2^(i-1), 2^i)`
-/// (bucket 0 covers `[0, 1)`).
-pub const HISTOGRAM_BUCKETS: usize = 64;
+/// Linear sub-buckets per power-of-two octave. 16 bounds the relative
+/// quantization error of any observation (and any percentile) at 6.25%.
+pub const SUB_BUCKETS: usize = 16;
+
+/// Octaves covered: bucket 0 is `[0, 1)`, then octave `e` spans
+/// `[2^e, 2^(e+1))` for `e` in `0..OCTAVES`. 60 octaves reach ~1.15e18 —
+/// nanosecond values up to ~36 years — before clamping to the last bucket.
+pub const OCTAVES: usize = 60;
+
+/// Total bucket count of the log-linear layout.
+pub const HISTOGRAM_BUCKETS: usize = 1 + OCTAVES * SUB_BUCKETS;
 
 /// A metric key: name plus optional node label.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -62,25 +78,37 @@ impl Histogram {
     }
 }
 
-/// The log₂ bucket a value falls into: 0 for `[0, 1)`, then bucket `i`
-/// covers `[2^(i-1), 2^i)`. Negative and NaN observations clamp to bucket
-/// 0; huge values clamp to the last bucket.
+/// The log-linear bucket a value falls into: 0 for `[0, 1)`, then octave
+/// `e = floor(log2(v))` split into [`SUB_BUCKETS`] linear sub-buckets.
+/// Negative and NaN observations clamp to bucket 0; values at or beyond
+/// `2^OCTAVES` clamp to the last bucket.
 pub fn bucket_index(value: f64) -> usize {
     if value.is_nan() || value < 1.0 {
         return 0;
     }
-    let exp = value.log2().floor() as i64 + 1;
-    exp.clamp(1, HISTOGRAM_BUCKETS as i64 - 1) as usize
+    let exp = value.log2().floor() as i64;
+    if exp >= OCTAVES as i64 {
+        return HISTOGRAM_BUCKETS - 1;
+    }
+    let exp = exp.max(0) as usize;
+    // Position within the octave, in [1, 2); sub-bucket widths of 1/16 are
+    // binary-exact so octave lower edges land in sub-bucket 0 exactly.
+    let frac = value / 2f64.powi(exp as i32);
+    let sub = (((frac - 1.0) * SUB_BUCKETS as f64) as usize).min(SUB_BUCKETS - 1);
+    1 + exp * SUB_BUCKETS + sub
 }
 
 /// Inclusive-exclusive bounds `[lo, hi)` of bucket `i`.
 pub fn bucket_bounds(i: usize) -> (f64, f64) {
     assert!(i < HISTOGRAM_BUCKETS);
     if i == 0 {
-        (0.0, 1.0)
-    } else {
-        (2f64.powi(i as i32 - 1), 2f64.powi(i as i32))
+        return (0.0, 1.0);
     }
+    let octave = (i - 1) / SUB_BUCKETS;
+    let sub = (i - 1) % SUB_BUCKETS;
+    let base = 2f64.powi(octave as i32);
+    let width = base / SUB_BUCKETS as f64;
+    (base + sub as f64 * width, base + (sub + 1) as f64 * width)
 }
 
 /// Live, shared metrics store.
@@ -182,12 +210,24 @@ impl Default for MetricsRegistry {
 /// A frozen histogram within a [`MetricsSnapshot`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
-    /// Count per log₂ bucket (see [`bucket_bounds`]).
+    /// Count per log-linear bucket (see [`bucket_bounds`]).
     pub buckets: Vec<u64>,
     pub count: u64,
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
 }
 
 impl HistogramSnapshot {
@@ -197,6 +237,47 @@ impl HistogramSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) extracted from the log-linear buckets.
+    ///
+    /// Definition: the value of the sample at 1-based rank
+    /// `max(1, ceil(q·count))` in sorted order. The returned estimate is the
+    /// midpoint of the bucket holding that sample, clamped to the exact
+    /// observed `[min, max]`, so it always lies within one bucket width
+    /// (≤ 6.25% relative error) of the true sorted-sample quantile.
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let (lo, hi) = bucket_bounds(i);
+                return ((lo + hi) / 2.0).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    pub fn p90(&self) -> f64 {
+        self.percentile(0.90)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    pub fn p999(&self) -> f64 {
+        self.percentile(0.999)
     }
 }
 
@@ -333,18 +414,30 @@ impl MetricsSnapshot {
 
     /// The activity between `prev` and `self`: counters and histograms
     /// subtract (entries absent from `prev` pass through); gauges keep
-    /// their current level. `prev.merge(&diff)` reconstructs `self` for
-    /// counter/histogram entries.
+    /// their current level. Entries that did not move between the two
+    /// snapshots are dropped — a per-query delta names only what the query
+    /// touched, and the skip keeps the capture cheap on the hot query path.
+    /// `prev.merge(&diff)` still reconstructs `self` for counter/histogram
+    /// entries: a dropped entry merges as "unchanged from `prev`".
     pub fn diff(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
         let mut entries = BTreeMap::new();
         for (key, value) in &self.entries {
             let diffed = match (value, prev.entries.get(key)) {
                 (MetricValue::Counter(c), Some(MetricValue::Counter(p))) => {
+                    if c == p {
+                        continue;
+                    }
                     MetricValue::Counter(c.saturating_sub(*p))
                 }
                 (MetricValue::Histogram(h), Some(MetricValue::Histogram(p))) => {
+                    // Buckets only ever increment, so equal counts mean an
+                    // untouched histogram — no need to compare 961 buckets.
+                    if h.count == p.count {
+                        continue;
+                    }
                     MetricValue::Histogram(diff_histograms(h, p))
                 }
+                (MetricValue::Gauge(g), Some(MetricValue::Gauge(p))) if g == p => continue,
                 (v, _) => v.clone(),
             };
             entries.insert(key.clone(), diffed);
@@ -465,20 +558,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_boundaries_are_powers_of_two() {
+    fn bucket_layout_is_log_linear() {
         assert_eq!(bucket_index(0.0), 0);
         assert_eq!(bucket_index(0.99), 0);
-        assert_eq!(bucket_index(1.0), 1);
-        assert_eq!(bucket_index(1.99), 1);
-        assert_eq!(bucket_index(2.0), 2);
-        assert_eq!(bucket_index(3.99), 2);
-        assert_eq!(bucket_index(4.0), 3);
-        assert_eq!(bucket_index(1024.0), 11);
         assert_eq!(bucket_index(-5.0), 0);
         assert_eq!(bucket_index(f64::NAN), 0);
         assert_eq!(bucket_index(f64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Octave [1,2) splits into SUB_BUCKETS linear slots of width 1/16.
+        assert_eq!(bucket_index(1.0), 1);
+        assert_eq!(bucket_index(1.0 + 1.0 / 16.0), 2);
+        assert_eq!(bucket_index(2.0 - 1e-9), SUB_BUCKETS);
+        // Each new power of two opens the next octave.
+        assert_eq!(bucket_index(2.0), 1 + SUB_BUCKETS);
+        assert_eq!(bucket_index(4.0), 1 + 2 * SUB_BUCKETS);
+        assert_eq!(bucket_index(1024.0), 1 + 10 * SUB_BUCKETS);
         // Bounds agree with the index function at every edge.
-        for i in 0..20 {
+        for i in 0..(1 + 12 * SUB_BUCKETS) {
             let (lo, hi) = bucket_bounds(i);
             if i > 0 {
                 assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
@@ -489,6 +584,11 @@ mod tests {
                 "just under upper edge of {i}"
             );
             assert_eq!(bucket_index(hi), i + 1, "upper edge opens bucket {}", i + 1);
+        }
+        // Relative bucket width is bounded: hi/lo <= 1 + 1/SUB_BUCKETS.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(hi / lo <= 1.0 + 1.0 / SUB_BUCKETS as f64 + 1e-12);
         }
     }
 
@@ -526,10 +626,37 @@ mod tests {
         assert_eq!(h.sum, 108.5);
         assert_eq!(h.min, 0.5);
         assert_eq!(h.max, 100.0);
-        assert_eq!(h.buckets[0], 1); // 0.5
-        assert_eq!(h.buckets[1], 1); // 1.5
-        assert_eq!(h.buckets[2], 2); // 3.0, 3.5
-        assert_eq!(h.buckets[7], 1); // 100 in [64, 128)
+        assert_eq!(h.buckets[bucket_index(0.5)], 1);
+        assert_eq!(h.buckets[bucket_index(1.5)], 1);
+        assert_eq!(h.buckets[bucket_index(3.0)], 1);
+        assert_eq!(h.buckets[bucket_index(3.5)], 1);
+        assert_eq!(h.buckets[bucket_index(100.0)], 1);
+        // 3.0 and 3.5 land in distinct sub-buckets of the [2,4) octave now.
+        assert_ne!(bucket_index(3.0), bucket_index(3.5));
+    }
+
+    #[test]
+    fn percentiles_from_buckets_are_tight() {
+        let r = MetricsRegistry::new();
+        // 100 samples: 1..=98 plus two large outliers.
+        for v in 1..=98 {
+            r.observe("lat", None, v as f64);
+        }
+        r.observe("lat", None, 900.0);
+        r.observe("lat", None, 1000.0);
+        let h = r.snapshot().histogram_total("lat").unwrap();
+        assert_eq!(h.count, 100);
+        // p50 is the 50th sorted sample (50.0); estimate must be within
+        // one bucket width of its containing bucket.
+        let (lo, hi) = bucket_bounds(bucket_index(50.0));
+        assert!(h.p50() >= lo && h.p50() <= hi, "p50 = {}", h.p50());
+        let (lo, hi) = bucket_bounds(bucket_index(900.0));
+        assert!(h.p99() >= lo && h.p99() <= hi, "p99 = {}", h.p99());
+        // p999 rank is 100 → the max sample; clamped to observed max.
+        assert_eq!(h.p999(), 1000.0);
+        assert_eq!(h.percentile(0.0), h.percentile(1.0 / 100.0));
+        // Empty histogram reports 0.
+        assert_eq!(HistogramSnapshot::default().p50(), 0.0);
     }
 
     #[test]
@@ -544,7 +671,7 @@ mod tests {
         assert_eq!(diff.counter_total("c"), 3);
         let h = diff.histogram_total("h").unwrap();
         assert_eq!(h.count, 1);
-        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[bucket_index(4.0)], 1);
         // Round-trip: prev + diff == current for counters/histograms.
         let rebuilt = before.merge(&diff);
         assert_eq!(rebuilt.counter_total("c"), r.snapshot().counter_total("c"));

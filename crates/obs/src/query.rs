@@ -53,6 +53,37 @@ impl Drop for QueryScope {
     }
 }
 
+thread_local! {
+    static CURRENT_NODE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The node this thread's work belongs to (`None` off any node scope).
+/// Spans opened while a [`NodeScope`] is active default their `node` label
+/// to this, so rayon / receive-pool threads attribute correctly without
+/// every call site remembering `set_node`.
+pub fn current_node() -> Option<usize> {
+    CURRENT_NODE.with(|c| c.get())
+}
+
+/// Attributes this thread's work to a cluster node for the guard's
+/// lifetime. Scopes nest: dropping restores the previous node.
+pub struct NodeScope {
+    prev: Option<usize>,
+}
+
+impl NodeScope {
+    pub fn enter(node: usize) -> NodeScope {
+        let prev = CURRENT_NODE.with(|c| c.replace(Some(node)));
+        NodeScope { prev }
+    }
+}
+
+impl Drop for NodeScope {
+    fn drop(&mut self) {
+        CURRENT_NODE.with(|c| c.set(self.prev));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +111,21 @@ mod tests {
             assert_eq!(current_query_id(), outer);
         }
         assert_eq!(current_query_id(), 0);
+    }
+
+    #[test]
+    fn node_scopes_nest_and_restore() {
+        assert_eq!(current_node(), None);
+        {
+            let _a = NodeScope::enter(2);
+            assert_eq!(current_node(), Some(2));
+            {
+                let _b = NodeScope::enter(5);
+                assert_eq!(current_node(), Some(5));
+            }
+            assert_eq!(current_node(), Some(2));
+        }
+        assert_eq!(current_node(), None);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! *structure* — which operators and workers ran inside each phase, on which
 //! node, with what per-span annotations.
 
+use crate::metrics::HistogramSnapshot;
 use crate::table::Table;
 use crate::trace::SpanRecord;
 use crate::Verbosity;
@@ -21,6 +22,10 @@ pub struct TraceReport {
     pub spans: Vec<SpanRecord>,
     /// Total simulated time of the workload (the ledger total).
     pub total: SimDuration,
+    /// Latency histograms touched by the workload (name → snapshot),
+    /// rendered as a percentile table. Empty unless attached with
+    /// [`TraceReport::with_histograms`].
+    pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
 /// `1234567` → `"1.2 MB"`.
@@ -62,7 +67,38 @@ impl TraceReport {
             phases,
             spans,
             total,
+            histograms: Vec::new(),
         }
+    }
+
+    /// Attach latency histograms (shown as a percentile table).
+    pub fn with_histograms(mut self, histograms: Vec<(String, HistogramSnapshot)>) -> Self {
+        self.histograms = histograms;
+        self
+    }
+
+    /// One row per attached histogram: count, mean, p50/p90/p99/p999, max.
+    /// `None` when no histograms were attached.
+    pub fn percentile_table(&self) -> Option<Table> {
+        if self.histograms.is_empty() {
+            return None;
+        }
+        let mut t = Table::new("Latency percentiles").header([
+            "metric", "count", "mean", "p50", "p90", "p99", "p999", "max",
+        ]);
+        for (name, h) in &self.histograms {
+            t.row([
+                name.clone(),
+                h.count.to_string(),
+                format!("{:.2}", h.mean()),
+                format!("{:.2}", h.p50()),
+                format!("{:.2}", h.p90()),
+                format!("{:.2}", h.p99()),
+                format!("{:.2}", h.p999()),
+                format!("{:.2}", h.max),
+            ]);
+        }
+        Some(t)
     }
 
     /// Sum of the phase durations; equals [`Self::total`] up to float
@@ -153,6 +189,10 @@ impl TraceReport {
     /// plus the span tree at `Trace`.
     pub fn render_with(&self, verbosity: Verbosity) -> String {
         let mut out = self.phase_table().to_text();
+        if let Some(pcts) = self.percentile_table() {
+            out.push('\n');
+            out.push_str(&pcts.to_text());
+        }
         if verbosity == Verbosity::Trace && !self.spans.is_empty() {
             out.push('\n');
             out.push_str("Span tree (wall = real elapsed, sim = modeled):\n");
@@ -174,10 +214,29 @@ impl TraceReport {
 
 impl Serialize for TraceReport {
     fn serialize(&self) -> Content {
+        let percentiles: Vec<(String, Content)> = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    Content::Map(vec![
+                        ("count".into(), Content::U64(h.count)),
+                        ("mean".into(), Content::F64(h.mean())),
+                        ("p50".into(), Content::F64(h.p50())),
+                        ("p90".into(), Content::F64(h.p90())),
+                        ("p99".into(), Content::F64(h.p99())),
+                        ("p999".into(), Content::F64(h.p999())),
+                        ("max".into(), Content::F64(h.max)),
+                    ]),
+                )
+            })
+            .collect();
         Content::Map(vec![
             ("total_sim_secs".into(), Content::F64(self.total.as_secs())),
             ("phases".into(), self.phases.serialize()),
             ("spans".into(), self.spans.serialize()),
+            ("percentiles".into(), Content::Map(percentiles)),
         ])
     }
 }
@@ -199,6 +258,8 @@ mod tests {
             query_id: 0,
             fields: Vec::new(),
             start_seq: seq,
+            start_ns: seq * 1_000,
+            tid: 1,
             wall_ns: 1_500_000,
             sim_secs: 0.0,
         }
@@ -257,6 +318,39 @@ mod tests {
         let r = sample();
         assert!(!r.render_with(Verbosity::Summary).contains("Span tree"));
         assert!(r.render_with(Verbosity::Trace).contains("Span tree"));
+    }
+
+    #[test]
+    fn percentile_table_renders_attached_histograms() {
+        let mut h = HistogramSnapshot::default();
+        for v in [1.0, 2.0, 3.0, 100.0] {
+            h.buckets[crate::metrics::bucket_index(v)] += 1;
+            h.count += 1;
+            h.sum += v;
+            h.min = h.min.min(v);
+            h.max = h.max.max(v);
+        }
+        let r = sample().with_histograms(vec![("exec.scan.ms".into(), h)]);
+        let text = r.render_with(Verbosity::Summary);
+        assert!(text.contains("Latency percentiles"));
+        assert!(text.contains("exec.scan.ms"));
+        assert!(text.contains("p999"));
+        let json = r.to_json();
+        let pct = json.get("percentiles").and_then(|p| p.get("exec.scan.ms"));
+        assert_eq!(
+            pct.and_then(|p| p.get("count")).and_then(|c| c.as_u64()),
+            Some(4)
+        );
+        assert!(
+            pct.and_then(|p| p.get("p99"))
+                .and_then(|c| c.as_f64())
+                .unwrap()
+                > 3.0
+        );
+        // Without histograms the section is absent.
+        assert!(!sample()
+            .render_with(Verbosity::Summary)
+            .contains("Latency percentiles"));
     }
 
     #[test]

@@ -10,9 +10,31 @@ use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use vdr_cluster::SimDuration;
+
+/// Process-wide time origin for span start timestamps. All `start_ns`
+/// values are nanoseconds since this instant, so spans recorded on any
+/// thread share one timeline (required by the Chrome trace exporter).
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since the process trace epoch.
+pub fn epoch_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small, stable per-thread id (1-based, assigned on first use). Used to
+/// lay spans out on per-thread tracks in exported traces.
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
 
 /// Shards reduce contention when many worker threads close spans at once.
 const SHARDS: usize = 8;
@@ -40,6 +62,11 @@ pub struct SpanRecord {
     /// Position in the global open order (monotone; used for sorting and
     /// session watermarks).
     pub start_seq: u64,
+    /// Open time, nanoseconds since the process trace epoch ([`epoch_ns`]).
+    pub start_ns: u64,
+    /// Id of the thread that opened (and therefore closes) the span; see
+    /// [`current_tid`].
+    pub tid: u64,
     /// Real elapsed time between open and close, nanoseconds.
     pub wall_ns: u64,
     /// Simulated time attributed to this span, seconds (0 when the span
@@ -117,6 +144,23 @@ impl TraceSink {
         self.span_with_parent(name, current_span_id())
     }
 
+    /// Open a *detail* span: per-partition / per-instance / per-worker
+    /// inner spans on hot execution paths. Recorded only at
+    /// [`Verbosity::Trace`] — at `summary` the hot paths keep their
+    /// counters and histograms but skip the span allocations, which is
+    /// what holds the instrumented-path overhead under the BENCH_obs gate.
+    pub fn detail_span(&self, name: &str) -> SpanGuard<'_> {
+        self.detail_span_with_parent(name, current_span_id())
+    }
+
+    /// [`Self::detail_span`] under an explicit parent id.
+    pub fn detail_span_with_parent(&self, name: &str, parent: u64) -> SpanGuard<'_> {
+        if Verbosity::current() != Verbosity::Trace {
+            return SpanGuard::disabled();
+        }
+        self.span_with_parent(name, parent)
+    }
+
     /// Open a span under an explicit parent id (0 for a root). Use when the
     /// opening thread differs from the logical parent's thread.
     pub fn span_with_parent(&self, name: &str, parent: u64) -> SpanGuard<'_> {
@@ -141,10 +185,13 @@ impl TraceSink {
                 id,
                 parent,
                 name: name.to_string(),
-                node: None,
+                // Default to the thread's node scope; `set_node` overrides.
+                node: crate::query::current_node(),
                 query_id: crate::query::current_query_id(),
                 fields: Vec::new(),
                 start_seq,
+                start_ns: epoch_ns(),
+                tid: current_tid(),
                 wall_ns: 0,
                 sim_secs: 0.0,
             },
@@ -214,6 +261,8 @@ impl SpanGuard<'static> {
                 query_id: 0,
                 fields: Vec::new(),
                 start_seq: 0,
+                start_ns: 0,
+                tid: 0,
                 wall_ns: 0,
                 sim_secs: 0.0,
             },
@@ -277,6 +326,8 @@ impl Drop for SpanGuard<'_> {
                 query_id: 0,
                 fields: Vec::new(),
                 start_seq: 0,
+                start_ns: 0,
+                tid: 0,
                 wall_ns: 0,
                 sim_secs: 0.0,
             },
@@ -415,6 +466,28 @@ mod tests {
         assert!(result.is_err());
         assert_eq!(current_span_id(), 0, "unwind must close both spans");
         assert_eq!(sink.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn spans_inherit_node_scope_and_timestamps() {
+        let sink = TraceSink::new();
+        {
+            let _n = crate::query::NodeScope::enter(4);
+            let mut overridden = sink.span("overridden");
+            overridden.set_node(7);
+            drop(overridden);
+            drop(sink.span("inherited"));
+        }
+        drop(sink.span("bare"));
+        let spans = sink.snapshot();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("inherited").node, Some(4));
+        assert_eq!(by_name("overridden").node, Some(7));
+        assert_eq!(by_name("bare").node, None);
+        // All three opened on this thread share a tid, and open times are
+        // monotone on one thread.
+        assert_eq!(by_name("inherited").tid, by_name("bare").tid);
+        assert!(by_name("bare").start_ns >= by_name("overridden").start_ns);
     }
 
     #[test]

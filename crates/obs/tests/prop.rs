@@ -7,6 +7,7 @@
 //! checks are meaningful.
 
 use proptest::prelude::*;
+use vdr_obs::metrics::{bucket_bounds, bucket_index};
 use vdr_obs::{MetricValue, MetricsRegistry, MetricsSnapshot};
 
 /// One recording operation against a registry.
@@ -114,6 +115,63 @@ proptest! {
                 MetricValue::Histogram(h) => prop_assert_eq!(h.count, 0),
                 MetricValue::Gauge(_) => {} // gauges report levels, not activity
             }
+        }
+    }
+
+    /// A percentile extracted from the log-linear buckets is within one
+    /// bucket width of the exact sorted-sample percentile — the estimate
+    /// lands in the same bucket as the sample at the target rank.
+    #[test]
+    fn percentiles_stay_within_one_bucket(
+        samples in prop::collection::vec(0.0f64..1e9, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let reg = MetricsRegistry::new();
+        for &v in &samples {
+            reg.observe("lat", None, v);
+        }
+        let h = reg.snapshot().histogram_total("lat").unwrap();
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [q, 0.50, 0.90, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = h.percentile(q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            prop_assert!(
+                est >= lo && est <= hi,
+                "q={q}: estimate {est} left the bucket [{lo}, {hi}) of exact {exact}"
+            );
+            prop_assert!((est - exact).abs() <= hi - lo);
+        }
+    }
+
+    /// Percentiles survive `merge`: combining two collectors' histograms
+    /// then extracting a percentile is as accurate as recording all samples
+    /// into one registry.
+    #[test]
+    fn merged_histogram_percentiles_match_combined_samples(
+        a in prop::collection::vec(0.0f64..1e6, 1..100),
+        b in prop::collection::vec(0.0f64..1e6, 1..100),
+    ) {
+        let (ra, rb) = (MetricsRegistry::new(), MetricsRegistry::new());
+        for &v in &a {
+            ra.observe("lat", None, v);
+        }
+        for &v in &b {
+            rb.observe("lat", None, v);
+        }
+        let merged = ra.snapshot().merge(&rb.snapshot());
+        let h = merged.histogram_total("lat").unwrap();
+        let mut all: Vec<f64> = a.iter().chain(&b).copied().collect();
+        all.sort_by(f64::total_cmp);
+        prop_assert_eq!(h.count as usize, all.len());
+        for q in [0.50, 0.99] {
+            let rank = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+            let exact = all[rank - 1];
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            let est = h.percentile(q);
+            prop_assert!(est >= lo && est <= hi);
         }
     }
 

@@ -584,6 +584,15 @@ impl FastTransfer {
     ) -> Result<(DArray, TransferReport)> {
         let def = db.catalog().get(table)?;
         check_features(&def.schema, features)?;
+        // A transfer issues its export via `query_with` (not the tracked
+        // statement path), so attribute the whole transfer — export, receive
+        // pools, assembly — to one query id; callers already inside a
+        // statement scope (e.g. a tracked CTAS) keep their id.
+        let query_id = match vdr_obs::current_query_id() {
+            0 => vdr_obs::next_query_id(),
+            id => id,
+        };
+        let _query_scope = vdr_obs::QueryScope::enter(query_id);
         let mut transfer_span = vdr_obs::span("vft.db2darray");
         transfer_span.record("table", table);
         transfer_span.record("policy", policy.as_param());
@@ -610,7 +619,7 @@ impl FastTransfer {
             dr.run_on_workers(&(0..dr.num_workers()).collect::<Vec<_>>(), move |w| {
                 let node = dr.worker_node(w);
                 let instances = dr.workers()[w].instances;
-                let mut convert_span = vdr_obs::span_with_parent("vft.convert", parent_span);
+                let mut convert_span = vdr_obs::detail_span_with_parent("vft.convert", parent_span);
                 convert_span.set_node(node.0);
                 vdr_obs::gauge_on("vft.lanes", node.0, instances as f64);
                 let batches: Vec<&Batch> =
@@ -681,6 +690,12 @@ impl FastTransfer {
         for c in columns {
             def.schema.index_of(c)?;
         }
+        // One query id per transfer (see db2darray_opts).
+        let query_id = match vdr_obs::current_query_id() {
+            0 => vdr_obs::next_query_id(),
+            id => id,
+        };
+        let _query_scope = vdr_obs::QueryScope::enter(query_id);
         let mut transfer_span = vdr_obs::span("vft.db2dframe");
         transfer_span.record("table", table);
         transfer_span.record("policy", policy.as_param());
@@ -702,7 +717,7 @@ impl FastTransfer {
             dr.run_on_workers(&(0..dr.num_workers()).collect::<Vec<_>>(), move |w| {
                 let node = dr.worker_node(w);
                 let instances = dr.workers()[w].instances;
-                let mut convert_span = vdr_obs::span_with_parent("vft.convert", parent_span);
+                let mut convert_span = vdr_obs::detail_span_with_parent("vft.convert", parent_span);
                 convert_span.set_node(node.0);
                 vdr_obs::gauge_on("vft.lanes", node.0, instances as f64);
                 let batches: Vec<&Batch> =
@@ -808,6 +823,8 @@ impl FastTransfer {
             .map(|w| self.hub.listen(transfer, w))
             .collect();
 
+        let pool_parent = db_span.id();
+        let query_id = vdr_obs::current_query_id();
         let (received, wall) =
             std::thread::scope(|scope| -> Result<(Vec<Vec<ReceivedStream>>, RecvWall)> {
                 let handles: Vec<_> = accepts
@@ -820,6 +837,15 @@ impl FastTransfer {
                             // decode their frames as the bytes arrive, so
                             // conversion overlaps the still-running export.
                             let node_id = dr.worker_node(w);
+                            // Pool threads are spawned fresh: re-enter the
+                            // transfer's query scope and the worker's node
+                            // scope so spans/metrics/events recorded here
+                            // stay attributed.
+                            let _q = vdr_obs::QueryScope::enter(query_id);
+                            let _n = vdr_obs::NodeScope::enter(node_id.0);
+                            let mut pool_span =
+                                vdr_obs::detail_span_with_parent("vft.receive", pool_parent);
+                            pool_span.record("worker", w);
                             r_rec.set_lanes(node_id, dr.workers()[w].instances);
                             let mut wall = RecvWall::default();
                             let mut streams: Vec<ReceivedStream> = Vec::new();
@@ -830,7 +856,7 @@ impl FastTransfer {
                                 wall.wait_ns += waited.elapsed().as_nanos() as u64;
                                 let key = format!("vft/{transfer}/{w}/{idx}");
                                 idx += 1;
-                                let (src, inst, batches) = receive_stream(
+                                let (src, inst, batches) = match receive_stream(
                                     node.shm(),
                                     &key,
                                     &rx,
@@ -838,7 +864,16 @@ impl FastTransfer {
                                     node_id,
                                     convert_cost,
                                     &mut wall,
-                                )?;
+                                ) {
+                                    Ok(decoded) => decoded,
+                                    Err(e) => {
+                                        vdr_obs::event(
+                                            "vft.receive.error",
+                                            format!("transfer={transfer} worker={w} error={e}"),
+                                        );
+                                        return Err(e);
+                                    }
+                                };
                                 streams.push(ReceivedStream { src, inst, batches });
                             }
                             // Sort by (source node, instance) so conversion
@@ -848,6 +883,13 @@ impl FastTransfer {
                             vdr_obs::counter_on("vft.receive.wait_ns", node_id.0, wall.wait_ns);
                             vdr_obs::counter_on("vft.receive.decode_ns", node_id.0, wall.decode_ns);
                             vdr_obs::counter_on("vft.receive.frames", node_id.0, wall.frames);
+                            vdr_obs::observe_on(
+                                "vft.receive.stream_decode_ms",
+                                node_id.0,
+                                wall.decode_ns as f64 / 1e6,
+                            );
+                            pool_span.record("streams", streams.len());
+                            pool_span.record("frames", wall.frames);
                             Ok((streams, wall))
                         })
                     })

@@ -42,8 +42,20 @@ impl AdmissionController {
     /// Block until a slot is free, then hold it for the guard's lifetime.
     pub fn admit(&self) -> AdmissionGuard<'_> {
         let mut state = self.state.lock();
-        while state.active >= self.max_concurrent {
-            self.cv.wait(&mut state);
+        if state.active >= self.max_concurrent {
+            // The queue moment is the observable admission decision: record
+            // how long this query waited for a slot.
+            vdr_obs::event(
+                "admission.queued",
+                format!("active={} limit={}", state.active, self.max_concurrent),
+            );
+            let waited = std::time::Instant::now();
+            while state.active >= self.max_concurrent {
+                self.cv.wait(&mut state);
+            }
+            let wait_ms = waited.elapsed().as_nanos() as f64 / 1e6;
+            vdr_obs::observe("admission.wait_ms", wait_ms);
+            vdr_obs::event("admission.admitted", format!("waited_ms={wait_ms:.2}"));
         }
         state.active += 1;
         state.peak = state.peak.max(state.active);

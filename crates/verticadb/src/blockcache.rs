@@ -102,6 +102,11 @@ impl BlockCache {
                 *inner.bytes_per_node.entry(node.0).or_default() -= bytes;
                 self.invalidations.fetch_add(1, Ordering::Relaxed);
                 vdr_obs::counter_on("scan.cache.invalidated", node.0, 1);
+                vdr_obs::event_on(
+                    "cache.invalidate",
+                    node.0,
+                    format!("path={path} reason=crc"),
+                );
             } else {
                 let covered = match (&e.cols, wanted) {
                     (None, _) => true,
@@ -157,6 +162,11 @@ impl BlockCache {
             *inner.bytes_per_node.entry(node.0).or_default() -= freed;
             self.evictions.fetch_add(1, Ordering::Relaxed);
             vdr_obs::counter_on("scan.cache.evict", node.0, 1);
+            vdr_obs::event_on(
+                "cache.evict",
+                node.0,
+                format!("path={} freed={freed}", victim.1),
+            );
         }
         *inner.bytes_per_node.entry(node.0).or_default() += bytes;
         inner.entries.insert(
@@ -186,6 +196,11 @@ impl BlockCache {
             *inner.bytes_per_node.entry(key.0).or_default() -= e.bytes;
             self.invalidations.fetch_add(1, Ordering::Relaxed);
             vdr_obs::counter_on("scan.cache.invalidated", key.0, 1);
+            vdr_obs::event_on(
+                "cache.invalidate",
+                key.0,
+                format!("path={} reason=drop prefix={prefix}", key.1),
+            );
         }
     }
 

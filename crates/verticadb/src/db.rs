@@ -96,6 +96,32 @@ impl VerticaDb {
         target: &Ledger,
         label: Option<String>,
     ) -> Result<QueryOutput> {
+        if let sql::Statement::Trace(inner) = stmt {
+            // Like PROFILE, but forces span recording and returns the span
+            // rows of the inner statement's trace tree.
+            let saved = vdr_obs::verbosity_override();
+            let forced = vdr_obs::Verbosity::current() != vdr_obs::Verbosity::Trace;
+            if forced {
+                vdr_obs::set_verbosity(vdr_obs::Verbosity::Trace);
+            }
+            let seq = vdr_obs::global().trace().current_seq();
+            let run = self.run_tracked(inner, sql_text, target, label);
+            if forced {
+                match saved {
+                    Some(v) => vdr_obs::set_verbosity(v),
+                    None => vdr_obs::reset_verbosity(),
+                }
+            }
+            let (output, _record) = run?;
+            let spans: Vec<_> = vdr_obs::global()
+                .trace()
+                .spans_since(seq)
+                .into_iter()
+                .filter(|s| s.query_id == output.query_id)
+                .collect();
+            let batch = crate::monitor::trace_batch(&spans)?;
+            return Ok(QueryOutput { batch, ..output });
+        }
         if let sql::Statement::Profile(inner) = stmt {
             let saved = vdr_obs::verbosity_override();
             let forced = !vdr_obs::Verbosity::current().recording();
@@ -126,7 +152,11 @@ impl VerticaDb {
     ) -> Result<(QueryOutput, QueryRecord)> {
         let query_id = vdr_obs::next_query_id();
         let _scope = vdr_obs::QueryScope::enter(query_id);
-        let metrics_before = vdr_obs::global().metrics().snapshot();
+        // Per-query metric attribution costs two registry snapshots plus a
+        // diff; with recording off nothing moves between them, so skip the
+        // capture entirely and keep `VDR_OBS=off` a true zero-overhead path.
+        let recording = vdr_obs::Verbosity::current().recording();
+        let metrics_before = recording.then(|| vdr_obs::global().metrics().snapshot());
         let started = std::time::Instant::now();
         let rec = Arc::new(PhaseRecorder::new(
             label.unwrap_or_else(|| statement_label(stmt)),
@@ -139,7 +169,9 @@ impl VerticaDb {
             .expect("no stray phase references after execution")
             .finish(self.cluster.profile());
         let wall_ns = started.elapsed().as_nanos() as u64;
-        let metrics_delta = vdr_obs::global().metrics().snapshot().diff(&metrics_before);
+        let metrics_delta = metrics_before.map_or_else(Default::default, |before| {
+            vdr_obs::global().metrics().snapshot().diff(&before)
+        });
         let sql = sql_text.map_or_else(|| report.name.clone(), str::to_string);
         match result {
             Ok(batch) => {
@@ -156,6 +188,18 @@ impl VerticaDb {
                     metrics_delta,
                 };
                 target.push(report);
+                let threshold = self.monitor.slow_threshold_ns();
+                if wall_ns >= threshold {
+                    self.monitor.record_slow(&record, threshold);
+                    vdr_obs::event(
+                        "query.slow",
+                        format!(
+                            "query_id={query_id} wall_ms={:.1} threshold_ms={:.1}",
+                            wall_ns as f64 / 1e6,
+                            threshold as f64 / 1e6
+                        ),
+                    );
+                }
                 self.monitor.history().record(record.clone());
                 Ok((
                     QueryOutput {
@@ -167,6 +211,7 @@ impl VerticaDb {
                 ))
             }
             Err(e) => {
+                vdr_obs::event("query.error", format!("query_id={query_id} error={e}"));
                 self.monitor.history().record(QueryRecord {
                     id: query_id,
                     sql,
@@ -287,6 +332,7 @@ pub(crate) fn statement_label(stmt: &sql::Statement) -> String {
         sql::Statement::Insert { table, .. } => format!("INSERT {table}"),
         sql::Statement::DropTable { name, .. } => format!("DROP TABLE {name}"),
         sql::Statement::Profile(inner) => format!("PROFILE {}", statement_label(inner)),
+        sql::Statement::Trace(inner) => format!("TRACE {}", statement_label(inner)),
     }
 }
 

@@ -113,6 +113,9 @@ pub fn execute(db: &VerticaDb, stmt: &Statement, rec: &Arc<PhaseRecorder>) -> Re
         Statement::Profile(_) => Err(DbError::Plan(
             "PROFILE must be the outermost statement".into(),
         )),
+        Statement::Trace(_) => Err(DbError::Plan(
+            "TRACE must be the outermost statement".into(),
+        )),
     }
 }
 
@@ -182,7 +185,8 @@ fn execute_select(db: &VerticaDb, stmt: &SelectStmt, rec: &Arc<PhaseRecorder>) -
         let query_id = vdr_obs::current_query_id();
         db.cluster().scatter(|node| -> Result<NodeResult> {
             let _q = vdr_obs::QueryScope::enter(query_id);
-            let mut scan_span = vdr_obs::span_with_parent("exec.scan", select_span_id);
+            let _n = vdr_obs::NodeScope::enter(node.id().0);
+            let mut scan_span = vdr_obs::detail_span_with_parent("exec.scan", select_span_id);
             scan_span.set_node(node.id().0);
             let batches =
                 db.storage()
@@ -958,6 +962,7 @@ fn run_transform(
     let per_node_outputs: Vec<Result<Vec<Batch>>> = db.cluster().scatter(|node| {
         let _q = vdr_obs::QueryScope::enter(query_id);
         let node_id = node.id();
+        let _n = vdr_obs::NodeScope::enter(node_id.0);
         let n_containers = db.storage().containers(table, node_id).len();
         let instances = match partition {
             Partition::Best => lanes.min(n_containers.max(1)),
@@ -969,9 +974,13 @@ fn run_transform(
             let results: Vec<Result<Vec<Batch>>> = (0..instances)
                 .into_par_iter()
                 .map(|instance| -> Result<Vec<Batch>> {
+                    // Rayon pool threads are shared across queries: scope
+                    // both the query id and the owning node for the spans
+                    // and events this instance records.
                     let _q = vdr_obs::QueryScope::enter(query_id);
+                    let _n = vdr_obs::NodeScope::enter(node_id.0);
                     let mut inst_span =
-                        vdr_obs::span_with_parent("exec.transform.instance", tf_span_id);
+                        vdr_obs::detail_span_with_parent("exec.transform.instance", tf_span_id);
                     inst_span.set_node(node_id.0);
                     inst_span.record("instance", instance);
                     // Each instance reads a disjoint slice of the node's

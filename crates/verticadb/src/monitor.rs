@@ -16,7 +16,10 @@
 //! | `query_requests`            | per-query history (ring of last 1024)     |
 //! | `execution_engine_profiles` | per-query, per-node, per-phase counters   |
 //! | `metrics`                   | live counter/gauge/histogram snapshot     |
+//! |                             | (histograms with p50/p90/p99/p999)        |
 //! | `spans`                     | the vdr-obs trace ring                    |
+//! | `events`                    | the vdr-obs structured event log          |
+//! | `slow_requests`             | statements over the slow-query threshold  |
 //! | `storage_containers`        | ROS containers per table and node         |
 //! | `block_cache`               | decoded-block cache stats (PR 3)          |
 //! | `dfs_objects`               | DFS object store listing                  |
@@ -30,10 +33,11 @@ use crate::db::VerticaDb;
 use crate::error::{DbError, Result};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vdr_cluster::{NodeId, PhaseReport};
 use vdr_columnar::{Batch, ColumnBuilder, DataType, Field, Schema, Value};
-use vdr_obs::{MetricValue, MetricsSnapshot};
+use vdr_obs::{MetricValue, MetricsSnapshot, SpanRecord};
 
 /// The virtual schema name system tables live under.
 pub const V_MONITOR_SCHEMA: &str = "v_monitor";
@@ -42,6 +46,16 @@ pub const V_MONITOR_SCHEMA: &str = "v_monitor";
 /// statements; older entries are evicted and counted on
 /// `obs.query_history.evicted`.
 pub const QUERY_HISTORY_CAPACITY: usize = 1024;
+
+/// The slow-request ring keeps the last N statements that crossed the
+/// slow-query threshold.
+pub const SLOW_REQUESTS_CAPACITY: usize = 256;
+
+/// Default slow-query threshold: 25ms of real (wall) execution time. The
+/// simulated clock is not used here — slow-query detection is about what
+/// the *host* actually spent, which is what an operator tuning the
+/// reproduction cares about.
+pub const DEFAULT_SLOW_THRESHOLD_NS: u64 = 25_000_000;
 
 /// If `name` is `v_monitor.<table>` (case-insensitive), the bare table name.
 pub fn v_monitor_table(name: &str) -> Option<&str> {
@@ -140,10 +154,25 @@ pub trait SystemTableProvider: Send + Sync {
     fn batch(&self, db: &VerticaDb) -> Result<Batch>;
 }
 
+/// One statement that crossed the slow-query threshold.
+#[derive(Debug, Clone)]
+pub struct SlowRequest {
+    pub id: u64,
+    pub sql: String,
+    /// Real (host) execution time, nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated execution time, seconds.
+    pub sim_secs: f64,
+    /// The threshold in force when the statement was recorded.
+    pub threshold_ns: u64,
+}
+
 /// The registry of system-table providers plus the query history.
 pub struct Monitor {
     providers: RwLock<BTreeMap<String, Arc<dyn SystemTableProvider>>>,
     history: QueryHistory,
+    slow_threshold_ns: AtomicU64,
+    slow: Mutex<VecDeque<SlowRequest>>,
 }
 
 impl Monitor {
@@ -152,15 +181,51 @@ impl Monitor {
         let m = Monitor {
             providers: RwLock::new(BTreeMap::new()),
             history: QueryHistory::new(),
+            slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NS),
+            slow: Mutex::new(VecDeque::new()),
         };
         m.register(Arc::new(QueryRequestsTable));
         m.register(Arc::new(ExecutionEngineProfilesTable));
         m.register(Arc::new(MetricsTable));
         m.register(Arc::new(SpansTable));
+        m.register(Arc::new(EventsTable));
+        m.register(Arc::new(SlowRequestsTable));
         m.register(Arc::new(StorageContainersTable));
         m.register(Arc::new(BlockCacheTable));
         m.register(Arc::new(DfsObjectsTable));
         m
+    }
+
+    /// The wall-time threshold (nanoseconds) past which a statement is
+    /// recorded into `v_monitor.slow_requests`.
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Change the slow-query threshold (nanoseconds of wall time).
+    pub fn set_slow_threshold_ns(&self, ns: u64) {
+        self.slow_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Record a statement that crossed the threshold (called by the tracked
+    /// execution path in `db.rs`).
+    pub fn record_slow(&self, record: &QueryRecord, threshold_ns: u64) {
+        let mut slow = self.slow.lock();
+        if slow.len() >= SLOW_REQUESTS_CAPACITY {
+            slow.pop_front();
+        }
+        slow.push_back(SlowRequest {
+            id: record.id,
+            sql: record.sql.clone(),
+            wall_ns: record.wall_ns,
+            sim_secs: record.sim_secs,
+            threshold_ns,
+        });
+    }
+
+    /// The retained slow requests, oldest first.
+    pub fn slow_requests(&self) -> Vec<SlowRequest> {
+        self.slow.lock().iter().cloned().collect()
     }
 
     /// Add (or replace) a provider. Other crates hook their own state in
@@ -340,20 +405,47 @@ impl SystemTableProvider for MetricsTable {
             ("node", DataType::Int64),
             ("kind", DataType::Varchar),
             ("value", DataType::Float64),
+            ("p50", DataType::Float64),
+            ("p90", DataType::Float64),
+            ("p99", DataType::Float64),
+            ("p999", DataType::Float64),
         ]);
         for (key, value) in snap.iter() {
-            let (kind, v) = match value {
-                MetricValue::Counter(c) => ("counter", *c as f64),
-                MetricValue::Gauge(g) => ("gauge", *g),
-                // A histogram's scalar projection is its observation count;
-                // distributions stay on the Rust API.
-                MetricValue::Histogram(h) => ("histogram", h.count as f64),
+            // The scalar `value` is the count for histograms; the
+            // percentile columns carry the distribution (NULL for
+            // counters/gauges, which have none).
+            let (kind, v, pcts) = match value {
+                MetricValue::Counter(c) => (
+                    "counter",
+                    *c as f64,
+                    [Value::Null, Value::Null, Value::Null, Value::Null],
+                ),
+                MetricValue::Gauge(g) => (
+                    "gauge",
+                    *g,
+                    [Value::Null, Value::Null, Value::Null, Value::Null],
+                ),
+                MetricValue::Histogram(h) => (
+                    "histogram",
+                    h.count as f64,
+                    [
+                        Value::Float64(h.p50()),
+                        Value::Float64(h.p90()),
+                        Value::Float64(h.p99()),
+                        Value::Float64(h.p999()),
+                    ],
+                ),
             };
+            let [p50, p90, p99, p999] = pcts;
             rows.push(vec![
                 Value::Varchar(key.name.clone()),
                 opt_node(key.node),
                 Value::Varchar(kind.to_string()),
                 Value::Float64(v),
+                p50,
+                p90,
+                p99,
+                p999,
             ])?;
         }
         rows.finish()
@@ -396,6 +488,64 @@ impl SystemTableProvider for SpansTable {
                 Value::Int64(s.wall_ns as i64),
                 Value::Float64(s.sim_secs * 1e6),
                 Value::Varchar(fields),
+            ])?;
+        }
+        rows.finish()
+    }
+}
+
+struct EventsTable;
+
+impl SystemTableProvider for EventsTable {
+    fn name(&self) -> &str {
+        "events"
+    }
+
+    fn batch(&self, _db: &VerticaDb) -> Result<Batch> {
+        let mut rows = Rows::new(&[
+            ("seq", DataType::Int64),
+            ("ts_ms", DataType::Float64),
+            ("kind", DataType::Varchar),
+            ("node", DataType::Int64),
+            ("query_id", DataType::Int64),
+            ("detail", DataType::Varchar),
+        ]);
+        for e in vdr_obs::global().events().snapshot() {
+            rows.push(vec![
+                Value::Int64(e.seq as i64),
+                Value::Float64(e.ts_ns as f64 / 1e6),
+                Value::Varchar(e.kind),
+                opt_node(e.node),
+                Value::Int64(e.query_id as i64),
+                Value::Varchar(e.detail),
+            ])?;
+        }
+        rows.finish()
+    }
+}
+
+struct SlowRequestsTable;
+
+impl SystemTableProvider for SlowRequestsTable {
+    fn name(&self) -> &str {
+        "slow_requests"
+    }
+
+    fn batch(&self, db: &VerticaDb) -> Result<Batch> {
+        let mut rows = Rows::new(&[
+            ("query_id", DataType::Int64),
+            ("sql", DataType::Varchar),
+            ("wall_ms", DataType::Float64),
+            ("sim_us", DataType::Float64),
+            ("threshold_ms", DataType::Float64),
+        ]);
+        for r in db.monitor().slow_requests() {
+            rows.push(vec![
+                Value::Int64(r.id as i64),
+                Value::Varchar(r.sql),
+                Value::Float64(r.wall_ns as f64 / 1e6),
+                Value::Float64(r.sim_secs * 1e6),
+                Value::Float64(r.threshold_ns as f64 / 1e6),
             ])?;
         }
         rows.finish()
@@ -552,6 +702,62 @@ pub fn profile_batch(record: &QueryRecord) -> Result<Batch> {
             Value::Float64(v),
             Value::Varchar(unit.to_string()),
         ])?;
+        // Histograms the query touched additionally report their tail: one
+        // p50 and one p99 row each, extracted from the windowed delta (so
+        // the percentiles describe *this* statement's observations only).
+        if let MetricValue::Histogram(h) = value {
+            for (unit, p) in [("p50", h.p50()), ("p99", h.p99())] {
+                rows.push(vec![
+                    qid.clone(),
+                    Value::Varchar("percentile".to_string()),
+                    Value::Varchar(key.name.clone()),
+                    opt_node(key.node),
+                    Value::Float64(p),
+                    Value::Varchar(unit.to_string()),
+                ])?;
+            }
+        }
+    }
+    rows.finish()
+}
+
+// ------------------------------------------------------------------- TRACE
+
+/// The result batch of `TRACE <statement>`: one row per span the inner
+/// statement's execution closed, in open order — the flattened trace tree
+/// (`parent_id` links rows; `node` shows where the work ran).
+pub fn trace_batch(spans: &[SpanRecord]) -> Result<Batch> {
+    let mut rows = Rows::new(&[
+        ("span_id", DataType::Int64),
+        ("parent_id", DataType::Int64),
+        ("query_id", DataType::Int64),
+        ("name", DataType::Varchar),
+        ("node", DataType::Int64),
+        ("tid", DataType::Int64),
+        ("start_ms", DataType::Float64),
+        ("wall_ms", DataType::Float64),
+        ("sim_us", DataType::Float64),
+        ("fields", DataType::Varchar),
+    ]);
+    for s in spans {
+        let fields = s
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        rows.push(vec![
+            Value::Int64(s.id as i64),
+            Value::Int64(s.parent as i64),
+            Value::Int64(s.query_id as i64),
+            Value::Varchar(s.name.clone()),
+            opt_node(s.node),
+            Value::Int64(s.tid as i64),
+            Value::Float64(s.start_ns as f64 / 1e6),
+            Value::Float64(s.wall_ns as f64 / 1e6),
+            Value::Float64(s.sim_secs * 1e6),
+            Value::Varchar(fields),
+        ])?;
     }
     rows.finish()
 }
@@ -610,5 +816,71 @@ mod tests {
         assert_eq!(batch.row(0)[0], Value::Int64(77));
         assert_eq!(batch.row(0)[2], Value::Varchar("scan.cache.miss".into()));
         assert_eq!(batch.row(0)[4], Value::Float64(3.0));
+    }
+
+    #[test]
+    fn profile_batch_appends_percentile_rows_for_histograms() {
+        let reg = vdr_obs::MetricsRegistry::new();
+        for v in [1.0, 2.0, 4.0, 64.0] {
+            reg.observe("exec.scan_ms", None, v);
+        }
+        let mut r = record(5);
+        r.metrics_delta = reg.snapshot();
+        let batch = profile_batch(&r).unwrap();
+        // 1 histogram row + p50 + p99.
+        assert_eq!(batch.num_rows(), 3);
+        let units: Vec<Value> = (0..3).map(|i| batch.row(i)[5].clone()).collect();
+        assert!(units.contains(&Value::Varchar("p50".into())));
+        assert!(units.contains(&Value::Varchar("p99".into())));
+        // The p99 estimate is near the max observation (within its bucket).
+        let p99 = (0..3)
+            .find(|&i| batch.row(i)[5] == Value::Varchar("p99".into()))
+            .map(|i| batch.row(i)[4].clone())
+            .unwrap();
+        let Value::Float64(p99) = p99 else {
+            panic!("p99 not a float")
+        };
+        assert!((60.0..=64.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn slow_requests_ring_records_over_threshold_statements() {
+        let m = Monitor::new();
+        assert_eq!(m.slow_threshold_ns(), DEFAULT_SLOW_THRESHOLD_NS);
+        m.set_slow_threshold_ns(1);
+        let mut r = record(9);
+        r.wall_ns = 5_000_000;
+        m.record_slow(&r, m.slow_threshold_ns());
+        let slow = m.slow_requests();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].id, 9);
+        assert_eq!(slow[0].threshold_ns, 1);
+        // The ring is bounded.
+        for i in 0..SLOW_REQUESTS_CAPACITY + 5 {
+            m.record_slow(&record(i as u64 + 100), 1);
+        }
+        assert_eq!(m.slow_requests().len(), SLOW_REQUESTS_CAPACITY);
+    }
+
+    #[test]
+    fn trace_batch_flattens_span_records() {
+        let sink = vdr_obs::TraceSink::new();
+        {
+            let mut root = sink.span("exec.select");
+            root.set_query_id(3);
+            let mut child = sink.span("exec.scan");
+            child.set_query_id(3);
+            child.set_node(1);
+            child.record("rows", 10);
+        }
+        let spans = sink.snapshot();
+        let batch = trace_batch(&spans).unwrap();
+        assert_eq!(batch.num_rows(), 2);
+        // Rows are in open order: root first.
+        assert_eq!(batch.row(0)[3], Value::Varchar("exec.select".into()));
+        assert_eq!(batch.row(1)[3], Value::Varchar("exec.scan".into()));
+        assert_eq!(batch.row(1)[4], Value::Int64(1));
+        assert_eq!(batch.row(1)[1], batch.row(0)[0], "parent links to root");
+        assert_eq!(batch.row(1)[9], Value::Varchar("rows=10".into()));
     }
 }

@@ -30,6 +30,10 @@ pub enum Statement {
     /// `PROFILE <statement>` — execute the inner statement and return its
     /// per-node/per-phase profile rows instead of its result.
     Profile(Box<Statement>),
+    /// `TRACE <statement>` — execute the inner statement with span
+    /// recording forced on and return its span rows (one per closed span)
+    /// instead of its result.
+    Trace(Box<Statement>),
 }
 
 /// `SEGMENTED BY …` clause of CREATE TABLE.

@@ -119,6 +119,9 @@ impl Parser {
         if self.accept_kw("PROFILE") {
             return Ok(Statement::Profile(Box::new(self.parse_statement()?)));
         }
+        if self.accept_kw("TRACE") {
+            return Ok(Statement::Trace(Box::new(self.parse_statement()?)));
+        }
         if self.accept_kw("SELECT") {
             Ok(Statement::Select(self.parse_select()?))
         } else if self.accept_kw("CREATE") {
@@ -947,5 +950,20 @@ mod tests {
         assert!(matches!(stmt, Statement::Profile(_)));
         // Bare PROFILE with nothing to profile is a parse error.
         assert!(parse("PROFILE").is_err());
+    }
+
+    #[test]
+    fn trace_wraps_any_statement() {
+        let stmt = parse("TRACE SELECT count(*) FROM t WHERE x > 1").unwrap();
+        let Statement::Trace(inner) = stmt else {
+            panic!("expected Trace, got {stmt:?}");
+        };
+        assert!(matches!(*inner, Statement::Select(_)));
+        // TRACE PROFILE parses (the executor rejects the nesting later,
+        // like any inner PROFILE).
+        let stmt = parse("TRACE PROFILE SELECT 1").unwrap();
+        assert!(matches!(stmt, Statement::Trace(_)));
+        // Bare TRACE with nothing to trace is a parse error.
+        assert!(parse("TRACE").is_err());
     }
 }

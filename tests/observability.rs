@@ -46,6 +46,11 @@ fn load_table(db: &Arc<VerticaDb>) {
 
 #[test]
 fn session_observes_the_whole_figure3_pipeline() {
+    // Full span trees (per-partition detail spans included) are a
+    // trace-level feature; `summary` keeps only counters, histograms, and
+    // coarse statement spans. Safe to force process-wide: this test has its
+    // own binary.
+    let _verbosity = vertica_dr::obs::verbosity_guard(Verbosity::Trace);
     let db = VerticaDb::new(SimCluster::for_tests(5));
     // YARN-brokered session so the container lifecycle falls inside the
     // session's metrics window.
