@@ -40,6 +40,7 @@ run cargo bench --no-run $OFFLINE
 run cargo bench --no-run $OFFLINE -p vdr-bench --bench scan_micro
 run cargo bench --no-run $OFFLINE -p vdr-bench --bench transfer_micro
 run cargo bench --no-run $OFFLINE -p vdr-bench --bench obs_overhead
+run cargo bench --no-run $OFFLINE -p vdr-bench --bench train_micro
 
 # Every checked-in A/B artifact must be well-formed: each benchmark entry
 # needs both a "before" and an "after" arm with non-empty runs_ms.
@@ -155,6 +156,19 @@ if int(slow["rows"]) <= 0:
     sys.exit("v_monitor.slow_requests empty despite a 1ns slow threshold")
 if not slow["all_rows_attributed"]:
     sys.exit("slow_requests rows missing query-id attribution")
+train = doc["train"]
+if int(train["rows"]) <= 0 or not train["converged"]:
+    sys.exit("train-while-loading smoke did not fit a converged model")
+if int(train["overlap_ns"]) <= 0 or float(train["metrics_overlap_ns"]) <= 0:
+    sys.exit("ml.train.overlap_ns is zero: no training work overlapped the load")
+if float(train["metrics_rows_per_sec_events"]) <= 0:
+    sys.exit("ml.train.rows_per_sec histogram missing from v_monitor.metrics")
+if int(train["metrics_deviance_rows"]) <= 0:
+    sys.exit("ml.train.deviance gauge missing from v_monitor.metrics")
+if int(train["profile_train_rows"]) <= 0 or not train["profile_has_overlap_counter"]:
+    sys.exit("PROFILE of the train run surfaced no ml.train.* rows")
+if not train["profile_all_rows_attributed"]:
+    sys.exit("train PROFILE rows not all attributed to the train query id")
 ts = doc["trace_stmt"]
 if int(ts["rows"]) <= 0 or int(ts["nodes"]) < 2:
     sys.exit("TRACE statement did not return spans from >= 2 nodes")
@@ -174,6 +188,8 @@ print(f"    metrics_rows={doc['metrics_rows']} profile: query_id={prof['query_id
 print(f"    vft: rows={vft['rows']} segment_rows={vft['segment_rows']} "
       f"worker_rows={vft['worker_rows']} frames={vft['receive_frames']} "
       f"queue_ms={vft['queue_ms']:.3f}")
+print(f"    train: query_id={train['query_id']} rows={train['rows']} "
+      f"overlap_ns={train['overlap_ns']} profile_train_rows={train['profile_train_rows']}")
 print(f"    events_rows={doc['events_rows']} slow_rows={slow['rows']} "
       f"trace_stmt: rows={ts['rows']} nodes={ts['nodes']} "
       f"trace_file: events={tf['events']} max_nodes_one_query={tf['max_nodes_one_query']}")

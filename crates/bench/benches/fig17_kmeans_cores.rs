@@ -15,6 +15,8 @@ fn bench(c: &mut Criterion) {
         .map(|i| (0..10).map(|j| ((i * 3 + j) % 17) as f64).collect())
         .collect();
     let (pts, _) = gaussian_mixture(2_500, &centers, 0.3, 1); // 50k×10
+                                                              // The assignment kernel takes the contiguous k×d center buffer.
+    let centers: Vec<f64> = centers.into_iter().flatten().collect();
     let mut g = c.benchmark_group("fig17_kmeans_iteration");
     g.bench_function("serial_kernel_50k_rows_k20", |b| {
         b.iter(|| {

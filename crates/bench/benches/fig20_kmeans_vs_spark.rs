@@ -39,28 +39,29 @@ fn bench(c: &mut Criterion) {
     let (matrix, _) = sc.load_matrix("pts", &Ledger::new()).unwrap();
 
     let mut g = c.benchmark_group("fig20_kmeans_stacks");
+    let flat_init: Vec<f64> = init.iter().flatten().copied().collect();
     g.bench_function("distributed_r_5_iterations", |b| {
         b.iter(|| {
-            let mut cs = init.clone();
+            let mut cs = flat_init.clone();
             for _ in 0..5 {
                 let partials = x
                     .map_partitions(|_, p| assign_partial(&p.data, 4, &cs))
                     .unwrap();
-                let merged = partials
-                    .into_iter()
-                    .reduce(|a, b| merge_partials(a, &b))
-                    .unwrap();
+                let merged =
+                    vdr_ml::reduce::tree_merge(partials, |a, b| merge_partials(a, &b)).unwrap();
                 for k in 0..6 {
                     if merged.counts[k] > 0 {
                         let n = merged.counts[k] as f64;
-                        cs[k] = merged.sums[k * 4..(k + 1) * 4]
-                            .iter()
-                            .map(|s| s / n)
-                            .collect();
+                        for (c, s) in cs[k * 4..(k + 1) * 4]
+                            .iter_mut()
+                            .zip(&merged.sums[k * 4..(k + 1) * 4])
+                        {
+                            *c = s / n;
+                        }
                     }
                 }
             }
-            assert!(cs[0][0].is_finite());
+            assert!(cs[0].is_finite());
         })
     });
     g.bench_function("spark_5_iterations", |b| {

@@ -1,0 +1,179 @@
+//! Training micro-benchmarks backing `BENCH_train.json` (interleaved A/B).
+//!
+//! Deliberately restricted to the public surface that already existed before
+//! the blocked-kernel work (`hpdglm` / `hpdkmeans` with struct-update option
+//! literals), so this *identical* file compiles and measures the same
+//! workloads against older commits. The A/B protocol builds the pre-change
+//! tree in a throwaway worktree, copies this file in, and alternates runs.
+//!
+//! Shapes mirror the paper's training workloads: narrow feature matrices
+//! (Figure 18's 6-column regression, Figure 17's 10-d clustering) where the
+//! per-row model update is cheap and memory traffic dominates, and wide-`p`
+//! shapes where the `XᵀWX` / center-distance kernels dominate and blocking
+//! pays off most.
+
+mod common;
+
+use common::criterion;
+use criterion::Criterion;
+use vdr_cluster::SimCluster;
+use vdr_distr::{DArray, DistributedR};
+use vdr_ml::{hpdglm, hpdkmeans, Family, GlmOptions, KmeansInit, KmeansOptions};
+use vdr_workloads::{gaussian_mixture, linear_data, logistic_data};
+
+const PARTS: usize = 4;
+
+/// Spread row-major `(x, y)` across a `PARTS`-partition darray pair.
+fn darray_pair(dr: &DistributedR, x: &[f64], y: &[f64], d: usize) -> (DArray, DArray) {
+    let rows = y.len() / PARTS;
+    let xa = dr.darray(PARTS).unwrap();
+    for part in 0..PARTS {
+        xa.fill_partition(
+            part,
+            rows,
+            d,
+            x[part * rows * d..(part + 1) * rows * d].to_vec(),
+        )
+        .unwrap();
+    }
+    let ya = xa.clone_structure(1, 0.0).unwrap();
+    for part in 0..PARTS {
+        ya.fill_partition_on(
+            ya.worker_of(part).unwrap(),
+            part,
+            rows,
+            1,
+            y[part * rows..(part + 1) * rows].to_vec(),
+        )
+        .unwrap();
+    }
+    (xa, ya)
+}
+
+/// Row-major points only (for k-means).
+fn darray_points(dr: &DistributedR, pts: &[f64], d: usize) -> DArray {
+    let rows = pts.len() / d / PARTS;
+    let xa = dr.darray(PARTS).unwrap();
+    for part in 0..PARTS {
+        xa.fill_partition(
+            part,
+            rows,
+            d,
+            pts[part * rows * d..(part + 1) * rows * d].to_vec(),
+        )
+        .unwrap();
+    }
+    xa
+}
+
+fn glm_benches(c: &mut Criterion) {
+    let dr = DistributedR::on_all_nodes(SimCluster::for_tests(1), PARTS).unwrap();
+    let mut g = c.benchmark_group("train_glm");
+
+    // Narrow: Figure 18's regression shape. Gaussian/identity needs exactly
+    // one accumulate pass, so this times the raw XᵀX / Xᵀz sweep.
+    let (x, y) = linear_data(40_000, 1.0, &[2.0, -1.0, 0.5, 0.25, -0.125, 3.0], 0.01, 9);
+    let (xa, ya) = darray_pair(&dr, &x, &y, 6);
+    g.bench_function("gaussian_narrow_40k_d6", |b| {
+        b.iter(|| {
+            let m = hpdglm(&xa, &ya, Family::Gaussian, &GlmOptions::default()).unwrap();
+            assert!(m.converged);
+        })
+    });
+
+    // Wide p: 48 features. The p×p normal-equation accumulation dominates;
+    // this is the shape where kernel blocking matters most.
+    let beta_wide: Vec<f64> = (0..48).map(|i| ((i % 7) as f64 - 3.0) / 4.0).collect();
+    let (x, y) = linear_data(10_000, 0.5, &beta_wide, 0.05, 21);
+    let (xa, ya) = darray_pair(&dr, &x, &y, 48);
+    g.bench_function("gaussian_wide_10k_d48", |b| {
+        b.iter(|| {
+            let m = hpdglm(&xa, &ya, Family::Gaussian, &GlmOptions::default()).unwrap();
+            assert!(m.converged);
+        })
+    });
+
+    // Binomial narrow: several IRLS iterations, each a full mu/w/z sweep
+    // plus the weighted accumulation.
+    let (x, y) = logistic_data(20_000, 0.3, &[1.2, -0.8, 0.5, 0.9, -1.1, 0.3], 7);
+    let (xa, ya) = darray_pair(&dr, &x, &y, 6);
+    g.bench_function("binomial_narrow_20k_d6", |b| {
+        b.iter(|| {
+            let m = hpdglm(&xa, &ya, Family::Binomial, &GlmOptions::default()).unwrap();
+            assert!(m.converged);
+        })
+    });
+
+    // Binomial wide p: IRLS iterations over a 32-wide weighted XᵀWX.
+    let beta_wide: Vec<f64> = (0..32).map(|i| ((i % 5) as f64 - 2.0) / 8.0).collect();
+    let (x, y) = logistic_data(6_000, 0.2, &beta_wide, 11);
+    let (xa, ya) = darray_pair(&dr, &x, &y, 32);
+    g.bench_function("binomial_wide_6k_d32", |b| {
+        b.iter(|| {
+            let m = hpdglm(&xa, &ya, Family::Binomial, &GlmOptions::default()).unwrap();
+            assert!(m.converged);
+        })
+    });
+    g.finish();
+}
+
+fn kmeans_benches(c: &mut Criterion) {
+    let dr = DistributedR::on_all_nodes(SimCluster::for_tests(1), PARTS).unwrap();
+    let mut g = c.benchmark_group("train_kmeans");
+
+    // Narrow: Figure 17's clustering shape (50k×10, k=20), well-separated
+    // blobs so the iteration count is stable across kernel variants.
+    let centers: Vec<Vec<f64>> = (0..20)
+        .map(|i| {
+            (0..10)
+                .map(|j| (((i * 7 + j * 3) % 19) * 10) as f64)
+                .collect()
+        })
+        .collect();
+    let (pts, _) = gaussian_mixture(2_500, &centers, 0.5, 1);
+    let xa = darray_points(&dr, &pts, 10);
+    g.bench_function("kmeans_narrow_50k_d10_k20", |b| {
+        b.iter(|| {
+            let opts = KmeansOptions {
+                k: 20,
+                max_iterations: 12,
+                init: KmeansInit::Random,
+                ..KmeansOptions::default()
+            };
+            let m = hpdkmeans(&xa, &opts).unwrap();
+            assert_eq!(m.centers.len(), 20);
+        })
+    });
+
+    // Wide: 32-d points, k=16 — the distance kernel is k·d flops per row and
+    // dominates end-to-end time.
+    let centers: Vec<Vec<f64>> = (0..16)
+        .map(|i| {
+            (0..32)
+                .map(|j| (((i * 11 + j * 5) % 23) * 8) as f64)
+                .collect()
+        })
+        .collect();
+    let (pts, _) = gaussian_mixture(1_000, &centers, 0.5, 3);
+    let xa = darray_points(&dr, &pts, 32);
+    g.bench_function("kmeans_wide_16k_d32_k16", |b| {
+        b.iter(|| {
+            let opts = KmeansOptions {
+                k: 16,
+                max_iterations: 12,
+                init: KmeansInit::Random,
+                ..KmeansOptions::default()
+            };
+            let m = hpdkmeans(&xa, &opts).unwrap();
+            assert_eq!(m.centers.len(), 16);
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    glm_benches(&mut c);
+    kmeans_benches(&mut c);
+    c.final_summary();
+}

@@ -62,6 +62,31 @@ struct TraceFileSummary {
     parses: bool,
 }
 
+/// One train-while-loading GLM fit as seen by the monitor: the `ml.train.*`
+/// counters read back over SQL from `v_monitor.metrics`, plus the PROFILE
+/// attribution of the train query id (its history record's metric deltas
+/// rendered through the same `profile_batch` machinery `PROFILE` uses).
+#[derive(Serialize)]
+struct TrainSummary {
+    rows: u64,
+    converged: bool,
+    /// `fit.overlap_ns` — training work folded under the transfer.
+    overlap_ns: u64,
+    /// `ml.train.overlap_ns` summed from `v_monitor.metrics`; must be > 0.
+    metrics_overlap_ns: f64,
+    /// `ml.train.rows_per_sec` histogram events in `v_monitor.metrics`.
+    metrics_rows_per_sec_events: f64,
+    /// `ml.train.deviance` gauge rows present in `v_monitor.metrics`.
+    metrics_deviance_rows: usize,
+    /// The train run's query id (shared with its vft.* metrics).
+    query_id: u64,
+    /// PROFILE rows for that query id carrying `ml.train.*` metrics —
+    /// every one stamped with the train query id.
+    profile_train_rows: usize,
+    profile_has_overlap_counter: bool,
+    profile_all_rows_attributed: bool,
+}
+
 #[derive(Serialize)]
 struct SlowSummary {
     rows: usize,
@@ -75,6 +100,7 @@ struct Smoke {
     scan_query_id: u64,
     profile: ProfileSummary,
     vft: VftSummary,
+    train: TrainSummary,
     trace_stmt: TraceStmtSummary,
     trace_file: TraceFileSummary,
     events_rows: usize,
@@ -179,6 +205,78 @@ fn main() {
         }
     }
 
+    // One train-while-loading GLM fit: iteration-0 statistics fold inside
+    // the receive pools, so ml.train.overlap_ns must be > 0 and the whole
+    // run must be attributed to one query id through the PROFILE machinery.
+    vdr_workloads::regression_table(
+        &db,
+        "train_smoke",
+        6_000,
+        1.0,
+        &[2.0, -1.0, 0.5],
+        0.05,
+        Segmentation::RoundRobin,
+        41,
+    )
+    .expect("regression table");
+    let fit = vdr_transfer::glm_while_loading(
+        &vft,
+        &db,
+        &dr,
+        "train_smoke",
+        &["x1", "x2", "x3"],
+        "y",
+        vdr_ml::Family::Gaussian,
+        &vdr_ml::GlmOptions::default(),
+        TransferPolicy::Locality,
+        &Ledger::new(),
+    )
+    .expect("train while loading");
+
+    let tm = session
+        .sql("SELECT name, kind, value FROM v_monitor.metrics")
+        .expect("metrics after training")
+        .batch;
+    let mut metrics_overlap_ns = 0.0;
+    let mut metrics_rows_per_sec_events = 0.0;
+    let mut metrics_deviance_rows = 0usize;
+    for r in 0..tm.num_rows() {
+        let row = tm.row(r);
+        let (Value::Varchar(name), Value::Float64(value)) = (&row[0], &row[2]) else {
+            continue;
+        };
+        match name.as_str() {
+            "ml.train.overlap_ns" => metrics_overlap_ns += value,
+            "ml.train.rows_per_sec" => metrics_rows_per_sec_events += value,
+            "ml.train.deviance" => metrics_deviance_rows += 1,
+            _ => {}
+        }
+    }
+
+    // The train run's history record, rendered through the same
+    // profile_batch PROFILE uses: ml.train.* rows stamped with its query id.
+    let record = db
+        .monitor()
+        .history()
+        .get(fit.query_id)
+        .expect("train run in query history");
+    let train_profile = vdr_verticadb::monitor::profile_batch(&record).expect("profile batch");
+    let mut profile_train_rows = 0usize;
+    let mut profile_has_overlap_counter = false;
+    let mut profile_all_rows_attributed = true;
+    for r in 0..train_profile.num_rows() {
+        let row = train_profile.row(r);
+        if row[0] != Value::Int64(fit.query_id as i64) {
+            profile_all_rows_attributed = false;
+        }
+        if let Value::Varchar(name) = &row[2] {
+            if name.starts_with("ml.train.") {
+                profile_train_rows += 1;
+                profile_has_overlap_counter |= name == "ml.train.overlap_ns";
+            }
+        }
+    }
+
     // TRACE <stmt>: the distributed span tree of one statement, over SQL.
     // Columns: span_id, parent_id, query_id, name, node, tid, start_ms,
     // wall_ms, sim_us, fields.
@@ -278,6 +376,18 @@ fn main() {
             segment_rows,
             worker_rows,
             receive_frames,
+        },
+        train: TrainSummary {
+            rows: fit.report.rows,
+            converged: fit.model.converged,
+            overlap_ns: fit.overlap_ns,
+            metrics_overlap_ns,
+            metrics_rows_per_sec_events,
+            metrics_deviance_rows,
+            query_id: fit.query_id,
+            profile_train_rows,
+            profile_has_overlap_counter,
+            profile_all_rows_attributed,
         },
         trace_stmt: TraceStmtSummary {
             rows: tb.num_rows(),

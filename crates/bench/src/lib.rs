@@ -19,6 +19,7 @@ pub mod compute_figs;
 pub mod predict_figs;
 pub mod report;
 pub mod scan_figs;
+pub mod train_figs;
 pub mod transfer_figs;
 
 pub use report::FigureReport;
@@ -46,5 +47,6 @@ pub fn all_figures() -> Vec<(&'static str, FigureFn)> {
         ("abl-buffering", ablations::buffering),
         ("abl-replication", ablations::dfs_replication),
         ("scan", scan_figs::scan_path),
+        ("train", train_figs::train_pipeline),
     ]
 }

@@ -399,26 +399,27 @@ pub fn figure21() -> FigureReport {
     let init = vec![vec![1.0, 1.0], vec![10.0, 10.0]];
     let dr_model = {
         // Lloyd from fixed centers through the distributed runtime.
-        let mut cs = init.clone();
+        let mut cs: Vec<f64> = init.iter().flatten().copied().collect();
         for _ in 0..20 {
             let partials = arr
                 .map_partitions(|_, part| vdr_ml::kmeans::assign_partial(&part.data, 2, &cs))
                 .unwrap();
-            let merged = partials
-                .into_iter()
-                .reduce(|a, b| vdr_ml::kmeans::merge_partials(a, &b))
-                .unwrap();
+            let merged =
+                vdr_ml::reduce::tree_merge(partials, |a, b| vdr_ml::kmeans::merge_partials(a, &b))
+                    .unwrap();
             for c in 0..2 {
                 if merged.counts[c] > 0 {
                     let count = merged.counts[c] as f64;
-                    cs[c] = merged.sums[c * 2..(c + 1) * 2]
-                        .iter()
-                        .map(|s| s / count)
-                        .collect();
+                    for (cj, s) in cs[c * 2..(c + 1) * 2]
+                        .iter_mut()
+                        .zip(&merged.sums[c * 2..(c + 1) * 2])
+                    {
+                        *cj = s / count;
+                    }
                 }
             }
         }
-        cs
+        cs.chunks_exact(2).map(<[f64]>::to_vec).collect::<Vec<_>>()
     };
     let hdfs = Arc::new(vdr_sparksim::HdfsSim::new(cluster.clone(), 3));
     let (_, _, flat) = arr.gather().unwrap();

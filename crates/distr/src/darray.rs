@@ -71,6 +71,14 @@ impl DArray {
     }
 
     /// Worker index owning partition `i`.
+    /// Compute lanes available per worker (the per-node R-instance count):
+    /// the partition-level training kernels split a partition's rows across
+    /// this many parallel accumulators, mirroring how the VFT decodes one
+    /// stream per instance.
+    pub fn instance_lanes(&self) -> usize {
+        self.rt.instances_per_worker()
+    }
+
     pub fn worker_of(&self, i: usize) -> Result<usize> {
         Ok(self.rt.part_meta(self.id, i)?.worker)
     }

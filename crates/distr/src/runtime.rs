@@ -145,6 +145,17 @@ impl DistributedR {
         self.inner.workers.iter().map(|w| w.instances).sum()
     }
 
+    /// Per-worker R-instance count (the widest worker): how many parallel
+    /// conversion/compute lanes a partition-level kernel can use.
+    pub fn instances_per_worker(&self) -> usize {
+        self.inner
+            .workers
+            .iter()
+            .map(|w| w.instances)
+            .max()
+            .unwrap_or(1)
+    }
+
     /// The cluster node of worker `w`.
     pub fn worker_node(&self, w: usize) -> NodeId {
         self.inner.workers[w].node

@@ -2,7 +2,11 @@
 //!
 //! Rows are assigned to folds by a deterministic hash of their global index;
 //! each fold's model trains on the remaining data (distributed, same
-//! Newton–Raphson path) and is scored on the held-out rows.
+//! Newton–Raphson path — including the lane-parallel blocked accumulation
+//! and deterministic tree-merge) and is scored on the held-out rows. The
+//! folds themselves are independent, so they build/train/score concurrently
+//! on scoped threads; results are collected in fold order, so the output is
+//! identical to the serial loop.
 
 use crate::error::{MlError, Result};
 use crate::glm::{hpdglm, Family, GlmOptions};
@@ -70,9 +74,8 @@ pub fn cv_hpdglm(
         acc += rows;
     }
 
-    let mut fold_deviance = Vec::with_capacity(folds);
-    let mut fold_rows = Vec::with_capacity(folds);
-    for fold in 0..folds {
+    let offsets = &offsets;
+    let run_fold = |fold: usize| -> Result<(f64, u64)> {
         // Build the training arrays: co-located partitions holding only
         // out-of-fold rows (partition sizes shrink — exactly what the
         // flexible Section 4 structures exist for).
@@ -126,12 +129,31 @@ pub fn cv_hpdglm(
                 rows += 1;
             }
         }
+        Ok((
+            if rows == 0 {
+                0.0
+            } else {
+                deviance / rows as f64
+            },
+            rows,
+        ))
+    };
+
+    // Folds are independent models over disjoint hold-outs: run them
+    // concurrently and collect in fold order.
+    let results: Vec<Result<(f64, u64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..folds).map(|f| s.spawn(move || run_fold(f))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold thread panicked"))
+            .collect()
+    });
+    let mut fold_deviance = Vec::with_capacity(folds);
+    let mut fold_rows = Vec::with_capacity(folds);
+    for r in results {
+        let (dev, rows) = r?;
+        fold_deviance.push(dev);
         fold_rows.push(rows);
-        fold_deviance.push(if rows == 0 {
-            0.0
-        } else {
-            deviance / rows as f64
-        });
     }
     Ok(CvResult {
         fold_deviance,

@@ -5,10 +5,26 @@
 //! Newton–Raphson is iteratively reweighted least squares: each iteration
 //! every partition accumulates its share of `XᵀWX` and `XᵀWz`, the master
 //! reduces the `p×p` partials and solves one small system.
+//!
+//! The per-partition map step is *blocked*: rows are processed in
+//! [`TILE_ROWS`]-row tiles transposed into a column-major scratch, so
+//! `η = X·β` is the same column-sweep gemv the batch prediction kernels use,
+//! the `μ/w/z` link math runs as one vectorized sweep, and `XᵀWX` is built
+//! syrk-style from `dot` products over contiguous columns (upper triangle
+//! only, mirrored once at the end) instead of `p` rank-1 `axpy` updates per
+//! row. Within a partition, tiles are split across worker instance lanes and
+//! tree-merged deterministically (see [`crate::reduce`]).
+//!
+//! Besides exact IRLS, [`GlmSolver::Sgd`] provides Bismarck-style incremental
+//! gradient descent — sequential minibatch updates per partition with
+//! row-weighted model averaging across workers — the unified-solver shape
+//! that makes training overlappable with data loading.
 
 use crate::error::{MlError, Result};
-use crate::linalg::{solve_spd, Matrix};
+use crate::linalg::{axpy, dot, solve_spd, Matrix};
 use crate::models::GlmModel;
+use crate::reduce::{lane_chunk, tree_merge, TILE_ROWS};
+use rayon::prelude::*;
 use vdr_distr::DArray;
 
 /// Exponential-family response distributions with canonical links.
@@ -74,6 +90,27 @@ impl Family {
     }
 }
 
+/// Optimizer used by [`hpdglm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GlmSolver {
+    /// Exact distributed Newton–Raphson (IRLS). The default.
+    Irls,
+    /// Bismarck-style incremental gradient descent: every epoch each worker
+    /// runs sequential minibatch updates over its partition starting from
+    /// the broadcast model, and the master averages the per-worker models
+    /// weighted by their row counts. Approximate, but each epoch is a single
+    /// streaming pass — the shape that overlaps with data loading.
+    Sgd {
+        /// Base step size; decayed by `1/√epoch`.
+        learning_rate: f64,
+        /// Number of passes over the data (also bounded by
+        /// [`GlmOptions::tolerance`] on the deviance trace).
+        epochs: usize,
+        /// Rows per gradient step.
+        minibatch: usize,
+    },
+}
+
 /// Fit options.
 #[derive(Debug, Clone)]
 pub struct GlmOptions {
@@ -81,6 +118,12 @@ pub struct GlmOptions {
     pub max_iterations: usize,
     /// Relative deviance-change convergence threshold.
     pub tolerance: f64,
+    pub solver: GlmSolver,
+    /// Explicit starting coefficients (length `d + intercept`). This is how
+    /// the train-while-loading path resumes from the iteration-0 statistics
+    /// (or streamed SGD models) it accumulated while the VFT was still
+    /// delivering batches.
+    pub initial_beta: Option<Vec<f64>>,
 }
 
 impl Default for GlmOptions {
@@ -89,48 +132,312 @@ impl Default for GlmOptions {
             add_intercept: true,
             max_iterations: 25,
             tolerance: 1e-8,
+            solver: GlmSolver::Irls,
+            initial_beta: None,
         }
     }
 }
 
-/// Per-partition accumulation: this is the distributed map step. Exposed so
-/// the cost model's unit definition (`rows × p²` per iteration) matches the
-/// code that actually runs.
-fn accumulate_partition(
-    x: &vdr_distr::PartData,
-    y: &vdr_distr::PartData,
+/// Sufficient statistics of one IRLS step over some set of rows: the normal
+/// equations `(XᵀWX) β = XᵀWz` plus the deviance at the β the pass was run
+/// with. Partials from disjoint row sets merge by addition, which is what
+/// lets iteration-0 statistics accumulate while data is still loading.
+#[derive(Debug, Clone)]
+pub struct GlmPartials {
+    pub xtwx: Matrix,
+    pub xtwz: Vec<f64>,
+    pub deviance: f64,
+    pub rows: u64,
+}
+
+impl GlmPartials {
+    pub fn zeros(p: usize) -> Self {
+        GlmPartials {
+            xtwx: Matrix::zeros(p, p),
+            xtwz: vec![0.0; p],
+            deviance: 0.0,
+            rows: 0,
+        }
+    }
+
+    /// In-place, allocation-free merge (the reduce step).
+    pub fn merge(&mut self, other: &GlmPartials) {
+        for (a, b) in self.xtwx.data.iter_mut().zip(&other.xtwx.data) {
+            *a += b;
+        }
+        for (a, b) in self.xtwz.iter_mut().zip(&other.xtwz) {
+            *a += b;
+        }
+        self.deviance += other.deviance;
+        self.rows += other.rows;
+    }
+
+    /// Newton step: solve `(XᵀWX) β = XᵀWz`.
+    pub fn solve(&self) -> Result<Vec<f64>> {
+        solve_spd(&self.xtwx, &self.xtwz)
+    }
+}
+
+/// Transpose rows `[row0, row0+t)` of row-major `x` (`d` wide) into the
+/// column-major tile scratch `cols` (`cap` rows of capacity per column),
+/// with an implicit leading ones column when `intercept` is set.
+fn fill_tile(
+    x: &[f64],
+    d: usize,
+    row0: usize,
+    t: usize,
+    cap: usize,
+    intercept: bool,
+    cols: &mut [f64],
+) {
+    let off = usize::from(intercept);
+    if intercept {
+        cols[..t].fill(1.0);
+    }
+    for j in 0..d {
+        let col = &mut cols[(j + off) * cap..(j + off) * cap + t];
+        let mut idx = row0 * d + j;
+        for v in col.iter_mut() {
+            *v = x[idx];
+            idx += d;
+        }
+    }
+}
+
+/// `η = X_tile · β` as a column-major gemv: one [`axpy`] sweep per column,
+/// exactly like [`crate::models::GlmModel::linear_predictor_batch`].
+fn tile_eta(cols: &[f64], cap: usize, t: usize, beta: &[f64], eta: &mut [f64]) {
+    eta[..t].fill(0.0);
+    for (i, &b) in beta.iter().enumerate() {
+        axpy(b, &cols[i * cap..i * cap + t], &mut eta[..t]);
+    }
+}
+
+/// Blocked accumulation of the IRLS sufficient statistics over row-major
+/// rows `x` (`d` features wide) with responses `y`, at coefficients `beta`.
+/// This is the training map kernel; it is public so the train-while-loading
+/// path can run it on batches as they arrive from the VFT.
+pub fn accumulate_rows(
+    x: &[f64],
+    y: &[f64],
+    d: usize,
     beta: &[f64],
     family: Family,
     intercept: bool,
-) -> (Matrix, Vec<f64>, f64) {
+) -> GlmPartials {
     let p = beta.len();
-    let mut xtwx = Matrix::zeros(p, p);
-    let mut xtwz = vec![0.0; p];
-    let mut deviance = 0.0;
+    debug_assert_eq!(p, d + usize::from(intercept));
+    let nrow = y.len();
+    let mut out = GlmPartials::zeros(p);
+    out.rows = nrow as u64;
+    if nrow == 0 {
+        return out;
+    }
+    let cap = TILE_ROWS.min(nrow);
+    let mut cols = vec![0.0; p * cap];
+    let mut eta = vec![0.0; cap];
+    let mut wbuf = vec![0.0; cap];
+    let mut zbuf = vec![0.0; cap];
+    let mut wx = vec![0.0; cap];
+    let mut row0 = 0;
+    while row0 < nrow {
+        let t = cap.min(nrow - row0);
+        fill_tile(x, d, row0, t, cap, intercept, &mut cols);
+        tile_eta(&cols, cap, t, beta, &mut eta);
+        // One vectorized sweep for the link math: working weight w, working
+        // response z = η + (y − μ)/w, and the deviance trace.
+        for r in 0..t {
+            let mu = family.link_inverse(eta[r]);
+            let w = family.weight(mu);
+            let yv = y[row0 + r];
+            wbuf[r] = w;
+            zbuf[r] = eta[r] + (yv - mu) / w;
+            out.deviance += family.deviance(yv, mu);
+        }
+        // Syrk-style blocked XᵀWX: scale column i by the weights once, then
+        // the update is dot products over contiguous columns — upper
+        // triangle only, half the flops of the per-row rank-1 form.
+        for i in 0..p {
+            let ci = &cols[i * cap..i * cap + t];
+            for r in 0..t {
+                wx[r] = wbuf[r] * ci[r];
+            }
+            let wxt = &wx[..t];
+            out.xtwz[i] += dot(wxt, &zbuf[..t]);
+            let row = &mut out.xtwx.data[i * p..(i + 1) * p];
+            row[i] += dot(wxt, ci);
+            for j in (i + 1)..p {
+                row[j] += dot(wxt, &cols[j * cap..j * cap + t]);
+            }
+        }
+        row0 += t;
+    }
+    // Mirror the accumulated upper triangle once at the end.
+    for i in 1..p {
+        for j in 0..i {
+            out.xtwx.data[i * p + j] = out.xtwx.data[j * p + i];
+        }
+    }
+    out
+}
+
+/// Row-at-a-time reference accumulator (the pre-blocking kernel): `p` rank-1
+/// `axpy` updates per row. Kept as the oracle for the blocked-vs-row-wise
+/// equivalence property tests.
+pub fn accumulate_rows_reference(
+    x: &[f64],
+    y: &[f64],
+    d: usize,
+    beta: &[f64],
+    family: Family,
+    intercept: bool,
+) -> GlmPartials {
+    let p = beta.len();
+    let nrow = y.len();
+    let mut out = GlmPartials::zeros(p);
+    out.rows = nrow as u64;
     let mut xrow = vec![0.0; p];
-    for r in 0..x.nrow {
-        let feats = x.row(r);
+    for r in 0..nrow {
+        let feats = &x[r * d..(r + 1) * d];
         if intercept {
             xrow[0] = 1.0;
             xrow[1..].copy_from_slice(feats);
         } else {
             xrow.copy_from_slice(feats);
         }
-        let eta: f64 = crate::linalg::dot(&xrow, beta);
+        let eta: f64 = dot(&xrow, beta);
         let mu = family.link_inverse(eta);
         let w = family.weight(mu);
-        let yv = y.data[r];
-        // Working response z = η + (y − μ)/w for canonical links.
+        let yv = y[r];
         let z = eta + (yv - mu) / w;
-        deviance += family.deviance(yv, mu);
+        out.deviance += family.deviance(yv, mu);
         for i in 0..p {
             let wxi = w * xrow[i];
-            xtwz[i] += wxi * z;
-            // Rank-1 update of XᵀWX: row i += (w·xᵢ)·x, via the unrolled axpy.
-            crate::linalg::axpy(wxi, &xrow, &mut xtwx.data[i * p..(i + 1) * p]);
+            out.xtwz[i] += wxi * z;
+            axpy(wxi, &xrow, &mut out.xtwx.data[i * p..(i + 1) * p]);
         }
     }
-    (xtwx, xtwz, deviance)
+    out
+}
+
+/// Deviance of `beta` over a row set: the blocked η pass without the
+/// weighted accumulation (final Gaussian deviance, SGD objective trace).
+pub fn deviance_rows(
+    x: &[f64],
+    y: &[f64],
+    d: usize,
+    beta: &[f64],
+    family: Family,
+    intercept: bool,
+) -> f64 {
+    let nrow = y.len();
+    if nrow == 0 {
+        return 0.0;
+    }
+    let cap = TILE_ROWS.min(nrow);
+    let mut cols = vec![0.0; beta.len() * cap];
+    let mut eta = vec![0.0; cap];
+    let mut deviance = 0.0;
+    let mut row0 = 0;
+    while row0 < nrow {
+        let t = cap.min(nrow - row0);
+        fill_tile(x, d, row0, t, cap, intercept, &mut cols);
+        tile_eta(&cols, cap, t, beta, &mut eta);
+        for r in 0..t {
+            deviance += family.deviance(y[row0 + r], family.link_inverse(eta[r]));
+        }
+        row0 += t;
+    }
+    deviance
+}
+
+/// Per-partition accumulation: this is the distributed map step. Exposed so
+/// the cost model's unit definition (`rows × p²` per iteration) matches the
+/// code that actually runs. Rows split into contiguous, tile-aligned chunks
+/// accumulated across `lanes` rayon tasks (the worker's instance lanes,
+/// mirroring the VFT's per-stream decode), then tree-merged so the
+/// floating-point reduction order is a pure function of the row count.
+pub fn accumulate_partition(
+    x: &vdr_distr::PartData,
+    y: &vdr_distr::PartData,
+    beta: &[f64],
+    family: Family,
+    intercept: bool,
+    lanes: usize,
+) -> GlmPartials {
+    let d = x.ncol;
+    let chunk = lane_chunk(x.nrow, lanes);
+    if chunk >= x.nrow {
+        return accumulate_rows(&x.data, &y.data, d, beta, family, intercept);
+    }
+    let starts: Vec<usize> = (0..x.nrow).step_by(chunk).collect();
+    let partials: Vec<GlmPartials> = starts
+        .par_iter()
+        .map(|&s| {
+            let e = (s + chunk).min(x.nrow);
+            accumulate_rows(
+                &x.data[s * d..e * d],
+                &y.data[s..e],
+                d,
+                beta,
+                family,
+                intercept,
+            )
+        })
+        .collect();
+    tree_merge(partials, |a, b| a.merge(&b)).expect("nonempty chunk list")
+}
+
+/// One epoch of sequential minibatch gradient descent over row-major rows
+/// `x` (`d` features wide), starting from the broadcast model (Bismarck's
+/// incremental scheme). The canonical-link gradient is `Xᵀ(μ − y)/t` per
+/// minibatch; tiles reuse the blocked transpose/η kernels. Public so the
+/// train-while-loading path can run streaming updates on batches as they
+/// arrive from the VFT.
+#[allow(clippy::too_many_arguments)]
+pub fn sgd_rows(
+    x: &[f64],
+    y: &[f64],
+    d: usize,
+    beta0: &[f64],
+    family: Family,
+    intercept: bool,
+    step: f64,
+    minibatch: usize,
+) -> Vec<f64> {
+    let p = beta0.len();
+    let mut beta = beta0.to_vec();
+    let nrow = y.len();
+    if nrow == 0 {
+        return beta;
+    }
+    let cap = minibatch.clamp(1, nrow);
+    let mut cols = vec![0.0; p * cap];
+    let mut eta = vec![0.0; cap];
+    let mut resid = vec![0.0; cap];
+    let mut row0 = 0;
+    while row0 < nrow {
+        let t = cap.min(nrow - row0);
+        fill_tile(x, d, row0, t, cap, intercept, &mut cols);
+        tile_eta(&cols, cap, t, &beta, &mut eta);
+        for r in 0..t {
+            resid[r] = family.link_inverse(eta[r]) - y[row0 + r];
+        }
+        let scale = step / t as f64;
+        for i in 0..p {
+            let g = dot(&cols[i * cap..i * cap + t], &resid[..t]);
+            beta[i] -= scale * g;
+        }
+        row0 += t;
+    }
+    beta
+}
+
+fn observe_pass(rows: u64, elapsed: std::time::Duration) {
+    vdr_obs::observe(
+        "ml.train.rows_per_sec",
+        rows as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
 }
 
 /// Fit a GLM on co-partitioned features `x` (n×p) and response `y` (n×1).
@@ -165,7 +472,26 @@ pub fn hpdglm(x: &DArray, y: &DArray, family: Family, opts: &GlmOptions) -> Resu
         let rate = (pos / n as f64).clamp(1e-6, 1.0 - 1e-6);
         beta[0] = (rate / (1.0 - rate)).ln();
     }
+    if let Some(b0) = &opts.initial_beta {
+        if b0.len() != p {
+            return Err(MlError::Invalid(format!(
+                "initial_beta has {} coefficients, model needs {p}",
+                b0.len()
+            )));
+        }
+        beta.copy_from_slice(b0);
+    }
 
+    if let GlmSolver::Sgd {
+        learning_rate,
+        epochs,
+        minibatch,
+    } = opts.solver
+    {
+        return hpdglm_sgd(x, y, family, opts, beta, learning_rate, epochs, minibatch);
+    }
+
+    let lanes = x.instance_lanes();
     let mut fit_span = vdr_obs::span("ml.glm.fit");
     fit_span.record("family", family.name());
     fit_span.record("n", n);
@@ -178,33 +504,36 @@ pub fn hpdglm(x: &DArray, y: &DArray, family: Family, opts: &GlmOptions) -> Resu
         iterations += 1;
         let mut iter_span = vdr_obs::span("ml.glm.iteration");
         iter_span.record("iter", iterations);
-        // Map: per-partition partials, in parallel on the owning workers.
+        let pass_start = std::time::Instant::now();
+        // Map: per-partition partials, in parallel on the owning workers and
+        // across instance lanes within each partition.
         let partials = x.zip_map(y, |_, xp, yp| {
-            accumulate_partition(xp, yp, &beta, family, opts.add_intercept)
+            accumulate_partition(xp, yp, &beta, family, opts.add_intercept, lanes)
         })?;
-        // Reduce on the master.
-        let mut xtwx = Matrix::zeros(p, p);
-        let mut xtwz = vec![0.0; p];
-        let mut deviance = 0.0;
-        for (a, b, dev) in partials {
-            xtwx.add_assign(&a)?;
-            for (acc, v) in xtwz.iter_mut().zip(&b) {
-                *acc += v;
-            }
-            deviance += dev;
-        }
-        beta = solve_spd(&xtwx, &xtwz)?;
+        // Reduce on the master: deterministic pairwise tree.
+        let reduced = tree_merge(partials, |a, b| a.merge(&b)).expect("at least one partition");
+        observe_pass(reduced.rows, pass_start.elapsed());
+        let deviance = reduced.deviance;
+        beta = reduced.solve()?;
         // Gaussian/identity is exact in one step.
         if family == Family::Gaussian {
             // One more pass for the final deviance at the solution.
             let final_dev: f64 = x
                 .zip_map(y, |_, xp, yp| {
-                    accumulate_partition(xp, yp, &beta, family, opts.add_intercept).2
+                    deviance_rows(
+                        &xp.data,
+                        &yp.data,
+                        xp.ncol,
+                        &beta,
+                        family,
+                        opts.add_intercept,
+                    )
                 })?
                 .into_iter()
                 .sum();
             iter_span.record("deviance", final_dev);
             vdr_obs::observe("ml.glm.deviance", final_dev);
+            vdr_obs::gauge("ml.train.deviance", final_dev);
             fit_span.record("iterations", iterations);
             return Ok(GlmModel {
                 coefficients: beta,
@@ -217,10 +546,12 @@ pub fn hpdglm(x: &DArray, y: &DArray, family: Family, opts: &GlmOptions) -> Resu
         }
         let rel = (deviance - last_deviance).abs() / (deviance.abs() + 0.1);
         // The per-iteration objective trace: exact values on the span,
-        // iteration counts and magnitudes in the histogram.
+        // iteration counts and magnitudes in the histogram, the latest
+        // value on the gauge.
         iter_span.record("deviance", deviance);
         iter_span.record("delta", rel);
         vdr_obs::observe("ml.glm.deviance", deviance);
+        vdr_obs::gauge("ml.train.deviance", deviance);
         if rel < opts.tolerance {
             converged = true;
             last_deviance = deviance;
@@ -237,6 +568,103 @@ pub fn hpdglm(x: &DArray, y: &DArray, family: Family, opts: &GlmOptions) -> Resu
             deviance: last_deviance,
         });
     }
+    Ok(GlmModel {
+        coefficients: beta,
+        intercept: opts.add_intercept,
+        family,
+        deviance: last_deviance,
+        iterations,
+        converged,
+    })
+}
+
+/// The [`GlmSolver::Sgd`] path: per-worker sequential minibatch passes with
+/// row-weighted model averaging per epoch. Returns the model after `epochs`
+/// passes (or earlier if the deviance trace settles below the tolerance) —
+/// unlike IRLS it never fails with `NoConvergence`, matching its role as a
+/// best-effort streaming solver.
+#[allow(clippy::too_many_arguments)]
+fn hpdglm_sgd(
+    x: &DArray,
+    y: &DArray,
+    family: Family,
+    opts: &GlmOptions,
+    mut beta: Vec<f64>,
+    learning_rate: f64,
+    epochs: usize,
+    minibatch: usize,
+) -> Result<GlmModel> {
+    if learning_rate <= 0.0 || epochs == 0 {
+        return Err(MlError::Invalid(
+            "sgd needs learning_rate > 0 and epochs > 0".into(),
+        ));
+    }
+    let p = beta.len();
+    let mut fit_span = vdr_obs::span("ml.glm.fit");
+    fit_span.record("family", family.name());
+    fit_span.record("solver", "sgd");
+    fit_span.record("p", p);
+    let mut last_deviance = f64::INFINITY;
+    let mut iterations = 0usize;
+    let mut converged = false;
+    for epoch in 1..=epochs {
+        iterations = epoch;
+        let mut iter_span = vdr_obs::span("ml.glm.iteration");
+        iter_span.record("iter", epoch);
+        let step = learning_rate / (epoch as f64).sqrt();
+        let pass_start = std::time::Instant::now();
+        let locals: Vec<(Vec<f64>, u64)> = x.zip_map(y, |_, xp, yp| {
+            (
+                sgd_rows(
+                    &xp.data,
+                    &yp.data,
+                    xp.ncol,
+                    &beta,
+                    family,
+                    opts.add_intercept,
+                    step,
+                    minibatch,
+                ),
+                xp.nrow as u64,
+            )
+        })?;
+        // Row-weighted model averaging across workers.
+        let mut avg = vec![0.0; p];
+        let mut rows = 0u64;
+        for (local, nrow) in &locals {
+            axpy(*nrow as f64, local, &mut avg);
+            rows += nrow;
+        }
+        for a in avg.iter_mut() {
+            *a /= rows.max(1) as f64;
+        }
+        beta = avg;
+        observe_pass(rows, pass_start.elapsed());
+        let deviance: f64 = x
+            .zip_map(y, |_, xp, yp| {
+                deviance_rows(
+                    &xp.data,
+                    &yp.data,
+                    xp.ncol,
+                    &beta,
+                    family,
+                    opts.add_intercept,
+                )
+            })?
+            .into_iter()
+            .sum();
+        iter_span.record("deviance", deviance);
+        vdr_obs::observe("ml.glm.deviance", deviance);
+        vdr_obs::gauge("ml.train.deviance", deviance);
+        let rel = (deviance - last_deviance).abs() / (deviance.abs() + 0.1);
+        last_deviance = deviance;
+        if rel < opts.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    fit_span.record("iterations", iterations);
+    fit_span.record("converged", converged);
     Ok(GlmModel {
         coefficients: beta,
         intercept: opts.add_intercept,
@@ -434,5 +862,108 @@ mod tests {
         let m = hpdglm(&x, &y, Family::Gaussian, &GlmOptions::default()).unwrap();
         assert!((m.coefficients[0] - 10.0).abs() < 1e-9);
         assert!((m.coefficients[1] + 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_accumulator_matches_rowwise_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(nrow, d, intercept) in &[(1usize, 3usize, true), (255, 5, true), (700, 8, false)] {
+            let x: Vec<f64> = (0..nrow * d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let y: Vec<f64> = (0..nrow).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let p = d + usize::from(intercept);
+            let beta: Vec<f64> = (0..p).map(|_| rng.gen_range(-0.5..0.5)).collect();
+            for family in [Family::Gaussian, Family::Binomial, Family::Poisson] {
+                let blocked = accumulate_rows(&x, &y, d, &beta, family, intercept);
+                let rowwise = accumulate_rows_reference(&x, &y, d, &beta, family, intercept);
+                assert_eq!(blocked.rows, rowwise.rows);
+                let scale = rowwise.deviance.abs().max(1.0);
+                assert!((blocked.deviance - rowwise.deviance).abs() < 1e-9 * scale);
+                for (a, b) in blocked.xtwx.data.iter().zip(&rowwise.xtwx.data) {
+                    assert!((a - b).abs() < 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+                }
+                for (a, b) in blocked.xtwz.iter().zip(&rowwise.xtwz) {
+                    assert!((a - b).abs() < 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_parallel_accumulation_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (nrow, d) = (1500usize, 4usize);
+        let xd: Vec<f64> = (0..nrow * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let yd: Vec<f64> = (0..nrow).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let xp = vdr_distr::PartData::new(nrow, d, xd).unwrap();
+        let yp = vdr_distr::PartData::new(nrow, 1, yd).unwrap();
+        let beta = vec![0.1; d + 1];
+        let a = accumulate_partition(&xp, &yp, &beta, Family::Gaussian, true, 4);
+        let b = accumulate_partition(&xp, &yp, &beta, Family::Gaussian, true, 4);
+        assert_eq!(a.xtwx.data, b.xtwx.data, "same lanes ⇒ bit-identical");
+        assert_eq!(a.xtwz, b.xtwz);
+        assert_eq!(a.deviance, b.deviance);
+        // And close to the single-lane result (different summation order).
+        let serial = accumulate_partition(&xp, &yp, &beta, Family::Gaussian, true, 1);
+        for (p, q) in a.xtwx.data.iter().zip(&serial.xtwx.data) {
+            assert!((p - q).abs() < 1e-9 * q.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn sgd_solver_approximates_gaussian_fit() {
+        let dr = runtime(2);
+        let (x, y) = dataset(&dr, 4, 800, 2, |_, f| 1.0 + 2.0 * f[0] - 3.0 * f[1]);
+        let opts = GlmOptions {
+            solver: GlmSolver::Sgd {
+                learning_rate: 0.3,
+                epochs: 60,
+                minibatch: 64,
+            },
+            ..Default::default()
+        };
+        let m = hpdglm(&x, &y, Family::Gaussian, &opts).unwrap();
+        let expect = [1.0, 2.0, -3.0];
+        for (c, e) in m.coefficients.iter().zip(expect) {
+            assert!((c - e).abs() < 0.1, "{:?}", m.coefficients);
+        }
+        // Deterministic: the epoch/minibatch schedule has no randomness.
+        let m2 = hpdglm(&x, &y, Family::Gaussian, &opts).unwrap();
+        assert_eq!(m.coefficients, m2.coefficients);
+    }
+
+    #[test]
+    fn sgd_solver_separates_classes() {
+        let dr = runtime(2);
+        let (x, y) = dataset(&dr, 2, 2000, 1, |rng, f| {
+            let p = 1.0 / (1.0 + (-(2.0 * f[0])).exp());
+            f64::from(rng.gen_range(0.0..1.0) < p)
+        });
+        let opts = GlmOptions {
+            solver: GlmSolver::Sgd {
+                learning_rate: 0.5,
+                epochs: 40,
+                minibatch: 128,
+            },
+            ..Default::default()
+        };
+        let m = hpdglm(&x, &y, Family::Binomial, &opts).unwrap();
+        assert!(m.coefficients[1] > 1.0, "{:?}", m.coefficients);
+        assert!(m.predict(&[2.0]) > 0.8);
+        assert!(m.predict(&[-2.0]) < 0.2);
+    }
+
+    #[test]
+    fn sgd_rejects_bad_hyperparameters() {
+        let dr = runtime(1);
+        let (x, y) = dataset(&dr, 1, 50, 1, |_, f| f[0]);
+        let opts = GlmOptions {
+            solver: GlmSolver::Sgd {
+                learning_rate: 0.0,
+                epochs: 5,
+                minibatch: 32,
+            },
+            ..Default::default()
+        };
+        assert!(hpdglm(&x, &y, Family::Gaussian, &opts).is_err());
     }
 }

@@ -24,6 +24,198 @@ fn block_rows(cols: &[&[f64]]) -> usize {
     cols.first().map_or(0, |c| c.len())
 }
 
+/// Nearest-center scoring over a column-major block, shared by the
+/// `KmeansPredict` UDx path ([`KmeansModel::assign_batch`]) and the training
+/// assignment pass (`kmeans::assign_partial`). For each center the partial
+/// distance `‖c‖² − 2·x·c` is built with one [`axpy`] per feature column
+/// (`‖x‖²` is constant per row, so the argmin doesn't need it); ties keep
+/// the lower center index via the strict `<`. On return `best[i]` holds the
+/// winning center index and `best_score[i]` its partial distance; `score`
+/// is caller-provided scratch, all three sliced to the block's row count.
+pub(crate) fn nearest_centers(
+    cols: &[&[f64]],
+    centers: &[&[f64]],
+    best: &mut [usize],
+    best_score: &mut [f64],
+    score: &mut [f64],
+) {
+    best.fill(0);
+    best_score.fill(f64::INFINITY);
+    for (ci, center) in centers.iter().enumerate() {
+        let center_norm = dot(center, center);
+        score.iter_mut().for_each(|s| *s = center_norm);
+        for (col, &cj) in cols.iter().zip(center.iter()) {
+            axpy(-2.0 * cj, col, score);
+        }
+        for i in 0..best.len() {
+            if score[i] < best_score[i] {
+                best_score[i] = score[i];
+                best[i] = ci;
+            }
+        }
+    }
+}
+
+/// Four dot products of one row against four consecutive center rows,
+/// accumulated in registers: the row element is loaded once per group of
+/// four centers instead of once per center.
+#[inline]
+fn dot4(row: &[f64], c0: &[f64], c1: &[f64], c2: &[f64], c3: &[f64]) -> [f64; 4] {
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (j, &x) in row.iter().enumerate() {
+        a0 += x * c0[j];
+        a1 += x * c1[j];
+        a2 += x * c2[j];
+        a3 += x * c3[j];
+    }
+    [a0, a1, a2, a3]
+}
+
+/// Dot products of two rows against one center, 4-wide unrolled per row:
+/// eight independent accumulator chains, so the multiply/add chains of one
+/// row hide the add latency of the other — a single row's four chains leave
+/// the FPU idle between dependent adds.
+#[inline]
+fn dot_2x(a: &[f64], b: &[f64], c: &[f64]) -> (f64, f64) {
+    let n = c.len();
+    let (a, b) = (&a[..n], &b[..n]);
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut b0, mut b1, mut b2, mut b3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut i = 0;
+    while i + 4 <= n {
+        a0 += a[i] * c[i];
+        a1 += a[i + 1] * c[i + 1];
+        a2 += a[i + 2] * c[i + 2];
+        a3 += a[i + 3] * c[i + 3];
+        b0 += b[i] * c[i];
+        b1 += b[i + 1] * c[i + 1];
+        b2 += b[i + 2] * c[i + 2];
+        b3 += b[i + 3] * c[i + 3];
+        i += 4;
+    }
+    let (mut ta, mut tb) = (0.0, 0.0);
+    while i < n {
+        ta += a[i] * c[i];
+        tb += b[i] * c[i];
+        i += 1;
+    }
+    ((a0 + a1) + (a2 + a3) + ta, (b0 + b1) + (b2 + b3) + tb)
+}
+
+/// Nearest-center scorer for *row-major* points against a flat `k×d` center
+/// buffer — the training-side counterpart of [`nearest_centers`] (the
+/// transfer/training paths hold row-major matrices, so transposing every
+/// data tile just to reuse the columnar kernel costs more than it saves).
+/// Scoring uses the same `‖c‖² − 2·x·c` decomposition, with `‖c‖²` built
+/// once at construction and amortized over the whole partition pass.
+pub(crate) struct RowScorer<'a> {
+    /// `k×d` row-major centers.
+    centers: &'a [f64],
+    /// `‖c‖²` per center.
+    norms: Vec<f64>,
+    d: usize,
+}
+
+/// Past this row width the transposed score sweep outruns the 4-center
+/// register block: each row element becomes one contiguous `k`-wide [`axpy`]
+/// over the score vector, which the compiler vectorizes, while the block
+/// path's strided center reads pin it to scalar code.
+const WIDE_ROW_DIM: usize = 16;
+
+impl<'a> RowScorer<'a> {
+    pub fn new(centers: &'a [f64], d: usize) -> Self {
+        let norms = centers.chunks_exact(d.max(1)).map(|c| dot(c, c)).collect();
+        RowScorer { centers, norms, d }
+    }
+
+    /// Nearest center for one row: `(center, ‖x−c‖²)`, the distance
+    /// reassembled as `‖x‖² + score` and clamped at zero against
+    /// cancellation. Ties keep the lower center index via the strict `<`.
+    pub fn nearest(&self, row: &[f64]) -> (usize, f64) {
+        let d = self.d;
+        let k = self.norms.len();
+        let mut best = 0usize;
+        let mut best_s = f64::INFINITY;
+        if d >= WIDE_ROW_DIM {
+            for (c, center) in self.centers.chunks_exact(d).enumerate() {
+                let s = crate::linalg::squared_distance(row, center);
+                if s < best_s {
+                    best_s = s;
+                    best = c;
+                }
+            }
+            return (best, best_s);
+        } else {
+            // Narrow rows: four centers per sweep with register
+            // accumulators — the row element is loaded once per block of
+            // four instead of once per center, and short rows never repay
+            // the per-element sweep setup of the wide path.
+            let mut c = 0usize;
+            while c + 4 <= k {
+                let base = c * d;
+                let a = dot4(
+                    row,
+                    &self.centers[base..base + d],
+                    &self.centers[base + d..base + 2 * d],
+                    &self.centers[base + 2 * d..base + 3 * d],
+                    &self.centers[base + 3 * d..base + 4 * d],
+                );
+                for (i, &ai) in a.iter().enumerate() {
+                    let s = self.norms[c + i] - 2.0 * ai;
+                    if s < best_s {
+                        best_s = s;
+                        best = c + i;
+                    }
+                }
+                c += 4;
+            }
+            while c < k {
+                let s = self.norms[c] - 2.0 * dot(row, &self.centers[c * d..(c + 1) * d]);
+                if s < best_s {
+                    best_s = s;
+                    best = c;
+                }
+                c += 1;
+            }
+        }
+        (best, (dot(row, row) + best_s).max(0.0))
+    }
+
+    /// Nearest centers for a pair of rows. On the wide path the two rows
+    /// share each center sweep ([`dot_2x`] under the `‖c‖² − 2·x·c`
+    /// decomposition): the center stripe is loaded once for both rows and
+    /// the eight accumulator chains keep the FPU busy where four dependent
+    /// chains stall between adds. Narrow rows just score independently —
+    /// the 4-center block already has the ILP.
+    #[allow(clippy::type_complexity)]
+    pub fn nearest2(&self, row_a: &[f64], row_b: &[f64]) -> ((usize, f64), (usize, f64)) {
+        if self.d < WIDE_ROW_DIM {
+            return (self.nearest(row_a), self.nearest(row_b));
+        }
+        let d = self.d;
+        let (mut best_a, mut best_sa) = (0usize, f64::INFINITY);
+        let (mut best_b, mut best_sb) = (0usize, f64::INFINITY);
+        for ((c, center), &cn) in self.centers.chunks_exact(d).enumerate().zip(&self.norms) {
+            let (da, db) = dot_2x(row_a, row_b, center);
+            let (sa, sb) = (cn - 2.0 * da, cn - 2.0 * db);
+            if sa < best_sa {
+                best_sa = sa;
+                best_a = c;
+            }
+            if sb < best_sb {
+                best_sb = sb;
+                best_b = c;
+            }
+        }
+        let na = dot(row_a, row_a);
+        let nb = dot(row_b, row_b);
+        (
+            (best_a, (na + best_sa).max(0.0)),
+            (best_b, (nb + best_sb).max(0.0)),
+        )
+    }
+}
+
 impl GlmModel {
     /// Linear predictor for a block of rows, as a column-major gemv: start
     /// from the intercept, then accumulate `coef[j] * cols[j][..]` into the
@@ -71,21 +263,10 @@ impl KmeansModel {
         if rows == 0 || self.centers.is_empty() {
             return best;
         }
+        let crefs: Vec<&[f64]> = self.centers.iter().map(Vec::as_slice).collect();
         let mut best_score = vec![f64::INFINITY; rows];
         let mut score = vec![0.0f64; rows];
-        for (ci, center) in self.centers.iter().enumerate() {
-            let center_norm = dot(center, center);
-            score.iter_mut().for_each(|s| *s = center_norm);
-            for (col, &cj) in cols.iter().zip(center) {
-                axpy(-2.0 * cj, col, &mut score);
-            }
-            for i in 0..rows {
-                if score[i] < best_score[i] {
-                    best_score[i] = score[i];
-                    best[i] = ci;
-                }
-            }
-        }
+        nearest_centers(cols, &crefs, &mut best, &mut best_score, &mut score);
         best
     }
 }

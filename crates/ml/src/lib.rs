@@ -33,13 +33,14 @@ pub mod kmeans;
 pub mod linalg;
 pub mod models;
 pub mod pagerank;
+pub mod reduce;
 pub mod rf;
 pub mod serial;
 
 pub use cv::{cv_hpdglm, CvResult};
 pub use error::{MlError, Result};
-pub use glm::{hpdglm, Family, GlmOptions};
-pub use kmeans::{hpdkmeans, KmeansInit, KmeansOptions};
+pub use glm::{hpdglm, Family, GlmOptions, GlmPartials, GlmSolver};
+pub use kmeans::{hpdkmeans, KmeansInit, KmeansOptions, KmeansPartial};
 pub use models::{GlmModel, KmeansModel, RandomForestModel};
 pub use pagerank::{hpdpagerank, PageRankOptions, PageRankResult};
 pub use rf::{hpdrf, RfOptions};

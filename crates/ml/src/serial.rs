@@ -30,23 +30,17 @@ pub fn serial_kmeans(
     while picked.len() < k {
         picked.insert(rng.gen_range(0..n));
     }
-    let mut centers: Vec<Vec<f64>> = picked
-        .into_iter()
-        .map(|r| data[r * d..(r + 1) * d].to_vec())
-        .collect();
+    // Contiguous k×d center buffer, same as the distributed version.
+    let mut centers: Vec<f64> = Vec::with_capacity(k * d);
+    for r in picked {
+        centers.extend_from_slice(&data[r * d..(r + 1) * d]);
+    }
     let mut iterations = 0;
     let mut wss = f64::INFINITY;
     while iterations < max_iterations {
         iterations += 1;
-        let partial = assign_partial(data, d, &centers);
-        let merged = merge_partials(
-            partial,
-            &crate::kmeans::KmeansPartial {
-                sums: vec![0.0; k * d],
-                counts: vec![0; k],
-                wss: 0.0,
-            },
-        );
+        let mut merged = assign_partial(data, d, &centers);
+        merge_partials(&mut merged, &crate::kmeans::KmeansPartial::zeros(k, d));
         let mut moved = 0.0;
         for c in 0..k {
             if merged.counts[c] == 0 {
@@ -57,8 +51,8 @@ pub fn serial_kmeans(
                 .iter()
                 .map(|s| s / count)
                 .collect();
-            moved += squared_distance(&center, &centers[c]);
-            centers[c] = center;
+            moved += squared_distance(&center, &centers[c * d..(c + 1) * d]);
+            centers[c * d..(c + 1) * d].copy_from_slice(&center);
         }
         wss = merged.wss;
         if moved <= 1e-9 {
@@ -66,7 +60,7 @@ pub fn serial_kmeans(
         }
     }
     Ok(KmeansModel {
-        centers,
+        centers: centers.chunks_exact(d).map(<[f64]>::to_vec).collect(),
         iterations,
         total_withinss: wss,
     })

@@ -78,7 +78,7 @@ pub fn spark_kmeans(
 pub fn spark_kmeans_with_centers(
     cluster: &SimCluster,
     matrix: &SparkMatrix,
-    mut centers: Vec<Vec<f64>>,
+    centers: Vec<Vec<f64>>,
     max_iterations: usize,
 ) -> Result<KmeansModel> {
     let d = matrix.cols;
@@ -86,15 +86,15 @@ pub fn spark_kmeans_with_centers(
     if k == 0 {
         return Err(MlError::Invalid("no initial centers".into()));
     }
+    // Same contiguous k×d center buffer as the Distributed R side.
+    let mut centers: Vec<f64> = centers.into_iter().flatten().collect();
     let mut iterations = 0usize;
     let mut wss = f64::INFINITY;
     while iterations < max_iterations {
         iterations += 1;
         let partials: Vec<KmeansPartial> =
             matrix.map_partitions(cluster, |part| assign_partial(&part.data, d, &centers));
-        let merged = partials
-            .into_iter()
-            .reduce(|a, b| merge_partials(a, &b))
+        let merged = vdr_ml::reduce::tree_merge(partials, |a, b| merge_partials(a, &b))
             .ok_or_else(|| MlError::Invalid("matrix has no partitions".into()))?;
         let mut moved = 0.0;
         for c in 0..k {
@@ -106,8 +106,8 @@ pub fn spark_kmeans_with_centers(
                 .iter()
                 .map(|s| s / count)
                 .collect();
-            moved += vdr_ml::linalg::squared_distance(&center, &centers[c]);
-            centers[c] = center;
+            moved += vdr_ml::linalg::squared_distance(&center, &centers[c * d..(c + 1) * d]);
+            centers[c * d..(c + 1) * d].copy_from_slice(&center);
         }
         wss = merged.wss;
         if moved <= 1e-9 {
@@ -115,7 +115,7 @@ pub fn spark_kmeans_with_centers(
         }
     }
     Ok(KmeansModel {
-        centers,
+        centers: centers.chunks_exact(d).map(<[f64]>::to_vec).collect(),
         iterations,
         total_withinss: wss,
     })
@@ -176,7 +176,7 @@ mod tests {
         let init = vec![vec![1.0, 1.0], vec![10.0, 10.0], vec![-10.0, 10.0]];
         let spark = spark_kmeans_with_centers(&cluster, &m, init.clone(), 30).unwrap();
         // Serial reference: run Lloyd by hand with the shared kernel.
-        let mut centers = init;
+        let mut centers: Vec<f64> = init.into_iter().flatten().collect();
         for _ in 0..30 {
             let p = assign_partial(&data, 2, &centers);
             let mut moved = 0.0;
@@ -189,14 +189,14 @@ mod tests {
                     .iter()
                     .map(|s| s / count)
                     .collect();
-                moved += vdr_ml::linalg::squared_distance(&nc, &centers[c]);
-                centers[c] = nc;
+                moved += vdr_ml::linalg::squared_distance(&nc, &centers[c * 2..(c + 1) * 2]);
+                centers[c * 2..(c + 1) * 2].copy_from_slice(&nc);
             }
             if moved <= 1e-9 {
                 break;
             }
         }
-        for (a, b) in spark.centers.iter().zip(&centers) {
+        for (a, b) in spark.centers.iter().zip(centers.chunks_exact(2)) {
             for (x, y) in a.iter().zip(b) {
                 assert!((x - y).abs() < 1e-9, "{:?} vs {centers:?}", spark.centers);
             }

@@ -26,13 +26,15 @@ pub mod local;
 pub mod model;
 pub mod odbc;
 pub mod report;
+pub mod train;
 pub mod vft;
 
 pub use local::LocalLoader;
 pub use model::{ClusterShape, TableShape};
 pub use odbc::{OdbcConnection, OdbcLoader};
 pub use report::TransferReport;
-pub use vft::{install_export_function, FastTransfer, TransferPolicy};
+pub use train::{glm_while_loading, kmeans_while_loading, GlmLoadFit, KmeansLoadFit};
+pub use vft::{install_export_function, BatchObserver, FastTransfer, TransferPolicy};
 
 use vdr_verticadb::{DbError, Result};
 

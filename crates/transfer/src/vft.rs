@@ -146,6 +146,19 @@ impl ExportHub {
 
 // ------------------------------------------------------- framing / receive
 
+/// Callback invoked inside a worker's receive pool immediately after each
+/// frame decodes — while the export query may still be producing. Arguments
+/// are `(worker, source node, source instance, batch)`. This is the
+/// train-while-loading hook (see [`crate::train`]): per-batch statistics
+/// folded here overlap the database-side export instead of running after
+/// it. Runs on pool threads, so it must be `Send + Sync`; keep per-call work
+/// proportional to the batch or it will stall the decode loop.
+pub type BatchObserver = Arc<dyn Fn(usize, u64, u64, &Batch) + Send + Sync>;
+
+/// Node-local flavor used inside the receive path: `(frame_seq, decode_ns,
+/// batch)` for one stream, with the partition index already bound.
+type FrameObserver<'a> = &'a dyn Fn(u64, u64, &Batch);
+
 /// Reference framing from the staged-era path: copy the block behind a
 /// length header into one buffer. The live sender now ships header and block
 /// as two chunks instead; tests keep this as the known-good oracle.
@@ -296,6 +309,9 @@ impl FrameAssembler {
 struct RecvWall {
     wait_ns: u64,
     decode_ns: u64,
+    /// Time spent inside a [`BatchObserver`] (kept out of `decode_ns` so the
+    /// decode metrics stay comparable whether or not an observer is set).
+    observe_ns: u64,
     frames: u64,
 }
 
@@ -303,6 +319,7 @@ impl RecvWall {
     fn absorb(&mut self, other: RecvWall) {
         self.wait_ns += other.wait_ns;
         self.decode_ns += other.decode_ns;
+        self.observe_ns += other.observe_ns;
         self.frames += other.frames;
     }
 }
@@ -320,6 +337,7 @@ struct ReceivedStream {
 /// spot, charging the decode to `r_rec` so the `vft r` phase accounts for
 /// all conversion cpu. Staged bytes are released when the stream ends —
 /// including on error, so a failed stream leaves nothing behind.
+#[allow(clippy::too_many_arguments)]
 fn receive_stream(
     shm: &SharedMem,
     key: &str,
@@ -328,8 +346,9 @@ fn receive_stream(
     node: NodeId,
     convert_cost: f64,
     wall: &mut RecvWall,
+    observer: Option<FrameObserver>,
 ) -> Result<(u64, u64, Vec<Batch>)> {
-    let out = drain_stream(shm, key, rx, r_rec, node, convert_cost, wall);
+    let out = drain_stream(shm, key, rx, r_rec, node, convert_cost, wall, observer);
     if out.is_err() {
         // Best effort: free whatever the failed stream had staged.
         let _ = shm.take_bytes(key);
@@ -337,6 +356,7 @@ fn receive_stream(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drain_stream(
     shm: &SharedMem,
     key: &str,
@@ -345,6 +365,7 @@ fn drain_stream(
     node: NodeId,
     convert_cost: f64,
     wall: &mut RecvWall,
+    observer: Option<FrameObserver>,
 ) -> Result<(u64, u64, Vec<Batch>)> {
     let mut asm = FrameAssembler::default();
     let mut batches = Vec::new();
@@ -356,13 +377,23 @@ fn drain_stream(
             .map_err(DbError::from)?;
         let decoding = Instant::now();
         asm.push(chunk);
+        let mut observed = 0u64;
         while let Some(frame) = asm.next_frame() {
             let batch = decode_batch(&frame)?;
             r_rec.cpu_work(node, batch.num_values() as f64, convert_cost);
             wall.frames += 1;
+            if let Some(obs) = observer {
+                // The 16-byte stream header parses before the first frame,
+                // so the exporting (node, instance) identity is known here.
+                let (src, inst) = asm.header.expect("header precedes frames");
+                let t = Instant::now();
+                obs(src, inst, &batch);
+                observed += t.elapsed().as_nanos() as u64;
+            }
             batches.push(batch);
         }
-        wall.decode_ns += decoding.elapsed().as_nanos() as u64;
+        wall.observe_ns += observed;
+        wall.decode_ns += (decoding.elapsed().as_nanos() as u64).saturating_sub(observed);
     }
     let header = asm.finish()?;
     // Every frame is decoded; the staged file has served its purpose.
@@ -582,6 +613,49 @@ impl FastTransfer {
         ledger: &vdr_cluster::Ledger,
         psize: Option<u64>,
     ) -> Result<(DArray, TransferReport)> {
+        self.db2darray_inner(db, dr, table, features, policy, ledger, psize, None)
+    }
+
+    /// `db2darray` with a per-batch [`BatchObserver`]: the callback runs
+    /// inside the worker receive pools on every decoded block, while the
+    /// export query is still producing. This is the train-while-loading
+    /// entry point — [`crate::train`] uses it to fold iteration-0 model
+    /// statistics into accumulators during the transfer itself.
+    #[allow(clippy::too_many_arguments)]
+    pub fn db2darray_observed(
+        &self,
+        db: &VerticaDb,
+        dr: &DistributedR,
+        table: &str,
+        features: &[&str],
+        policy: TransferPolicy,
+        ledger: &vdr_cluster::Ledger,
+        observer: BatchObserver,
+    ) -> Result<(DArray, TransferReport)> {
+        self.db2darray_inner(
+            db,
+            dr,
+            table,
+            features,
+            policy,
+            ledger,
+            None,
+            Some(&observer),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn db2darray_inner(
+        &self,
+        db: &VerticaDb,
+        dr: &DistributedR,
+        table: &str,
+        features: &[&str],
+        policy: TransferPolicy,
+        ledger: &vdr_cluster::Ledger,
+        psize: Option<u64>,
+        observer: Option<&BatchObserver>,
+    ) -> Result<(DArray, TransferReport)> {
         let def = db.catalog().get(table)?;
         check_features(&def.schema, features)?;
         // A transfer issues its export via `query_with` (not the tracked
@@ -601,8 +675,9 @@ impl FastTransfer {
         // pools charge decode work to it while the export is still
         // producing (that's the pipelining).
         let r_rec = PhaseRecorder::new("vft r", PhaseKind::Sequential, db.cluster().num_nodes());
-        let (received, db_time, _wall) =
-            self.run_transfer(db, dr, table, features, policy, ledger, psize, &r_rec)?;
+        let (received, db_time, _wall) = self.run_transfer(
+            db, dr, table, features, policy, ledger, psize, &r_rec, observer,
+        )?;
 
         // Assembly: each worker turns its decoded blocks into one darray
         // partition ("the in-memory files are converted into R objects and
@@ -702,7 +777,7 @@ impl FastTransfer {
 
         let r_rec = PhaseRecorder::new("vft r", PhaseKind::Sequential, db.cluster().num_nodes());
         let (received, db_time, _wall) =
-            self.run_transfer(db, dr, table, columns, policy, ledger, None, &r_rec)?;
+            self.run_transfer(db, dr, table, columns, policy, ledger, None, &r_rec, None)?;
 
         let frame = dr
             .dframe(dr.num_workers())
@@ -788,6 +863,7 @@ impl FastTransfer {
         ledger: &vdr_cluster::Ledger,
         psize_override: Option<u64>,
         r_rec: &PhaseRecorder,
+        observer: Option<&BatchObserver>,
     ) -> Result<(Vec<Vec<ReceivedStream>>, vdr_cluster::SimDuration, RecvWall)> {
         let transfer = self.hub.next_transfer.fetch_add(1, Ordering::Relaxed);
         let nworkers = dr.num_workers();
@@ -832,6 +908,7 @@ impl FastTransfer {
                     .enumerate()
                     .map(|(w, accept)| {
                         let node = db.cluster().node(dr.worker_node(w)).clone();
+                        let observer = observer.map(Arc::clone);
                         scope.spawn(move || -> Result<(Vec<ReceivedStream>, RecvWall)> {
                             // The worker's receive pool: accept streams and
                             // decode their frames as the bytes arrive, so
@@ -847,6 +924,10 @@ impl FastTransfer {
                                 vdr_obs::detail_span_with_parent("vft.receive", pool_parent);
                             pool_span.record("worker", w);
                             r_rec.set_lanes(node_id, dr.workers()[w].instances);
+                            // Bind the worker index once; streams then only
+                            // see the `(src, inst, batch)` part.
+                            let worker_obs = observer
+                                .map(|o| move |src: u64, inst: u64, b: &Batch| o(w, src, inst, b));
                             let mut wall = RecvWall::default();
                             let mut streams: Vec<ReceivedStream> = Vec::new();
                             let mut idx = 0usize;
@@ -864,6 +945,7 @@ impl FastTransfer {
                                     node_id,
                                     convert_cost,
                                     &mut wall,
+                                    worker_obs.as_ref().map(|f| f as &dyn Fn(u64, u64, &Batch)),
                                 ) {
                                     Ok(decoded) => decoded,
                                     Err(e) => {
@@ -882,6 +964,13 @@ impl FastTransfer {
                             streams.sort_by_key(|s| (s.src, s.inst));
                             vdr_obs::counter_on("vft.receive.wait_ns", node_id.0, wall.wait_ns);
                             vdr_obs::counter_on("vft.receive.decode_ns", node_id.0, wall.decode_ns);
+                            if wall.observe_ns > 0 {
+                                vdr_obs::counter_on(
+                                    "vft.receive.observe_ns",
+                                    node_id.0,
+                                    wall.observe_ns,
+                                );
+                            }
                             vdr_obs::counter_on("vft.receive.frames", node_id.0, wall.frames);
                             vdr_obs::observe_on(
                                 "vft.receive.stream_decode_ms",
@@ -1381,7 +1470,8 @@ mod tests {
             .unwrap();
         tx.send(Bytes::from(vec![0u8; 16])).unwrap();
         drop(tx);
-        let err = receive_stream(&tiny, "s", &rx, &r_rec, NodeId(1), 1.0, &mut wall).unwrap_err();
+        let err =
+            receive_stream(&tiny, "s", &rx, &r_rec, NodeId(1), 1.0, &mut wall, None).unwrap_err();
         assert!(err.to_string().contains("exhausted"), "{err}");
         assert_eq!(tiny.used_bytes(), 0, "failed stream leaves nothing staged");
 
@@ -1397,7 +1487,8 @@ mod tests {
             .unwrap();
         tx.send(Bytes::from(vec![1u8, 2, 3])).unwrap();
         drop(tx);
-        let err = receive_stream(&shm, "s", &rx, &r_rec, NodeId(1), 1.0, &mut wall).unwrap_err();
+        let err =
+            receive_stream(&shm, "s", &rx, &r_rec, NodeId(1), 1.0, &mut wall, None).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
         assert_eq!(shm.used_bytes(), 0);
 
@@ -1408,7 +1499,8 @@ mod tests {
             .unwrap();
         tx.send(Bytes::from(vec![9u8; 5])).unwrap();
         drop(tx);
-        let err = receive_stream(&shm, "s", &rx, &r_rec, NodeId(1), 1.0, &mut wall).unwrap_err();
+        let err =
+            receive_stream(&shm, "s", &rx, &r_rec, NodeId(1), 1.0, &mut wall, None).unwrap_err();
         assert!(err.to_string().contains("header"), "{err}");
     }
 
