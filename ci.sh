@@ -69,6 +69,32 @@ for path in files:
 if bad:
     sys.exit("\n".join(bad))
 
+# The compressed-execution scenarios are load-bearing: each must be present
+# in BENCH_scan.json with both arms, per-run min/mean numbers, and an
+# encoded ("after") best-min that beats the decoded ("before") arm.
+scan = json.load(open("BENCH_scan.json"))
+for name in (
+    "scan_lowcard_rle_where_40k",
+    "scan_sorted_rle_where_40k",
+    "scan_dict_group_by_40k",
+):
+    entry = scan.get(name)
+    if not isinstance(entry, dict):
+        sys.exit(f"BENCH_scan.json: missing compressed-execution entry {name}")
+    for arm in ("before", "after"):
+        runs = entry.get(arm, {}).get("runs_ms")
+        if not isinstance(runs, list) or not runs:
+            sys.exit(f"BENCH_scan.json: {name}.{arm}.runs_ms missing or empty")
+        for run in runs:
+            if not ({"min", "mean"} <= set(run)):
+                sys.exit(f"BENCH_scan.json: {name}.{arm} run lacks min/mean")
+        if entry[arm].get("best_min_ms") != min(r["min"] for r in runs):
+            sys.exit(f"BENCH_scan.json: {name}.{arm}.best_min_ms != min of runs")
+    before, after = entry["before"]["best_min_ms"], entry["after"]["best_min_ms"]
+    if after >= before:
+        sys.exit(f"BENCH_scan.json: {name} encoded arm ({after}ms) does not beat decoded ({before}ms)")
+    print(f"    BENCH_scan.json: {name} {before}ms -> {after}ms ok")
+
 # BENCH_obs.json is a budget, not just a record: default-on (summary)
 # instrumentation must cost < 2% on the best-min statistic for every
 # measured hot path, or the observability layer has regressed.
@@ -169,6 +195,19 @@ if int(train["profile_train_rows"]) <= 0 or not train["profile_has_overlap_count
     sys.exit("PROFILE of the train run surfaced no ml.train.* rows")
 if not train["profile_all_rows_attributed"]:
     sys.exit("train PROFILE rows not all attributed to the train query id")
+enc = doc["encoded"]
+if int(enc["rows"]) <= 0 or int(enc["group_rows"]) <= 0:
+    sys.exit("compressed-execution smoke queries returned no rows")
+if float(enc["runs_skipped"]) <= 0:
+    sys.exit("scan.encoded.runs_skipped is zero: RLE predicate fell back to per-row evaluation")
+if float(enc["codes_tested"]) <= 0:
+    sys.exit("scan.encoded.codes_tested is zero: dictionary predicate did not test codes")
+if float(enc["late_materialized_rows"]) <= 0:
+    sys.exit("scan.encoded.late_materialized_rows is zero: survivors were not late-materialized")
+if int(enc["profile_encoded_rows"]) <= 0:
+    sys.exit("PROFILE of an encoded scan surfaced no scan.encoded.* counters")
+if not enc["profile_all_rows_attributed"]:
+    sys.exit("encoded-scan PROFILE rows not all attributed to the profiled query id")
 ts = doc["trace_stmt"]
 if int(ts["rows"]) <= 0 or int(ts["nodes"]) < 2:
     sys.exit("TRACE statement did not return spans from >= 2 nodes")
@@ -190,6 +229,9 @@ print(f"    vft: rows={vft['rows']} segment_rows={vft['segment_rows']} "
       f"queue_ms={vft['queue_ms']:.3f}")
 print(f"    train: query_id={train['query_id']} rows={train['rows']} "
       f"overlap_ns={train['overlap_ns']} profile_train_rows={train['profile_train_rows']}")
+print(f"    encoded: rows={enc['rows']} groups={enc['group_rows']} "
+      f"runs_skipped={enc['runs_skipped']} codes_tested={enc['codes_tested']} "
+      f"late_rows={enc['late_materialized_rows']} profile_rows={enc['profile_encoded_rows']}")
 print(f"    events_rows={doc['events_rows']} slow_rows={slow['rows']} "
       f"trace_stmt: rows={ts['rows']} nodes={ts['nodes']} "
       f"trace_file: events={tf['events']} max_nodes_one_query={tf['max_nodes_one_query']}")

@@ -1,5 +1,7 @@
-//! Scan-path micro-benchmarks: narrow projection over a wide table, and
-//! selective vs non-selective WHERE predicates.
+//! Scan-path micro-benchmarks: narrow projection over a wide table,
+//! selective vs non-selective WHERE predicates, and compressed execution
+//! over low-cardinality / sorted columns (RLE predicates, dictionary
+//! GROUP BY, late materialization).
 //!
 //! Uses only the public SQL surface so the identical file can be timed
 //! against older commits for A/B comparisons (see BENCH_scan.json).
@@ -50,9 +52,46 @@ fn load_wide(db: &VerticaDb) {
     }
 }
 
+/// A low-cardinality table: `grp` holds 16 sorted values in long runs (so
+/// it RLE-encodes), `tag` holds 8 distinct strings (so it
+/// dictionary-encodes), and `x`/`y` are per-row float payloads that stay
+/// Plain and must be late-materialized behind the predicates.
+fn load_lowcard(db: &VerticaDb) {
+    const TAGS: [&str; 8] = [
+        "alpha", "bravo", "delta", "echo", "golf", "hotel", "kilo", "lima",
+    ];
+    let schema = Schema::of(&[
+        ("grp", DataType::Int64),
+        ("tag", DataType::Varchar),
+        ("x", DataType::Float64),
+        ("y", DataType::Float64),
+    ]);
+    db.create_table(TableDef {
+        name: "lowcard".into(),
+        schema: schema.clone(),
+        segmentation: Segmentation::RoundRobin,
+    })
+    .unwrap();
+    let chunk = ROWS / BATCHES;
+    let run = ROWS / 16;
+    for b in 0..BATCHES {
+        let lo = b * chunk;
+        let hi = lo + chunk;
+        let cols = vec![
+            Column::from_i64((lo..hi).map(|i| (i / run) as i64).collect()),
+            Column::from_strings((lo..hi).map(|i| TAGS[(i / 5) % 8]).collect()),
+            Column::from_f64((lo..hi).map(|i| i as f64 * 0.5).collect()),
+            Column::from_f64((lo..hi).map(|i| (i % 97) as f64).collect()),
+        ];
+        db.copy("lowcard", vec![Batch::new(schema.clone(), cols).unwrap()])
+            .unwrap();
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let db = VerticaDb::new(SimCluster::for_tests(3));
     load_wide(&db);
+    load_lowcard(&db);
     let expected_sum = (0..ROWS).map(|i| i as f64).sum::<f64>();
 
     // Narrow projection: 1 of 17 columns referenced.
@@ -83,6 +122,46 @@ fn bench(c: &mut Criterion) {
                 .query("SELECT count(*) FROM wide WHERE c00 >= 0")
                 .unwrap();
             assert_eq!(out.batch.row(0)[0], Value::Int64(ROWS as i64));
+        })
+    });
+
+    // Low-cardinality RLE predicate with late materialization: the WHERE
+    // evaluates once per run on the encoded `grp`, then only the surviving
+    // 1/16th of `x` is expanded.
+    let run = ROWS / 16;
+    let expected_grp7: f64 = (7 * run..8 * run).map(|i| i as f64 * 0.5).sum();
+    c.bench_function("scan_lowcard_rle_where_40k", |b| {
+        b.iter(|| {
+            let out = db
+                .query("SELECT sum(x) FROM lowcard WHERE grp = 7")
+                .unwrap();
+            let Value::Float64(s) = out.batch.row(0)[0] else {
+                panic!("sum must be float");
+            };
+            assert!((s - expected_grp7).abs() < 1e-6 * expected_grp7);
+        })
+    });
+
+    // Sorted-column range predicate: `grp` is globally sorted, so the
+    // encoded comparison touches a handful of runs and count(*) needs no
+    // payload materialization at all.
+    c.bench_function("scan_sorted_rle_where_40k", |b| {
+        b.iter(|| {
+            let out = db
+                .query("SELECT count(*) FROM lowcard WHERE grp < 2")
+                .unwrap();
+            assert_eq!(out.batch.row(0)[0], Value::Int64((2 * run) as i64));
+        })
+    });
+
+    // Dictionary GROUP BY: grouping runs over the 8 dictionary codes with a
+    // dense per-code table instead of hashing 40k strings.
+    c.bench_function("scan_dict_group_by_40k", |b| {
+        b.iter(|| {
+            let out = db
+                .query("SELECT tag, count(*), sum(y) FROM lowcard GROUP BY tag")
+                .unwrap();
+            assert_eq!(out.batch.num_rows(), 8);
         })
     });
 }

@@ -5,8 +5,10 @@
 //! — non-empty system-table output, every profile row attributed to the
 //! profiled statement's query id, the transfer's `vft.*` counters visible
 //! through `v_monitor.metrics`, non-empty `v_monitor.events` /
-//! `v_monitor.slow_requests`, and a trace file whose spans cover ≥ 2 nodes
-//! under one query id. Human-readable extras (the latency percentile table)
+//! `v_monitor.slow_requests`, a trace file whose spans cover ≥ 2 nodes
+//! under one query id, and a compressed-execution scan whose
+//! `scan.encoded.*` counters prove predicates ran on RLE runs and
+//! dictionary codes. Human-readable extras (the latency percentile table)
 //! go to stderr so stdout stays pure JSON.
 
 use serde::Serialize;
@@ -94,6 +96,32 @@ struct SlowSummary {
     all_rows_attributed: bool,
 }
 
+/// One compressed-execution scan as seen by the monitor: a `PROFILE`d
+/// predicate over a low-cardinality table whose integer column RLE-encodes
+/// and whose varchar column dictionary-encodes, plus a dictionary GROUP BY.
+/// The `scan.encoded.*` counters are read back over SQL from
+/// `v_monitor.metrics`.
+#[derive(Serialize)]
+struct EncodedSummary {
+    /// Rows the filtered projection returned.
+    rows: usize,
+    /// Groups the dictionary GROUP BY returned.
+    group_rows: usize,
+    /// `scan.encoded.runs_skipped` — per-row comparisons the RLE kernel
+    /// avoided. > 0 proves the predicate ran without materializing the
+    /// plain column.
+    runs_skipped: f64,
+    /// `scan.encoded.codes_tested` — distinct dictionary codes compared.
+    codes_tested: f64,
+    /// `scan.encoded.late_materialized_rows` — survivor rows expanded from
+    /// encoded form after the filter.
+    late_materialized_rows: f64,
+    /// PROFILE rows for the encoded statement carrying `scan.encoded.*`
+    /// metrics.
+    profile_encoded_rows: usize,
+    profile_all_rows_attributed: bool,
+}
+
 #[derive(Serialize)]
 struct Smoke {
     metrics_rows: usize,
@@ -105,6 +133,7 @@ struct Smoke {
     trace_file: TraceFileSummary,
     events_rows: usize,
     slow: SlowSummary,
+    encoded: EncodedSummary,
 }
 
 fn main() {
@@ -352,6 +381,66 @@ fn main() {
         }
     }
 
+    // Compressed execution: a low-cardinality table whose integer column
+    // RLE-encodes (long sorted runs) and whose varchar column
+    // dictionary-encodes (three distinct values per node). The PROFILE'd
+    // predicate must evaluate on the encoded form — per run and per
+    // dictionary code — and late-materialize only the survivors.
+    db.query("CREATE TABLE lc (id INTEGER, grp INTEGER, x FLOAT, tag VARCHAR)")
+        .expect("create lc");
+    let mut values = Vec::new();
+    for i in 0..900i64 {
+        let tag = ["low", "mid", "high"][((i / 5) % 3) as usize];
+        values.push(format!("({i}, {}, {}.25, '{tag}')", i / 300, i % 5));
+    }
+    db.query(&format!("INSERT INTO lc VALUES {}", values.join(", ")))
+        .expect("load lc");
+    let enc_profile = db
+        .query("PROFILE SELECT id, x FROM lc WHERE grp = 1 AND tag <> 'low'")
+        .expect("profile encoded scan");
+    let mut profile_encoded_rows = 0usize;
+    let mut enc_attributed = true;
+    for r in 0..enc_profile.batch.num_rows() {
+        let row = enc_profile.batch.row(r);
+        if row[0] != Value::Int64(enc_profile.query_id as i64) {
+            enc_attributed = false;
+        }
+        if let Value::Varchar(name) = &row[2] {
+            if name.starts_with("scan.encoded.") {
+                profile_encoded_rows += 1;
+            }
+        }
+    }
+    let enc_rows = db
+        .query("SELECT id, x FROM lc WHERE grp = 1 AND tag <> 'low'")
+        .expect("encoded scan")
+        .batch
+        .num_rows();
+    let group_rows = db
+        .query("SELECT tag, count(*), avg(x) FROM lc GROUP BY tag")
+        .expect("dict group by")
+        .batch
+        .num_rows();
+    let em = session
+        .sql("SELECT name, kind, value FROM v_monitor.metrics")
+        .expect("metrics after encoded scan")
+        .batch;
+    let mut runs_skipped = 0.0;
+    let mut codes_tested = 0.0;
+    let mut late_materialized_rows = 0.0;
+    for r in 0..em.num_rows() {
+        let row = em.row(r);
+        let (Value::Varchar(name), Value::Float64(value)) = (&row[0], &row[2]) else {
+            continue;
+        };
+        match name.as_str() {
+            "scan.encoded.runs_skipped" => runs_skipped += value,
+            "scan.encoded.codes_tested" => codes_tested += value,
+            "scan.encoded.late_materialized_rows" => late_materialized_rows += value,
+            _ => {}
+        }
+    }
+
     // Human-readable percentile summary — stderr, so stdout stays JSON.
     let session_report = session.trace_report();
     if let Some(table) = session_report.percentile_table() {
@@ -404,6 +493,15 @@ fn main() {
         slow: SlowSummary {
             rows: slow.num_rows(),
             all_rows_attributed: slow_attributed,
+        },
+        encoded: EncodedSummary {
+            rows: enc_rows,
+            group_rows,
+            runs_skipped,
+            codes_tested,
+            late_materialized_rows,
+            profile_encoded_rows,
+            profile_all_rows_attributed: enc_attributed,
         },
     };
     println!("{}", serde_json::to_string_pretty(&doc).expect("json"));

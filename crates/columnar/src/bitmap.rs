@@ -113,6 +113,33 @@ impl Bitmap {
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
+    /// Set every bit in `[from, to)`, whole words at a time. This is what
+    /// lets an RLE predicate kernel fill a run's worth of selection mask in
+    /// O(run/64) instead of O(run).
+    pub fn set_range(&mut self, from: usize, to: usize) {
+        assert!(
+            from <= to && to <= self.len,
+            "bitmap range {from}..{to} out of range {}",
+            self.len
+        );
+        if from == to {
+            return;
+        }
+        let (fw, fb) = (from / 64, from % 64);
+        let (lw, lb) = ((to - 1) / 64, (to - 1) % 64);
+        let head = u64::MAX << fb;
+        let tail = u64::MAX >> (63 - lb);
+        if fw == lw {
+            self.words[fw] |= head & tail;
+            return;
+        }
+        self.words[fw] |= head;
+        for w in &mut self.words[fw + 1..lw] {
+            *w = u64::MAX;
+        }
+        self.words[lw] |= tail;
+    }
+
     /// Word-level intersection of two equal-length bitmaps (Kleene "both
     /// definitely true" for selection masks).
     pub fn and(&self, other: &Bitmap) -> Bitmap {
@@ -276,5 +303,27 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_get_panics() {
         Bitmap::all_valid(3).get(3);
+    }
+
+    #[test]
+    fn set_range_matches_per_bit_loop() {
+        for len in [1, 63, 64, 65, 130, 200] {
+            for (from, to) in [
+                (0, 0),
+                (0, 1),
+                (3.min(len), 17.min(len)),
+                (0, len),
+                (len / 2, len),
+            ] {
+                let mut fast = Bitmap::all_clear(len);
+                fast.set_range(from, to);
+                let slow = Bitmap::from_fn(len, |i| i >= from && i < to);
+                assert_eq!(fast, slow, "len={len} range={from}..{to}");
+            }
+        }
+        // Range fills must not spill past `len` into padding bits.
+        let mut b = Bitmap::all_clear(70);
+        b.set_range(60, 70);
+        assert_eq!(b.count_set(), 10);
     }
 }

@@ -29,6 +29,7 @@
 use crate::batch::Batch;
 use crate::checksum::crc32;
 use crate::column::Column;
+use crate::encoded::{EncodedBatch, EncodedColumn, ScanColumn};
 use crate::encoding::{self, read_uvarint, write_uvarint, Encoding};
 use crate::error::{ColumnarError, Result};
 use crate::schema::{Field, Schema};
@@ -66,19 +67,24 @@ fn dtype_from_u8(v: u8) -> Result<DataType> {
 pub struct DecodeStats {
     /// Columns present in the block.
     pub cols_total: usize,
-    /// Columns actually decoded.
+    /// Columns actually decoded to plain form.
     pub cols_decoded: usize,
+    /// Columns kept in encoded (run/code) form for compressed execution —
+    /// always 0 on the [`decode_batch_columns`] path.
+    pub cols_kept_encoded: usize,
     /// Rows in the block.
     pub rows: usize,
 }
 
 impl DecodeStats {
-    /// Columns whose payloads were skipped without decoding.
+    /// Columns whose payloads were skipped without being read at all.
     pub fn cols_skipped(&self) -> usize {
-        self.cols_total - self.cols_decoded
+        self.cols_total - self.cols_decoded - self.cols_kept_encoded
     }
 
     /// Scalar values materialized (the unit `db_scan_ns_per_value` charges).
+    /// Encoded-kept columns contribute nothing — their expansion is charged
+    /// later, at late materialization, for surviving rows only.
     pub fn values_decoded(&self) -> u64 {
         (self.rows * self.cols_decoded) as u64
     }
@@ -100,6 +106,12 @@ pub fn encode_batch_with(batch: &Batch, force: Option<Encoding>) -> Bytes {
 /// engine itself always writes v2.
 pub fn encode_batch_v1(batch: &Batch) -> Bytes {
     encode_batch_version(batch, None, VERSION_V1)
+}
+
+/// Legacy v1 layout with a forced per-column encoding (property tests use
+/// this to cover every `Encoding` variant in both block versions).
+pub fn encode_batch_v1_with(batch: &Batch, force: Option<Encoding>) -> Bytes {
+    encode_batch_version(batch, force, VERSION_V1)
 }
 
 fn encode_batch_version(batch: &Batch, force: Option<Encoding>, version: u8) -> Bytes {
@@ -194,6 +206,132 @@ pub fn decode_batch_columns(
     bytes: &[u8],
     wanted: Option<&HashSet<String>>,
 ) -> Result<(Batch, DecodeStats)> {
+    let raw = parse_block(bytes)?;
+    let selected = select_entries(&raw.entries, wanted);
+    let mut fields = Vec::new();
+    let mut columns: Vec<Column> = Vec::new();
+    for (e, keep) in raw.entries.iter().zip(&selected) {
+        if !keep {
+            continue;
+        }
+        let payload = &raw.body[e.payload_start..e.payload_end];
+        let mut ppos = 0usize;
+        let col = encoding::decode_column(e.dtype, e.enc, raw.rows, payload, &mut ppos)?;
+        check_payload_consumed(&e.name, payload, ppos)?;
+        fields.push(Field::new(e.name.clone(), e.dtype));
+        columns.push(col);
+    }
+    let cols_decoded = columns.len();
+    let batch = Batch::new(Schema::new(fields), columns)?;
+    Ok((
+        batch,
+        DecodeStats {
+            cols_total: raw.entries.len(),
+            cols_decoded,
+            cols_kept_encoded: 0,
+            rows: raw.rows,
+        },
+    ))
+}
+
+/// Deserialize a block for compressed execution: the named columns are
+/// produced as an [`EncodedBatch`] where Rle and Dictionary payloads stay in
+/// run/code form ([`ScanColumn::Encoded`]) and Plain/DeltaVarint payloads
+/// decode eagerly ([`ScanColumn::Decoded`]). That per-column split *is* the
+/// encoded-vs-decoded decision rule — it keys off the encoding the block
+/// writer already chose, so low-cardinality and sorted columns ride the
+/// encoded path and everything else behaves exactly like
+/// [`decode_batch_columns`]. Selection semantics (case-insensitive match,
+/// cheapest-column fallback for empty selections) are identical.
+pub fn decode_batch_encoded(
+    bytes: &[u8],
+    wanted: Option<&HashSet<String>>,
+) -> Result<(EncodedBatch, DecodeStats)> {
+    let raw = parse_block(bytes)?;
+    let selected = select_entries(&raw.entries, wanted);
+    let mut fields = Vec::new();
+    let mut columns: Vec<ScanColumn> = Vec::new();
+    let mut cols_decoded = 0usize;
+    let mut cols_kept_encoded = 0usize;
+    for (e, keep) in raw.entries.iter().zip(&selected) {
+        if !keep {
+            continue;
+        }
+        let payload = &raw.body[e.payload_start..e.payload_end];
+        let mut ppos = 0usize;
+        let col = match EncodedColumn::from_payload(e.dtype, e.enc, raw.rows, payload, &mut ppos)? {
+            Some(ec) => {
+                cols_kept_encoded += 1;
+                ScanColumn::Encoded(ec)
+            }
+            None => {
+                cols_decoded += 1;
+                ScanColumn::Decoded(encoding::decode_column(
+                    e.dtype, e.enc, raw.rows, payload, &mut ppos,
+                )?)
+            }
+        };
+        check_payload_consumed(&e.name, payload, ppos)?;
+        fields.push(Field::new(e.name.clone(), e.dtype));
+        columns.push(col);
+    }
+    let batch = EncodedBatch::new(Schema::new(fields), raw.rows, columns)?;
+    Ok((
+        batch,
+        DecodeStats {
+            cols_total: raw.entries.len(),
+            cols_decoded,
+            cols_kept_encoded,
+            rows: raw.rows,
+        },
+    ))
+}
+
+/// Per-column facts a block header carries: name, type, encoding, and the
+/// encoded payload size. Reads only entry headers — no payload is decoded.
+/// Storage uses this for `v_monitor.storage_containers`' per-column rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockColumnInfo {
+    pub name: String,
+    pub dtype: DataType,
+    pub encoding: Encoding,
+    pub encoded_bytes: u64,
+}
+
+/// Read every column's [`BlockColumnInfo`] from a block.
+pub fn block_column_info(bytes: &[u8]) -> Result<Vec<BlockColumnInfo>> {
+    let raw = parse_block(bytes)?;
+    Ok(raw
+        .entries
+        .iter()
+        .map(|e| BlockColumnInfo {
+            name: e.name.clone(),
+            dtype: e.dtype,
+            encoding: e.enc,
+            encoded_bytes: (e.payload_end - e.payload_start) as u64,
+        })
+        .collect())
+}
+
+/// A parsed block: verified header, row count, and every column entry's
+/// header with payload bounds (payloads untouched).
+struct RawBlock<'a> {
+    body: &'a [u8],
+    rows: usize,
+    entries: Vec<RawEntry>,
+}
+
+struct RawEntry {
+    name: String,
+    dtype: DataType,
+    enc: Encoding,
+    payload_start: usize,
+    payload_end: usize,
+}
+
+/// Verify magic/version/crc and walk every entry header (cheap — name +
+/// 2 bytes + len), remembering where each payload lives.
+fn parse_block(bytes: &[u8]) -> Result<RawBlock<'_>> {
     if bytes.len() < 9 {
         return Err(ColumnarError::BadBlockHeader("block too short".into()));
     }
@@ -229,15 +367,6 @@ pub fn decode_batch_columns(
         None
     };
 
-    // First pass: read every entry header (cheap — name + 2 bytes + len),
-    // remembering where each payload lives.
-    struct Entry {
-        name: String,
-        dtype: DataType,
-        enc: Encoding,
-        payload_start: usize,
-        payload_end: usize,
-    }
     let mut entries = Vec::with_capacity(ncols);
     for c in 0..ncols {
         if let Some(idx) = &index {
@@ -269,7 +398,7 @@ pub fn decode_batch_columns(
         if payload_end > body.len() {
             return Err(ColumnarError::Corrupt("payload past end".into()));
         }
-        entries.push(Entry {
+        entries.push(RawEntry {
             name,
             dtype,
             enc,
@@ -284,53 +413,42 @@ pub fn decode_batch_columns(
             body.len() - pos
         )));
     }
+    Ok(RawBlock {
+        body,
+        rows,
+        entries,
+    })
+}
 
-    // Which entries to materialize. An empty selection still decodes the
-    // cheapest column so the row count survives.
+/// Which entries to materialize. An empty selection still keeps the
+/// cheapest column so the row count survives (`SELECT count(*)` needs rows,
+/// not values).
+fn select_entries(entries: &[RawEntry], wanted: Option<&HashSet<String>>) -> Vec<bool> {
     let is_wanted = |name: &str| match wanted {
         None => true,
         Some(set) => set.iter().any(|w| w.eq_ignore_ascii_case(name)),
     };
     let mut selected: Vec<bool> = entries.iter().map(|e| is_wanted(&e.name)).collect();
-    if ncols > 0 && !selected.iter().any(|&s| s) {
+    if !entries.is_empty() && !selected.iter().any(|&s| s) {
         let cheapest = entries
             .iter()
             .enumerate()
             .min_by_key(|(_, e)| e.payload_end - e.payload_start)
             .map(|(i, _)| i)
-            .expect("ncols > 0");
+            .expect("entries non-empty");
         selected[cheapest] = true;
     }
+    selected
+}
 
-    let mut fields = Vec::new();
-    let mut columns: Vec<Column> = Vec::new();
-    for (e, keep) in entries.iter().zip(&selected) {
-        if !keep {
-            continue;
-        }
-        let payload = &body[e.payload_start..e.payload_end];
-        let mut ppos = 0usize;
-        let col = encoding::decode_column(e.dtype, e.enc, rows, payload, &mut ppos)?;
-        if ppos != payload.len() {
-            return Err(ColumnarError::Corrupt(format!(
-                "column {}: {} trailing payload bytes",
-                e.name,
-                payload.len() - ppos
-            )));
-        }
-        fields.push(Field::new(e.name.clone(), e.dtype));
-        columns.push(col);
+fn check_payload_consumed(name: &str, payload: &[u8], ppos: usize) -> Result<()> {
+    if ppos != payload.len() {
+        return Err(ColumnarError::Corrupt(format!(
+            "column {name}: {} trailing payload bytes",
+            payload.len() - ppos
+        )));
     }
-    let cols_decoded = columns.len();
-    let batch = Batch::new(Schema::new(fields), columns)?;
-    Ok((
-        batch,
-        DecodeStats {
-            cols_total: ncols,
-            cols_decoded,
-            rows,
-        },
-    ))
+    Ok(())
 }
 
 fn read_u8(bytes: &[u8], pos: &mut usize) -> Result<u8> {
@@ -510,6 +628,73 @@ mod tests {
         assert_eq!(decode_batch(&bytes).unwrap(), batch);
         let bytes = encode_batch_with(&batch, Some(Encoding::Plain));
         assert_eq!(decode_batch(&bytes).unwrap(), batch);
+    }
+
+    #[test]
+    fn encoded_decode_keeps_dict_and_rle_columns() {
+        let batch = sample_batch();
+        let bytes = encode_batch(&batch);
+        // Auto-encoding gives `tag` a dictionary; the numeric columns here
+        // are unencodable (distinct values) so they decode eagerly.
+        let (eb, stats) = decode_batch_encoded(&bytes, None).unwrap();
+        assert_eq!(eb.num_rows(), 100);
+        assert_eq!(eb.num_encoded(), 1);
+        assert_eq!(stats.cols_kept_encoded, 1);
+        assert_eq!(stats.cols_decoded, 3);
+        assert_eq!(stats.cols_skipped(), 0);
+        assert!(matches!(
+            eb.column_by_name("tag").unwrap(),
+            crate::ScanColumn::Encoded(_)
+        ));
+        // Full materialization equals the plain decode.
+        let mask = crate::Bitmap::all_valid(100);
+        let (full, _) = eb.materialize(&mask, None).unwrap();
+        assert_eq!(full, batch);
+
+        // A constant int column comes back as an RLE ScanColumn.
+        let schema = Schema::of(&[("k", DataType::Int64)]);
+        let b = Batch::new(schema, vec![Column::from_i64(vec![3; 5000])]).unwrap();
+        let (eb, stats) = decode_batch_encoded(&encode_batch(&b), None).unwrap();
+        assert_eq!(stats.cols_kept_encoded, 1);
+        assert_eq!(stats.values_decoded(), 0, "nothing materialized at scan");
+        // The shared validity bitmap (1 bit/row) dominates the encoded size.
+        assert!(eb.byte_size() < b.byte_size() / 50);
+    }
+
+    #[test]
+    fn encoded_decode_projects_and_reads_v1() {
+        let batch = sample_batch();
+        for bytes in [
+            encode_batch(&batch),
+            encode_batch_v1_with(&batch, Some(Encoding::Rle)),
+        ] {
+            let (eb, stats) = decode_batch_encoded(&bytes, Some(&set(&["TAG"]))).unwrap();
+            assert_eq!(eb.schema().names(), vec!["tag"]);
+            assert_eq!(stats.cols_skipped(), 3);
+            let mask = crate::Bitmap::all_valid(100);
+            let (full, _) = eb.materialize(&mask, None).unwrap();
+            assert_eq!(
+                full.column(0).get(7),
+                batch.column_by_name("tag").unwrap().get(7)
+            );
+        }
+    }
+
+    #[test]
+    fn column_info_reports_encodings_and_sizes() {
+        let batch = sample_batch();
+        let bytes = encode_batch(&batch);
+        let info = block_column_info(&bytes).unwrap();
+        assert_eq!(info.len(), 4);
+        let tag = info.iter().find(|i| i.name == "tag").unwrap();
+        assert_eq!(tag.encoding, Encoding::Dictionary);
+        assert_eq!(tag.dtype, DataType::Varchar);
+        assert!(tag.encoded_bytes > 0);
+        let id = info.iter().find(|i| i.name == "id").unwrap();
+        assert_eq!(id.encoding, Encoding::DeltaVarint);
+        // Sizes are the raw payload spans: they sum to less than the block.
+        let total: u64 = info.iter().map(|i| i.encoded_bytes).sum();
+        assert!(total < bytes.len() as u64);
     }
 
     #[test]

@@ -15,6 +15,19 @@
 //! Every encoded payload starts with the validity bitmap, so NULLs survive
 //! any encoding. [`choose_encoding`] samples the column and picks the
 //! smallest estimate.
+//!
+//! # Compressed execution
+//!
+//! Decoding is not the only way out of an encoded payload. The
+//! [`crate::encoded`] module parses Rle and Dictionary payloads into their
+//! *run/code* form ([`crate::EncodedColumn`]) so predicate kernels can
+//! evaluate once per run / once per distinct code, and so columns can be
+//! **late-materialized** — expanded only for rows that survived the filter.
+//! The decision rule lives at the scan ([`crate::decode_batch_encoded`]):
+//! Rle and Dictionary columns stay encoded, Plain and DeltaVarint columns
+//! (whose run structure is already gone) decode eagerly as before. Both
+//! paths read the identical payload bytes, so the choice is per-column and
+//! invisible to results.
 
 use crate::bitmap::Bitmap;
 use crate::column::Column;
@@ -76,11 +89,11 @@ pub(crate) fn read_uvarint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
     }
 }
 
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -316,7 +329,7 @@ fn decode_runs<T: Copy>(
     Ok(data)
 }
 
-fn read_i64_le(bytes: &[u8], pos: &mut usize) -> Result<i64> {
+pub(crate) fn read_i64_le(bytes: &[u8], pos: &mut usize) -> Result<i64> {
     let end = *pos + 8;
     let slice = bytes
         .get(*pos..end)
@@ -325,7 +338,7 @@ fn read_i64_le(bytes: &[u8], pos: &mut usize) -> Result<i64> {
     Ok(i64::from_le_bytes(slice.try_into().expect("8 bytes")))
 }
 
-fn read_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+pub(crate) fn read_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
     let len = read_uvarint(bytes, pos)? as usize;
     let end = pos
         .checked_add(len)

@@ -19,8 +19,19 @@
 //! compares Equal), and `Int64 ⊕ Int64` arithmetic computes in `f64` before
 //! truncating back, as the `Value`-based path does.
 
+//! # Encoded kernels
+//!
+//! [`cmp_scalar_rle`] and [`cmp_scalar_dict`] are the compressed-execution
+//! counterparts: they take an [`EncodedColumn`] and evaluate the comparison
+//! once per RLE run (filling the selection mask a word at a time via
+//! [`Bitmap::set_range`]) or once per distinct dictionary code, without ever
+//! materializing the plain column. They return the same truth bitmap the
+//! decoded kernels would, plus an [`EncodedCmpStats`] of how much per-row
+//! work was skipped.
+
 use crate::bitmap::Bitmap;
 use crate::column::Column;
+use crate::encoded::{EncodedColumn, EncodedValues};
 use std::cmp::Ordering;
 
 /// Comparison operators the kernels implement.
@@ -51,7 +62,13 @@ impl CmpOp {
     #[inline]
     fn holds(self, a: f64, b: f64) -> bool {
         // Mirrors compare_values: incomparable (NaN) collapses to Equal.
-        let ord = a.partial_cmp(&b).unwrap_or(Ordering::Equal);
+        self.holds_ord(a.partial_cmp(&b).unwrap_or(Ordering::Equal))
+    }
+
+    /// Whether the operator accepts an already-computed ordering (the form
+    /// string comparisons produce).
+    #[inline]
+    pub fn holds_ord(self, ord: Ordering) -> bool {
         match self {
             CmpOp::Eq => ord == Ordering::Equal,
             CmpOp::Ne => ord != Ordering::Equal,
@@ -206,6 +223,122 @@ fn clear_bit(bm: Bitmap, idx: usize) -> Bitmap {
     Bitmap::from_fn(bm.len(), |i| i != idx && bm.get(i))
 }
 
+// ------------------------------------------------------- encoded kernels
+
+/// What an encoded predicate kernel did: `comparisons` scalar compares for
+/// `rows` rows of output. The gap is the per-row work compressed execution
+/// skipped (`scan.encoded.runs_skipped` counts it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedCmpStats {
+    /// Rows the resulting truth bitmap covers.
+    pub rows: u64,
+    /// Scalar comparisons actually evaluated (runs, or distinct codes).
+    pub comparisons: u64,
+}
+
+impl EncodedCmpStats {
+    /// Per-row evaluations avoided relative to the decoded kernel.
+    pub fn rows_skipped(&self) -> u64 {
+        self.rows.saturating_sub(self.comparisons)
+    }
+}
+
+/// Compare a run-length-encoded numeric column against a numeric scalar,
+/// evaluating once per run and filling the truth bitmap a run at a time.
+/// Semantics match [`cmp_scalar`] on the decoded column bit for bit (f64
+/// domain, NaN collapses to Equal, NULL scalar ⇒ nothing true). Returns
+/// `None` for non-numeric encoded forms (Bool runs, dictionaries).
+pub fn cmp_scalar_rle(
+    col: &EncodedColumn,
+    op: CmpOp,
+    rhs: Option<f64>,
+) -> Option<(Bitmap, EncodedCmpStats)> {
+    let n = col.len();
+    enum Runs<'a> {
+        I64(&'a [(u64, i64)]),
+        F64(&'a [(u64, u64)]),
+    }
+    let runs = match col.values() {
+        EncodedValues::RleI64(r) => Runs::I64(r),
+        EncodedValues::RleF64(r) => Runs::F64(r),
+        _ => return None,
+    };
+    let Some(rhs) = rhs else {
+        return Some((
+            Bitmap::all_clear(n),
+            EncodedCmpStats {
+                rows: n as u64,
+                comparisons: 0,
+            },
+        ));
+    };
+    let mut truth = Bitmap::all_clear(n);
+    let mut pos = 0usize;
+    let mut comparisons = 0u64;
+    let mut fill = |count: u64, v: f64, truth: &mut Bitmap, pos: &mut usize| {
+        comparisons += 1;
+        let end = *pos + count as usize;
+        if op.holds(v, rhs) {
+            truth.set_range(*pos, end);
+        }
+        *pos = end;
+    };
+    match runs {
+        Runs::I64(rs) => {
+            for &(count, v) in rs {
+                fill(count, v as f64, &mut truth, &mut pos);
+            }
+        }
+        Runs::F64(rs) => {
+            for &(count, bits) in rs {
+                fill(count, f64::from_bits(bits), &mut truth, &mut pos);
+            }
+        }
+    }
+    let truth = if col.validity().all_set() {
+        truth
+    } else {
+        truth.and(col.validity())
+    };
+    Some((
+        truth,
+        EncodedCmpStats {
+            rows: n as u64,
+            comparisons,
+        },
+    ))
+}
+
+/// Compare a dictionary-encoded string column against a string scalar,
+/// evaluating once per distinct code and then mapping codes to bits.
+/// Ordering matches the boxed evaluator's `str::cmp`; NULL rows are never
+/// true. Returns `None` for non-dictionary encoded forms.
+pub fn cmp_scalar_dict(
+    col: &EncodedColumn,
+    op: CmpOp,
+    rhs: &str,
+) -> Option<(Bitmap, EncodedCmpStats)> {
+    let (dict, codes) = col.dict()?;
+    let n = col.len();
+    let code_truth: Vec<bool> = dict
+        .iter()
+        .map(|s| op.holds_ord(s.as_str().cmp(rhs)))
+        .collect();
+    let valid = col.validity();
+    let truth = if valid.all_set() {
+        Bitmap::from_fn(n, |i| code_truth[codes[i] as usize])
+    } else {
+        Bitmap::from_fn(n, |i| valid.get(i) && code_truth[codes[i] as usize])
+    };
+    Some((
+        truth,
+        EncodedCmpStats {
+            rows: n as u64,
+            comparisons: dict.len() as u64,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +459,86 @@ mod tests {
         let out = arith_columns(&l, &r, ArithOp::Mul).unwrap();
         assert_eq!(out.get(0), Value::Float64(2.0));
         assert_eq!(out.get(1), Value::Null);
+    }
+
+    fn encoded(col: &Column, enc: crate::encoding::Encoding) -> EncodedColumn {
+        let mut buf = Vec::new();
+        crate::encoding::encode_column(col, enc, &mut buf).unwrap();
+        let mut pos = 0;
+        EncodedColumn::from_payload(col.data_type(), enc, col.len(), &buf, &mut pos)
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn rle_kernel_matches_decoded_kernel() {
+        let mut vals = Vec::new();
+        for run in 0..20i64 {
+            vals.extend(std::iter::repeat_n(run / 3, 17));
+        }
+        let col = Column::from_i64(vals);
+        let ec = encoded(&col, crate::encoding::Encoding::Rle);
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            let (fast, stats) = cmp_scalar_rle(&ec, op, Some(3.0)).unwrap();
+            let (slow, _) = cmp_scalar(&col, op, Some(3.0)).unwrap();
+            assert_eq!(fast, slow, "{op:?}");
+            assert!(stats.comparisons < stats.rows, "{op:?}");
+            assert!(stats.rows_skipped() > 0);
+        }
+        // NULL scalar: nothing true, zero comparisons.
+        let (truth, stats) = cmp_scalar_rle(&ec, CmpOp::Eq, None).unwrap();
+        assert!(!truth.any_set());
+        assert_eq!(stats.comparisons, 0);
+    }
+
+    #[test]
+    fn rle_kernel_respects_validity_and_nan() {
+        let mut b = ColumnBuilder::new(DataType::Float64);
+        for i in 0..30 {
+            if i % 5 == 1 {
+                b.push_null();
+            } else if i < 10 {
+                b.push(Value::Float64(f64::NAN)).unwrap();
+            } else {
+                b.push(Value::Float64(2.0)).unwrap();
+            }
+        }
+        let col = b.finish();
+        let ec = encoded(&col, crate::encoding::Encoding::Rle);
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge] {
+            let (fast, _) = cmp_scalar_rle(&ec, op, Some(2.0)).unwrap();
+            let (slow, _) = cmp_scalar(&col, op, Some(2.0)).unwrap();
+            assert_eq!(fast, slow, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn dict_kernel_compares_once_per_code() {
+        let col = Column::from_strings((0..200).map(|i| format!("g{}", i % 4)).collect());
+        let ec = encoded(&col, crate::encoding::Encoding::Dictionary);
+        let (truth, stats) = cmp_scalar_dict(&ec, CmpOp::Eq, "g2").unwrap();
+        assert_eq!(stats.comparisons, 4);
+        assert_eq!(truth.count_set(), 50);
+        // Ordering comparisons use str::cmp like the boxed path.
+        let (truth, _) = cmp_scalar_dict(&ec, CmpOp::Lt, "g2").unwrap();
+        assert_eq!(truth.count_set(), 100); // g0, g1
+    }
+
+    #[test]
+    fn encoded_kernels_decline_wrong_forms() {
+        let b = Column::from_bool(vec![true; 8]);
+        let eb = encoded(&b, crate::encoding::Encoding::Rle);
+        assert!(cmp_scalar_rle(&eb, CmpOp::Eq, Some(1.0)).is_none());
+        assert!(cmp_scalar_dict(&eb, CmpOp::Eq, "x").is_none());
+        let s = Column::from_strings(vec!["a"; 8]);
+        let es = encoded(&s, crate::encoding::Encoding::Dictionary);
+        assert!(cmp_scalar_rle(&es, CmpOp::Eq, Some(1.0)).is_none());
     }
 }

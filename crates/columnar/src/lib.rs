@@ -16,13 +16,18 @@
 //!   a per-column offset index enabling projection pushdown
 //!   ([`block::decode_batch_columns`]),
 //! * [`kernels`] — vectorized comparison/arithmetic kernels over typed
-//!   slices and validity bitmaps, feeding `Bitmap` selection masks.
+//!   slices and validity bitmaps, feeding `Bitmap` selection masks,
+//! * [`encoded`] — compressed execution: [`EncodedColumn`]/[`EncodedBatch`]
+//!   keep Rle/Dictionary payloads in run/code form past the block read
+//!   ([`block::decode_batch_encoded`]) so kernels evaluate per run or per
+//!   distinct code and values late-materialize only for surviving rows.
 
 pub mod batch;
 pub mod bitmap;
 pub mod block;
 pub mod checksum;
 pub mod column;
+pub mod encoded;
 pub mod encoding;
 pub mod error;
 pub mod kernels;
@@ -32,10 +37,12 @@ pub mod value;
 pub use batch::Batch;
 pub use bitmap::Bitmap;
 pub use block::{
-    block_checksum, decode_batch, decode_batch_columns, encode_batch, encode_batch_v1,
-    encode_batch_with, DecodeStats,
+    block_checksum, block_column_info, decode_batch, decode_batch_columns, decode_batch_encoded,
+    encode_batch, encode_batch_v1, encode_batch_v1_with, encode_batch_with, BlockColumnInfo,
+    DecodeStats,
 };
 pub use column::{Column, ColumnBuilder};
+pub use encoded::{EncodedBatch, EncodedColumn, EncodedValues, ScanColumn};
 pub use error::{ColumnarError, Result};
 pub use schema::{Field, Schema};
 pub use value::{DataType, Value};

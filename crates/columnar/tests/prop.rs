@@ -4,10 +4,49 @@
 use proptest::prelude::*;
 use std::collections::HashSet;
 use vdr_columnar::encoding::{decode_column, encode_column, Encoding};
+use vdr_columnar::kernels::{cmp_scalar, cmp_scalar_dict, cmp_scalar_rle, CmpOp};
 use vdr_columnar::{
-    decode_batch, decode_batch_columns, encode_batch, encode_batch_v1, encode_batch_with, Batch,
-    Column, ColumnBuilder, DataType, Schema, Value,
+    decode_batch, decode_batch_columns, encode_batch, encode_batch_v1, encode_batch_v1_with,
+    encode_batch_with, Batch, Bitmap, Column, ColumnBuilder, DataType, EncodedColumn, Schema,
+    Value,
 };
+
+const ALL_CMP_OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+/// Encode `col` with `enc` and parse it back into run/code form. `None`
+/// when the encoding has no encoded-execution representation.
+fn encoded_of(col: &Column, enc: Encoding) -> Option<EncodedColumn> {
+    let mut buf = Vec::new();
+    encode_column(col, enc, &mut buf).unwrap();
+    let mut pos = 0;
+    let e = EncodedColumn::from_payload(col.data_type(), enc, col.len(), &buf, &mut pos).unwrap();
+    if e.is_some() {
+        assert_eq!(pos, buf.len(), "encoded parse must consume the payload");
+    }
+    e
+}
+
+/// Expand `(run_len, value)` pairs into a column — arbitrary run lengths
+/// and NULL patterns, the shapes RLE kernels must stay exact over.
+fn runs_to_column(dtype: DataType, runs: &[(u64, Option<Value>)]) -> Column {
+    let mut b = ColumnBuilder::new(dtype);
+    for (len, v) in runs {
+        for _ in 0..*len {
+            match v {
+                Some(v) => b.push(v.clone()).unwrap(),
+                None => b.push_null(),
+            }
+        }
+    }
+    b.finish()
+}
 
 fn int_column() -> impl Strategy<Value = Column> {
     prop::collection::vec(prop::option::of(any::<i64>()), 0..300).prop_map(|vals| {
@@ -211,6 +250,188 @@ proptest! {
             let name = if keep_ints { "v" } else { "t" };
             let full_col = full.column(full.schema().index_of(name).unwrap());
             prop_assert!(columns_equivalent(full_col, projected.column(0)));
+        }
+    }
+
+    /// Compressed-execution kernels are optimizations, never semantic
+    /// changes: comparing an RLE integer column per run must produce the
+    /// exact selection mask the decoded kernel produces per row, for every
+    /// operator, across arbitrary run lengths and NULL patterns.
+    #[test]
+    fn rle_int_cmp_kernel_matches_decoded_kernel(
+        runs in prop::collection::vec(
+            (1u64..25, prop::option::of(-3i64..4)),
+            1..40,
+        ),
+        rhs in prop::option::of(-3i64..4),
+    ) {
+        let spec: Vec<(u64, Option<Value>)> = runs
+            .iter()
+            .map(|(l, v)| (*l, v.map(Value::Int64)))
+            .collect();
+        let col = runs_to_column(DataType::Int64, &spec);
+        let e = encoded_of(&col, Encoding::Rle).unwrap();
+        let rhs_f = rhs.map(|x| x as f64);
+        for op in ALL_CMP_OPS {
+            let (enc_mask, stats) = cmp_scalar_rle(&e, op, rhs_f).unwrap();
+            let (dec_mask, _) = cmp_scalar(&col, op, rhs_f).unwrap();
+            prop_assert_eq!(&enc_mask, &dec_mask);
+            prop_assert_eq!(stats.rows, col.len() as u64);
+            // One comparison per run, never per row.
+            prop_assert!(stats.comparisons <= runs.len() as u64);
+        }
+    }
+
+    /// Float RLE comparisons, including NaN and signed-zero runs (runs
+    /// compare bit patterns; predicate semantics must still match the
+    /// decoded kernel's f64 behavior).
+    #[test]
+    fn rle_float_cmp_kernel_matches_decoded_kernel(
+        runs in prop::collection::vec(
+            (1u64..20, prop::option::of(0usize..6)),
+            1..30,
+        ),
+        rhs_idx in prop::option::of(0usize..3),
+    ) {
+        const PALETTE: [f64; 6] = [0.0, -0.0, 1.5, -2.25, f64::NAN, f64::INFINITY];
+        let rhs = rhs_idx.map(|i| [0.0f64, 1.5, f64::NAN][i]);
+        let spec: Vec<(u64, Option<Value>)> = runs
+            .iter()
+            .map(|(l, v)| (*l, v.map(|i| Value::Float64(PALETTE[i]))))
+            .collect();
+        let col = runs_to_column(DataType::Float64, &spec);
+        let e = encoded_of(&col, Encoding::Rle).unwrap();
+        for op in ALL_CMP_OPS {
+            let (enc_mask, _) = cmp_scalar_rle(&e, op, rhs).unwrap();
+            let (dec_mask, _) = cmp_scalar(&col, op, rhs).unwrap();
+            prop_assert_eq!(&enc_mask, &dec_mask);
+        }
+    }
+
+    /// Dictionary comparisons evaluate once per distinct code; the mask must
+    /// equal a per-row `str::cmp` over the decoded strings with NULLs
+    /// collapsed to false.
+    #[test]
+    fn dict_cmp_kernel_matches_decoded_strings(
+        vals in prop::collection::vec(prop::option::of("[abc]{0,2}"), 1..200),
+        rhs in "[abc]{0,2}",
+    ) {
+        let mut b = ColumnBuilder::new(DataType::Varchar);
+        for v in &vals {
+            match v {
+                Some(s) => b.push(Value::Varchar(s.clone())).unwrap(),
+                None => b.push_null(),
+            }
+        }
+        let col = b.finish();
+        let e = encoded_of(&col, Encoding::Dictionary).unwrap();
+        let distinct: HashSet<&String> = vals.iter().flatten().collect();
+        for op in ALL_CMP_OPS {
+            let (enc_mask, stats) = cmp_scalar_dict(&e, op, &rhs).unwrap();
+            let expected = Bitmap::from_fn(col.len(), |i| match col.get(i) {
+                Value::Varchar(s) => match op {
+                    CmpOp::Eq => s == rhs,
+                    CmpOp::Ne => s != rhs,
+                    CmpOp::Lt => s < rhs,
+                    CmpOp::Le => s <= rhs,
+                    CmpOp::Gt => s > rhs,
+                    CmpOp::Ge => s >= rhs,
+                },
+                _ => false,
+            });
+            prop_assert_eq!(&enc_mask, &expected);
+            prop_assert_eq!(stats.comparisons, distinct.len() as u64);
+        }
+    }
+
+    /// Late materialization: filtering an encoded column through an
+    /// arbitrary mask must equal decode-then-filter, for RLE and dictionary
+    /// forms alike.
+    #[test]
+    fn encoded_filter_matches_decode_then_filter(
+        runs in prop::collection::vec(
+            (1u64..15, prop::option::of(0i64..5)),
+            1..30,
+        ),
+        tags in prop::collection::vec(prop::option::of("[abcd]"), 1..150),
+        mask_seed in prop::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let spec: Vec<(u64, Option<Value>)> = runs
+            .iter()
+            .map(|(l, v)| (*l, v.map(Value::Int64)))
+            .collect();
+        let ints = runs_to_column(DataType::Int64, &spec);
+        let mut tb = ColumnBuilder::new(DataType::Varchar);
+        for t in &tags {
+            match t {
+                Some(s) => tb.push(Value::Varchar(s.clone())).unwrap(),
+                None => tb.push_null(),
+            }
+        }
+        let strs = tb.finish();
+        for (col, enc) in [(&ints, Encoding::Rle), (&strs, Encoding::Dictionary)] {
+            let e = encoded_of(col, enc).unwrap();
+            let mask = Bitmap::from_fn(col.len(), |i| mask_seed[i % mask_seed.len()]);
+            let fast = e.filter(&mask);
+            let slow = e.decode().filter(&mask).unwrap();
+            prop_assert!(columns_equivalent(&fast, &slow), "enc {:?}", enc);
+        }
+    }
+
+    /// Both block layouts round-trip every `Encoding` variant: a mixed-type
+    /// batch forced to each encoding (columns the encoding doesn't apply to
+    /// fall back to plain) decodes identically under v1 and v2.
+    #[test]
+    fn blocks_roundtrip_every_encoding_in_both_versions(
+        ints in int_column(),
+        floats in float_column(),
+        strs in string_column(),
+        bools in prop::collection::vec(prop::option::of(any::<bool>()), 0..200),
+    ) {
+        let mut bb = ColumnBuilder::new(DataType::Bool);
+        for v in &bools {
+            match v {
+                Some(x) => bb.push(Value::Bool(*x)).unwrap(),
+                None => bb.push_null(),
+            }
+        }
+        let bools = bb.finish();
+        let n = ints.len().min(floats.len()).min(strs.len()).min(bools.len());
+        let schema = Schema::of(&[
+            ("i", DataType::Int64),
+            ("f", DataType::Float64),
+            ("s", DataType::Varchar),
+            ("b", DataType::Bool),
+        ]);
+        let batch = Batch::new(
+            schema,
+            vec![
+                ints.slice(0, n),
+                floats.slice(0, n),
+                strs.slice(0, n),
+                bools.slice(0, n),
+            ],
+        )
+        .unwrap();
+        for enc in [
+            Encoding::Plain,
+            Encoding::Rle,
+            Encoding::Dictionary,
+            Encoding::DeltaVarint,
+        ] {
+            for bytes in [
+                encode_batch_with(&batch, Some(enc)),
+                encode_batch_v1_with(&batch, Some(enc)),
+            ] {
+                let back = decode_batch(&bytes).unwrap();
+                prop_assert_eq!(back.num_rows(), n);
+                for c in 0..batch.num_columns() {
+                    prop_assert!(
+                        columns_equivalent(batch.column(c), back.column(c)),
+                        "enc {:?} col {}", enc, c
+                    );
+                }
+            }
         }
     }
 

@@ -5,21 +5,52 @@
 //! results are gathered to the initiator node for the final merge, sort, and
 //! limit. Transform (`OVER (PARTITION …)`) selects spawn UDx instances per
 //! node, the paper's extension mechanism.
+//!
+//! # Compressed execution
+//!
+//! When a query's shape allows it ([`encoded_execution_eligible`]), the scan
+//! returns [`EncodedBatch`]es whose Rle/Dictionary columns are still in
+//! run/code form. Predicates then evaluate per *run* or per *distinct
+//! dictionary code* ([`vdr_columnar::kernels::cmp_scalar_rle`] /
+//! [`cmp_scalar_dict`]), a single-column dictionary GROUP BY aggregates into
+//! a dense per-code table without hashing decoded strings, and everything
+//! else is **late-materialized**: non-predicate columns decode only the rows
+//! that survived the filter bitmap. The whole path is an executor-internal
+//! optimization — results are bit-for-bit those of the decoded path.
 
 use crate::db::VerticaDb;
 use crate::error::{DbError, Result};
-use crate::expr::{compare_values, Expr};
+use crate::expr::{cmp_op, compare_values, literal_num, BinOp, Expr};
 use crate::segmentation::hash_value;
 use crate::sql::{AggFunc, Partition, SelectItem, SelectStmt, Statement};
 use crate::udx::UdxContext;
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use vdr_cluster::{NodeId, PhaseRecorder};
-use vdr_columnar::{Batch, Bitmap, Column, ColumnBuilder, DataType, Field, Schema, Value};
+use vdr_columnar::kernels::{self, CmpOp};
+use vdr_columnar::{
+    Batch, Bitmap, Column, ColumnBuilder, DataType, EncodedBatch, Field, ScanColumn, Schema, Value,
+};
 
 /// The node that runs final merges — where the client is connected.
 const INITIATOR: NodeId = NodeId(0);
+
+/// Process-wide compressed-execution toggle (on by default). Off forces
+/// every scan down the decoded path — used by equivalence tests and as an
+/// escape hatch.
+static COMPRESSED_EXECUTION: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable compressed execution for subsequent queries.
+pub fn set_compressed_execution(on: bool) {
+    COMPRESSED_EXECUTION.store(on, Ordering::Relaxed);
+}
+
+/// Whether compressed execution is currently enabled.
+pub fn compressed_execution() -> bool {
+    COMPRESSED_EXECUTION.load(Ordering::Relaxed)
+}
 
 /// Execute any statement against the database, charging `rec`.
 pub fn execute(db: &VerticaDb, stmt: &Statement, rec: &Arc<PhaseRecorder>) -> Result<Batch> {
@@ -179,6 +210,9 @@ fn execute_select(db: &VerticaDb, stmt: &SelectStmt, rec: &Arc<PhaseRecorder>) -
         // Planner: push the referenced-column set down to the scan so
         // unused column payloads are never decoded.
         let wanted = referenced_columns(stmt);
+        // Planner rule: run on encoded data when the statement shape allows
+        // it (see `encoded_execution_eligible`).
+        let use_encoded = encoded_execution_eligible(stmt);
         // Scatter spawns one OS thread per node: the query scope is
         // thread-local, so re-enter it in each worker (as span parents are
         // passed explicitly).
@@ -188,6 +222,17 @@ fn execute_select(db: &VerticaDb, stmt: &SelectStmt, rec: &Arc<PhaseRecorder>) -
             let _n = vdr_obs::NodeScope::enter(node.id().0);
             let mut scan_span = vdr_obs::detail_span_with_parent("exec.scan", select_span_id);
             scan_span.set_node(node.id().0);
+            if use_encoded {
+                return encoded_node_pipeline(
+                    db,
+                    stmt,
+                    table,
+                    node.id(),
+                    rec,
+                    wanted.as_ref(),
+                    &mut scan_span,
+                );
+            }
             let batches =
                 db.storage()
                     .scan_node_projected(table, node.id(), rec, false, wanted.as_ref())?;
@@ -299,6 +344,297 @@ fn referenced_columns(stmt: &SelectStmt) -> Option<HashSet<String>> {
         add_expr_columns(&mut cols, g);
     }
     Some(cols)
+}
+
+// -------------------------------------------------- compressed execution
+
+/// Is `e` a predicate the encoded evaluator handles natively: an And/Or tree
+/// whose leaves are boolean literals or column-vs-literal comparisons (either
+/// operand order)? Anything else (LIKE, IN, col-vs-col, arithmetic inside
+/// the comparison) needs fully decoded columns, so the planner keeps those
+/// statements on the decoded path.
+fn encodable_predicate(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(Value::Bool(_)) => true,
+        Expr::Binary {
+            op: BinOp::And | BinOp::Or,
+            left,
+            right,
+        } => encodable_predicate(left) && encodable_predicate(right),
+        Expr::Binary { op, left, right } if op.is_comparison() => matches!(
+            (&**left, &**right),
+            (Expr::Column(_), Expr::Literal(_)) | (Expr::Literal(_), Expr::Column(_))
+        ),
+        _ => false,
+    }
+}
+
+/// The planner's encoded-vs-decoded decision for a regular table scan.
+/// Encoded execution pays off when the filter can run per-run/per-code
+/// (encodable WHERE) or when a GROUP BY can aggregate over dictionary codes;
+/// a bare full-table SELECT gains nothing from the detour, so it stays on
+/// the decoded path (whose cache tier it already warms).
+fn encoded_execution_eligible(stmt: &SelectStmt) -> bool {
+    if !compressed_execution() {
+        return false;
+    }
+    match &stmt.where_clause {
+        Some(w) => encodable_predicate(w),
+        None => !stmt.group_by.is_empty(),
+    }
+}
+
+/// What one node's encoded pipeline did, for the cost ledger and the
+/// `scan.encoded.*` counters.
+#[derive(Debug, Default)]
+struct EncodedScanStats {
+    /// Per-row predicate evaluations avoided by run/code kernels.
+    runs_skipped: u64,
+    /// Distinct dictionary codes a predicate actually compared.
+    codes_tested: u64,
+    /// Filter-surviving rows decoded out of encoded columns afterwards.
+    late_materialized_rows: u64,
+    /// Values expanded from encoded form (per column × row) — the decode
+    /// work the ledger charges at scan cost.
+    expanded_values: u64,
+}
+
+/// Per-node compressed-execution pipeline: encoded scan → encoded predicate
+/// → dictionary GROUP BY or late materialization → partial result.
+fn encoded_node_pipeline(
+    db: &VerticaDb,
+    stmt: &SelectStmt,
+    table: &str,
+    node: NodeId,
+    rec: &Arc<PhaseRecorder>,
+    wanted: Option<&HashSet<String>>,
+    scan_span: &mut vdr_obs::SpanGuard<'static>,
+) -> Result<NodeResult> {
+    let batches = db
+        .storage()
+        .scan_node_encoded(table, node, rec, false, wanted)?;
+    let scan_cost = db.cluster().profile().costs.db_scan_ns_per_value;
+    let mut stats = EncodedScanStats::default();
+    let mut rows_in = 0u64;
+    let mut rows_out = 0u64;
+    let mut combined: Option<NodeResult> = None;
+    for eb in batches {
+        rows_in += eb.num_rows() as u64;
+        let mask = match &stmt.where_clause {
+            Some(pred) => eval_predicate_encoded(pred, &eb, &mut stats)?,
+            None => Bitmap::all_valid(eb.num_rows()),
+        };
+        rows_out += mask.count_set() as u64;
+        let nr = encoded_node_result(stmt, &eb, &mask, &mut stats)?;
+        combined = Some(match combined {
+            None => nr,
+            Some(acc) => acc.merge(nr)?,
+        });
+    }
+    // Expansion out of encoded form is the decode work this path deferred;
+    // charge it at the same per-value scan cost the eager decoder pays.
+    if stats.expanded_values > 0 {
+        rec.cpu_work(node, stats.expanded_values as f64, scan_cost);
+    }
+    scan_span.record("rows_in", rows_in);
+    scan_span.record("rows_out", rows_out);
+    vdr_obs::counter_on("exec.scan.rows", node.0, rows_in);
+    vdr_obs::counter_on("exec.filter.rows", node.0, rows_out);
+    if stats.runs_skipped > 0 {
+        vdr_obs::counter_on("scan.encoded.runs_skipped", node.0, stats.runs_skipped);
+    }
+    if stats.codes_tested > 0 {
+        vdr_obs::counter_on("scan.encoded.codes_tested", node.0, stats.codes_tested);
+    }
+    if stats.late_materialized_rows > 0 {
+        vdr_obs::counter_on(
+            "scan.encoded.late_materialized_rows",
+            node.0,
+            stats.late_materialized_rows,
+        );
+    }
+    match combined {
+        Some(c) => Ok(c),
+        None => node_result(stmt, &empty_table_batch(db, table)?),
+    }
+}
+
+/// Turn one filtered encoded batch into a partial result: the dictionary
+/// GROUP BY fast path when it applies, otherwise late materialization of the
+/// survivors followed by the ordinary per-node operators.
+fn encoded_node_result(
+    stmt: &SelectStmt,
+    eb: &EncodedBatch,
+    mask: &Bitmap,
+    stats: &mut EncodedScanStats,
+) -> Result<NodeResult> {
+    if stmt.has_aggregates() || !stmt.group_by.is_empty() {
+        if let Some(nr) = aggregate_partial_dict(stmt, eb, mask, stats)? {
+            return Ok(nr);
+        }
+    }
+    let (batch, expanded) = eb.materialize(mask, None)?;
+    stats.expanded_values += expanded;
+    if expanded > 0 {
+        stats.late_materialized_rows += mask.count_set() as u64;
+    }
+    node_result(stmt, &batch)
+}
+
+/// Evaluate a WHERE predicate against an encoded batch, producing the same
+/// is-TRUE selection mask [`Expr::eval_predicate`] would on decoded columns.
+/// RLE columns compare once per run ([`kernels::cmp_scalar_rle`]),
+/// dictionary columns once per distinct code
+/// ([`kernels::cmp_scalar_dict`]); leaves outside the encoded kernels decode
+/// just their own column and fall back to the decoded evaluator.
+fn eval_predicate_encoded(
+    e: &Expr,
+    eb: &EncodedBatch,
+    stats: &mut EncodedScanStats,
+) -> Result<Bitmap> {
+    let n = eb.num_rows();
+    match e {
+        Expr::Literal(Value::Bool(true)) => Ok(Bitmap::all_valid(n)),
+        Expr::Literal(Value::Bool(false)) => Ok(Bitmap::all_clear(n)),
+        Expr::Binary { op, left, right } if matches!(op, BinOp::And | BinOp::Or) => {
+            // Same short-circuits as the decoded path: an all-false left arm
+            // settles an AND, an all-true left arm an OR.
+            let l = eval_predicate_encoded(left, eb, stats)?;
+            match op {
+                BinOp::And if !l.any_set() => Ok(l),
+                BinOp::And => Ok(l.and(&eval_predicate_encoded(right, eb, stats)?)),
+                _ if l.all_set() => Ok(l),
+                _ => Ok(l.or(&eval_predicate_encoded(right, eb, stats)?)),
+            }
+        }
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            let cop = cmp_op(*op);
+            if let (Expr::Column(name), Expr::Literal(v)) = (&**left, &**right) {
+                if let Some(mask) = encoded_cmp_leaf(eb, name, cop, v, stats)? {
+                    return Ok(mask);
+                }
+            }
+            if let (Expr::Literal(v), Expr::Column(name)) = (&**left, &**right) {
+                if let Some(mask) = encoded_cmp_leaf(eb, name, cop.flip(), v, stats)? {
+                    return Ok(mask);
+                }
+            }
+            decoded_predicate_leaf(e, eb)
+        }
+        _ => decoded_predicate_leaf(e, eb),
+    }
+}
+
+/// Try the encoded comparison kernels for `column cop literal`. `Ok(None)`
+/// means "no encoded kernel applies" (decoded column, bool runs, or a
+/// type/kernels mismatch) and the caller falls back.
+fn encoded_cmp_leaf(
+    eb: &EncodedBatch,
+    name: &str,
+    cop: CmpOp,
+    lit: &Value,
+    stats: &mut EncodedScanStats,
+) -> Result<Option<Bitmap>> {
+    let ScanColumn::Encoded(col) = eb.column_by_name(name)? else {
+        return Ok(None);
+    };
+    if let Some(rhs) = literal_num(lit) {
+        if let Some((mask, s)) = kernels::cmp_scalar_rle(col, cop, rhs) {
+            stats.runs_skipped += s.rows_skipped();
+            return Ok(Some(mask));
+        }
+    }
+    if let Value::Varchar(s) = lit {
+        if let Some((mask, s)) = kernels::cmp_scalar_dict(col, cop, s) {
+            stats.codes_tested += s.comparisons;
+            return Ok(Some(mask));
+        }
+    }
+    Ok(None)
+}
+
+/// Fallback for a predicate leaf the encoded kernels can't take: decode only
+/// the columns that leaf references (all rows — the mask isn't known yet)
+/// and run the decoded evaluator over the single-purpose batch.
+fn decoded_predicate_leaf(e: &Expr, eb: &EncodedBatch) -> Result<Bitmap> {
+    let cols: HashSet<String> = e.columns().iter().map(|c| c.to_ascii_lowercase()).collect();
+    let all = Bitmap::all_valid(eb.num_rows());
+    let subset = if cols.is_empty() { None } else { Some(&cols) };
+    let (batch, _) = eb.materialize(&all, subset)?;
+    e.eval_predicate(&batch)
+}
+
+/// Dictionary-code GROUP BY: a single `GROUP BY col` over a
+/// dictionary-encoded column aggregates into a dense per-code table (slot =
+/// code, one extra slot for NULL) instead of hashing decoded strings. Only
+/// the aggregate-argument columns materialize, and only for mask survivors.
+/// Returns `Ok(None)` when the shape doesn't fit and the caller should late-
+/// materialize instead.
+fn aggregate_partial_dict(
+    stmt: &SelectStmt,
+    eb: &EncodedBatch,
+    mask: &Bitmap,
+    stats: &mut EncodedScanStats,
+) -> Result<Option<NodeResult>> {
+    let [Expr::Column(key_name)] = stmt.group_by.as_slice() else {
+        return Ok(None);
+    };
+    let Ok(ScanColumn::Encoded(key)) = eb.column_by_name(key_name) else {
+        return Ok(None);
+    };
+    let Some((dict, codes)) = key.dict() else {
+        return Ok(None);
+    };
+    let specs = agg_specs(stmt)?;
+    let mut arg_cols_set = HashSet::new();
+    for (_, arg, _) in &specs {
+        if let Some(a) = arg {
+            add_expr_columns(&mut arg_cols_set, a);
+        }
+    }
+    let (arg_batch, expanded) = eb.materialize(mask, Some(&arg_cols_set))?;
+    stats.expanded_values += expanded;
+    let arg_cols: Vec<Option<Column>> = specs
+        .iter()
+        .map(|(_, arg, _)| arg.as_ref().map(|e| e.eval(&arg_batch)).transpose())
+        .collect::<Result<_>>()?;
+    let validity = key.validity();
+    // Dense per-code accumulators; the last slot collects NULL keys.
+    let mut dense: Vec<Option<Vec<AggState>>> = vec![None; dict.len() + 1];
+    let mut dense_row = 0usize;
+    mask.for_each_set(|row| {
+        let slot = if validity.get(row) {
+            codes[row] as usize
+        } else {
+            dict.len()
+        };
+        let states = dense[slot].get_or_insert_with(|| {
+            specs
+                .iter()
+                .map(|(_, _, d)| AggState::for_spec(*d))
+                .collect()
+        });
+        for (s, col) in states.iter_mut().zip(&arg_cols) {
+            s.update(col.as_ref().map(|c| c.get(dense_row)).as_ref());
+        }
+        dense_row += 1;
+    });
+    // Re-key into the merge-compatible hash form; codes map back to their
+    // dictionary strings exactly as a decoded GROUP BY would produce them.
+    let mut groups: HashMap<GroupKey, Vec<AggState>> = HashMap::new();
+    for (slot, states) in dense.into_iter().enumerate() {
+        let Some(states) = states else { continue };
+        let key_val = if slot == dict.len() {
+            Value::Null
+        } else {
+            Value::Varchar(dict[slot].clone())
+        };
+        groups.insert(GroupKey(vec![key_val]), states);
+    }
+    Ok(Some(NodeResult::Aggregated {
+        groups,
+        num_aggs: specs.len(),
+    }))
 }
 
 // --------------------------------------------------- per-node partial state
@@ -726,9 +1062,10 @@ impl AggState {
     }
 }
 
-fn aggregate_partial(stmt: &SelectStmt, batch: &Batch) -> Result<NodeResult> {
-    // Validate items: every non-aggregate must be a group-by expression.
-    let mut agg_specs: Vec<(AggFunc, Option<Expr>, bool)> = Vec::new();
+/// Validate the select list of an aggregating statement and collect the
+/// aggregate specs: every non-aggregate item must be a GROUP BY expression.
+fn agg_specs(stmt: &SelectStmt) -> Result<Vec<(AggFunc, Option<Expr>, bool)>> {
+    let mut specs: Vec<(AggFunc, Option<Expr>, bool)> = Vec::new();
     for item in &stmt.items {
         match item {
             SelectItem::Aggregate {
@@ -736,7 +1073,7 @@ fn aggregate_partial(stmt: &SelectStmt, batch: &Batch) -> Result<NodeResult> {
                 arg,
                 distinct,
                 ..
-            } => agg_specs.push((*func, arg.clone(), *distinct)),
+            } => specs.push((*func, arg.clone(), *distinct)),
             SelectItem::Expr { expr, .. } => {
                 if !stmt.group_by.iter().any(|g| g == expr) {
                     return Err(DbError::Plan(format!(
@@ -750,6 +1087,11 @@ fn aggregate_partial(stmt: &SelectStmt, batch: &Batch) -> Result<NodeResult> {
             SelectItem::Transform { .. } => unreachable!("handled earlier"),
         }
     }
+    Ok(specs)
+}
+
+fn aggregate_partial(stmt: &SelectStmt, batch: &Batch) -> Result<NodeResult> {
+    let agg_specs = agg_specs(stmt)?;
 
     let key_cols: Vec<Column> = stmt
         .group_by
@@ -1311,5 +1653,147 @@ mod tests {
         assert_eq!(a, b);
         let c = GroupKey(vec![Value::Float64(0.0)]);
         assert_ne!(a, c);
+    }
+
+    // --------------------------------------------- compressed execution
+
+    /// The compressed-execution toggle is process-global; tests that flip it
+    /// serialize here so parallel test threads don't observe each other's
+    /// setting.
+    static TOGGLE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// A table whose blocks actually pick RLE (sorted low-cardinality `grp`)
+    /// and Dictionary (3-value `tag`) encodings, with NULLs in both.
+    fn db_low_cardinality() -> Arc<VerticaDb> {
+        let cluster = SimCluster::for_tests(2);
+        let db = VerticaDb::new(cluster);
+        db.query("CREATE TABLE lc (id INTEGER, grp INTEGER, x FLOAT, tag VARCHAR)")
+            .unwrap();
+        let mut values = Vec::new();
+        for i in 0..600i64 {
+            let grp = if i % 97 == 0 {
+                "NULL".to_string()
+            } else {
+                (i / 200).to_string()
+            };
+            let tag = if i % 89 == 0 {
+                "NULL".to_string()
+            } else {
+                format!("'{}'", ["a", "b", "c"][(i % 3) as usize])
+            };
+            values.push(format!("({i}, {grp}, {}.5, {tag})", i % 7));
+        }
+        db.query(&format!("INSERT INTO lc VALUES {}", values.join(", ")))
+            .unwrap();
+        db
+    }
+
+    fn rows_of(b: &Batch) -> Vec<Vec<Value>> {
+        (0..b.num_rows()).map(|r| b.row(r)).collect()
+    }
+
+    #[test]
+    fn compressed_and_decoded_execution_agree() {
+        let _g = TOGGLE_LOCK.lock().unwrap();
+        let db = db_low_cardinality();
+        let queries = [
+            // RLE predicate, late-materialized projection.
+            "SELECT id, x FROM lc WHERE grp = 1 ORDER BY id",
+            // Dictionary predicate plus RLE predicate in an AND tree.
+            "SELECT count(*), sum(x) FROM lc WHERE grp >= 1 AND tag = 'b'",
+            // OR tree, flipped literal-first operand order.
+            "SELECT count(*) FROM lc WHERE 2 <= grp OR tag <> 'a'",
+            // Dictionary GROUP BY (dense per-code path) with NULL keys.
+            "SELECT tag, count(*) AS n, avg(x), min(id), max(id) FROM lc GROUP BY tag ORDER BY tag",
+            // Filtered dictionary GROUP BY with a distinct aggregate.
+            "SELECT tag, count(DISTINCT grp) FROM lc WHERE id < 500 GROUP BY tag ORDER BY tag",
+            // NULL-heavy predicate: NULL grp rows must drop in both paths.
+            "SELECT count(*) FROM lc WHERE grp <= 2",
+            // Non-dictionary GROUP BY falls back to late materialization.
+            "SELECT grp, count(*) FROM lc WHERE tag = 'c' GROUP BY grp ORDER BY grp",
+        ];
+        for sql in queries {
+            set_compressed_execution(true);
+            let on = db.query(sql).unwrap().batch;
+            set_compressed_execution(false);
+            let off = db.query(sql).unwrap().batch;
+            set_compressed_execution(true);
+            assert_eq!(
+                rows_of(&on),
+                rows_of(&off),
+                "encoded and decoded paths disagree for {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_predicate_skips_runs_under_profile() {
+        let _g = TOGGLE_LOCK.lock().unwrap();
+        set_compressed_execution(true);
+        let db = db_low_cardinality();
+        db.query("PROFILE SELECT count(*) FROM lc WHERE grp = 1")
+            .unwrap();
+        db.query("PROFILE SELECT tag, count(*) FROM lc WHERE tag = 'b' GROUP BY tag")
+            .unwrap();
+        let m = db
+            .query(
+                "SELECT name, value FROM v_monitor.metrics \
+                 WHERE name LIKE 'scan.encoded.%' ORDER BY name",
+            )
+            .unwrap()
+            .batch;
+        let total = |want: &str| -> f64 {
+            (0..m.num_rows())
+                .filter(|&r| matches!(&m.row(r)[0], Value::Varchar(n) if n == want))
+                .map(|r| m.row(r)[1].as_f64().unwrap_or(0.0))
+                .sum()
+        };
+        // The RLE predicate evaluated per run, not per row — the acceptance
+        // criterion for compressed execution.
+        assert!(
+            total("scan.encoded.runs_skipped") > 0.0,
+            "RLE predicate must skip per-row work: {m:?}"
+        );
+        assert!(
+            total("scan.encoded.codes_tested") > 0.0,
+            "dictionary predicate must test codes"
+        );
+        assert!(
+            total("scan.encoded.late_materialized_rows") > 0.0,
+            "surviving rows must late-materialize"
+        );
+    }
+
+    #[test]
+    fn planner_rule_picks_encoded_only_for_eligible_shapes() {
+        let eligible = [
+            "SELECT id FROM t WHERE grp = 1",
+            "SELECT count(*) FROM t WHERE 1 <= grp AND tag = 'b'",
+            "SELECT tag, count(*) FROM t GROUP BY tag",
+        ];
+        let ineligible = [
+            // No WHERE, no GROUP BY: plain scans stay decoded (and keep
+            // warming the decoded cache tier).
+            "SELECT * FROM t",
+            // Column-vs-column comparison.
+            "SELECT id FROM t WHERE grp = id",
+            // Arithmetic inside the comparison.
+            "SELECT id FROM t WHERE grp + 1 = 2",
+            // LIKE / IN need decoded values.
+            "SELECT id FROM t WHERE tag LIKE 'a%'",
+            "SELECT id FROM t WHERE grp IN (1, 2)",
+        ];
+        let as_select = |sql: &str| -> SelectStmt {
+            match crate::sql::parse(sql).unwrap() {
+                Statement::Select(s) => s,
+                other => panic!("expected SELECT, got {other:?}"),
+            }
+        };
+        for sql in eligible {
+            assert!(encoded_execution_eligible(&as_select(sql)), "{sql}");
+        }
+        for sql in ineligible {
+            assert!(!encoded_execution_eligible(&as_select(sql)), "{sql}");
+        }
     }
 }

@@ -42,7 +42,7 @@ impl BinOp {
         }
     }
 
-    fn is_comparison(self) -> bool {
+    pub(crate) fn is_comparison(self) -> bool {
         matches!(
             self,
             BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
@@ -333,7 +333,7 @@ impl Expr {
 
 /// Map a comparison [`BinOp`] onto the kernel operator. Callers must have
 /// checked `op.is_comparison()`.
-fn cmp_op(op: BinOp) -> CmpOp {
+pub(crate) fn cmp_op(op: BinOp) -> CmpOp {
     match op {
         BinOp::Eq => CmpOp::Eq,
         BinOp::Ne => CmpOp::Ne,
@@ -348,7 +348,7 @@ fn cmp_op(op: BinOp) -> CmpOp {
 /// A literal as a numeric kernel scalar: `Some(Some(x))` for numbers,
 /// `Some(None)` for NULL (comparison result is all-NULL), `None` for
 /// non-numeric literals (kernel doesn't apply).
-fn literal_num(v: &Value) -> Option<Option<f64>> {
+pub(crate) fn literal_num(v: &Value) -> Option<Option<f64>> {
     match v {
         Value::Int64(i) => Some(Some(*i as f64)),
         Value::Float64(f) => Some(Some(*f)),

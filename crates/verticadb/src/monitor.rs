@@ -20,7 +20,8 @@
 //! | `spans`                     | the vdr-obs trace ring                    |
 //! | `events`                    | the vdr-obs structured event log          |
 //! | `slow_requests`             | statements over the slow-query threshold  |
-//! | `storage_containers`        | ROS containers per table and node         |
+//! | `storage_containers`        | ROS containers per table/node/column with |
+//! |                             | encoding + encoded/decoded byte sizes     |
 //! | `block_cache`               | decoded-block cache stats (PR 3)          |
 //! | `dfs_objects`               | DFS object store listing                  |
 //! | `model_cache`               | prediction model cache stats (registered  |
@@ -560,25 +561,39 @@ impl SystemTableProvider for StorageContainersTable {
     }
 
     fn batch(&self, db: &VerticaDb) -> Result<Batch> {
+        // One row per container × column: per-column encoding choice and the
+        // encoded-vs-decoded byte sizes make compression wins inspectable
+        // from SQL. `bytes`/`crc32` describe the whole container block and
+        // repeat on each of its column rows.
         let mut rows = Rows::new(&[
             ("table_name", DataType::Varchar),
             ("node", DataType::Int64),
             ("path", DataType::Varchar),
             ("rows", DataType::Int64),
+            ("column_name", DataType::Varchar),
+            ("encoding", DataType::Varchar),
+            ("encoded_bytes", DataType::Int64),
+            ("decoded_bytes", DataType::Int64),
             ("bytes", DataType::Int64),
             ("crc32", DataType::Int64),
         ]);
         for table in db.catalog().table_names() {
             for node in 0..db.cluster().num_nodes() {
                 for c in db.storage().containers(&table, NodeId(node)) {
-                    rows.push(vec![
-                        Value::Varchar(table.clone()),
-                        Value::Int64(node as i64),
-                        Value::Varchar(c.path),
-                        Value::Int64(c.rows as i64),
-                        Value::Int64(c.bytes as i64),
-                        Value::Int64(c.crc as i64),
-                    ])?;
+                    for col in &c.columns {
+                        rows.push(vec![
+                            Value::Varchar(table.clone()),
+                            Value::Int64(node as i64),
+                            Value::Varchar(c.path.clone()),
+                            Value::Int64(c.rows as i64),
+                            Value::Varchar(col.name.clone()),
+                            Value::Varchar(format!("{:?}", col.encoding).to_lowercase()),
+                            Value::Int64(col.encoded_bytes as i64),
+                            Value::Int64(col.decoded_bytes as i64),
+                            Value::Int64(c.bytes as i64),
+                            Value::Int64(c.crc as i64),
+                        ])?;
+                    }
                 }
             }
         }

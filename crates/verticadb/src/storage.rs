@@ -15,6 +15,10 @@
 //!   `disk_cached_read` and zero decode CPU.
 //! * **Parallel container decode** — each node's containers are decoded on
 //!   the rayon pool, mirroring a real node's per-core scan threads.
+//! * **Compressed execution** — [`SegmentStore::scan_node_encoded`] returns
+//!   [`EncodedBatch`]es whose Rle/Dictionary columns stay in run/code form
+//!   for the executor's encoded kernels and late materialization; those
+//!   entries cache at *encoded* size on the block cache's encoded tier.
 
 use crate::blockcache::BlockCache;
 use crate::catalog::TableDef;
@@ -26,11 +30,27 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use vdr_cluster::{NodeId, PhaseRecorder, SimCluster};
-use vdr_columnar::{block_checksum, decode_batch_columns, encode_batch, Batch};
+use vdr_columnar::{
+    block_checksum, block_column_info, decode_batch_columns, decode_batch_encoded, encode_batch,
+    encoding::Encoding, Batch, EncodedBatch,
+};
 
 /// Fraction of a node's RAM given to the decoded-block cache (1/32 of the
 /// profile's `mem_bytes` — the rest belongs to the resource pools).
 const CACHE_MEM_FRACTION: u64 = 32;
+
+/// Per-column storage facts for one container: the encoding the block
+/// writer chose and the encoded-vs-decoded byte sizes. Surfaced through
+/// `v_monitor.storage_containers`.
+#[derive(Debug, Clone)]
+pub struct ColumnStat {
+    pub name: String,
+    pub encoding: Encoding,
+    /// Bytes of the encoded payload inside the container block.
+    pub encoded_bytes: u64,
+    /// Bytes the column occupies once decoded to plain form.
+    pub decoded_bytes: u64,
+}
 
 /// Metadata for one on-disk container.
 #[derive(Debug, Clone)]
@@ -41,6 +61,8 @@ pub struct ContainerMeta {
     /// crc32 of the encoded block body; doubles as the block-cache's
     /// content version tag.
     pub crc: u32,
+    /// Per-column encoding and size facts.
+    pub columns: Vec<ColumnStat>,
 }
 
 /// Per-table, per-node container lists.
@@ -92,6 +114,16 @@ impl SegmentStore {
         let block = encode_batch(batch);
         let bytes = block.len() as u64;
         let crc = block_checksum(&block)?;
+        let columns = block_column_info(&block)?
+            .into_iter()
+            .zip(batch.columns())
+            .map(|(info, col)| ColumnStat {
+                name: info.name,
+                encoding: info.encoding,
+                encoded_bytes: info.encoded_bytes,
+                decoded_bytes: col.byte_size(),
+            })
+            .collect();
         let mut meta = self.meta.write();
         let tm = meta.entry(key.clone()).or_insert_with(|| TableMeta {
             segments: vec![Vec::new(); self.cluster.num_nodes()],
@@ -108,6 +140,7 @@ impl SegmentStore {
             rows: batch.num_rows() as u64,
             bytes,
             crc,
+            columns,
         });
         Ok(())
     }
@@ -248,6 +281,81 @@ impl SegmentStore {
                 };
                 self.cache
                     .insert(node, &c.path, c.crc, cache_cols, Arc::clone(&batch));
+                Ok(batch)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let skipped = cols_skipped.load(Ordering::Relaxed);
+        if skipped > 0 {
+            vdr_obs::counter_on("exec.scan.cols_skipped", node.0, skipped);
+        }
+        Ok(out)
+    }
+
+    /// Compressed-execution scan: like [`Self::scan_node_projected`] but
+    /// Rle/Dictionary columns stay in run/code form
+    /// ([`vdr_columnar::decode_batch_encoded`]). Decode CPU is charged only
+    /// for the eagerly decoded (Plain/DeltaVarint) columns — encoded
+    /// columns' expansion is charged later, at late materialization, for
+    /// surviving rows only. Results cache on the block cache's encoded
+    /// tier, at encoded byte size.
+    pub fn scan_node_encoded(
+        &self,
+        table: &str,
+        node: NodeId,
+        rec: &PhaseRecorder,
+        cached: bool,
+        wanted: Option<&HashSet<String>>,
+    ) -> Result<Vec<Arc<EncodedBatch>>> {
+        let wanted_lc: Option<HashSet<String>> =
+            wanted.map(|w| w.iter().map(|s| s.to_ascii_lowercase()).collect());
+        let containers = self.containers(table, node);
+        let disk = self.cluster.node(node).disk();
+        let scan_cost = self.cluster.profile().costs.db_scan_ns_per_value;
+        let cols_skipped = AtomicU64::new(0);
+        let out: Vec<Arc<EncodedBatch>> = containers
+            .par_iter()
+            .map(|c| -> Result<Arc<EncodedBatch>> {
+                if let Some(hit) = self
+                    .cache
+                    .get_encoded(node, &c.path, c.crc, wanted_lc.as_ref())
+                {
+                    rec.disk_cached_read(node, c.bytes);
+                    return Ok(hit);
+                }
+                let raw = disk.read(&c.path)?;
+                if cached {
+                    rec.disk_cached_read(node, c.bytes);
+                } else {
+                    rec.disk_read(node, c.bytes);
+                }
+                let started = Instant::now();
+                let (batch, stats) = decode_batch_encoded(&raw, wanted_lc.as_ref())?;
+                let values = stats.values_decoded();
+                rec.cpu_work(node, values as f64, scan_cost);
+                if values > 0 {
+                    vdr_obs::observe_on(
+                        "scan.decode.ns_per_value",
+                        node.0,
+                        started.elapsed().as_nanos() as f64 / values as f64,
+                    );
+                }
+                cols_skipped.fetch_add(stats.cols_skipped() as u64, Ordering::Relaxed);
+                let batch = Arc::new(batch);
+                let covers_all = stats.cols_decoded + stats.cols_kept_encoded == stats.cols_total;
+                let cache_cols = if covers_all {
+                    None
+                } else {
+                    Some(
+                        batch
+                            .schema()
+                            .fields()
+                            .iter()
+                            .map(|f| f.name.to_ascii_lowercase())
+                            .collect(),
+                    )
+                };
+                self.cache
+                    .insert_encoded(node, &c.path, c.crc, cache_cols, Arc::clone(&batch));
                 Ok(batch)
             })
             .collect::<Result<Vec<_>>>()?;
@@ -447,6 +555,90 @@ mod tests {
         assert!(store.block_cache().hits() > 0);
         // Served from the full-decode entry: all columns present.
         assert_eq!(batches[0].num_columns(), 4);
+    }
+
+    #[test]
+    fn append_records_per_column_stats() {
+        let cluster = SimCluster::for_tests(1);
+        let store = SegmentStore::new(cluster.clone());
+        let schema = Schema::of(&[("grp", DataType::Int64), ("x", DataType::Float64)]);
+        let def = TableDef {
+            name: "lc".into(),
+            schema: schema.clone(),
+            segmentation: Segmentation::RoundRobin,
+        };
+        let n = 4000i64;
+        let batch = Batch::new(
+            schema,
+            vec![
+                Column::from_i64((0..n).map(|i| i / 1000).collect()),
+                Column::from_f64((0..n).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        store.load(&def, vec![batch], &rec(1)).unwrap();
+        let meta = store.containers("lc", NodeId(0));
+        assert_eq!(meta.len(), 1);
+        let grp = meta[0].columns.iter().find(|c| c.name == "grp").unwrap();
+        assert_eq!(grp.encoding, Encoding::Rle);
+        assert!(grp.encoded_bytes * 10 < grp.decoded_bytes, "{grp:?}");
+        let x = meta[0].columns.iter().find(|c| c.name == "x").unwrap();
+        assert_eq!(x.encoding, Encoding::Plain);
+    }
+
+    #[test]
+    fn encoded_scan_keeps_rle_columns_and_caches_encoded() {
+        let cluster = SimCluster::for_tests(1);
+        let store = SegmentStore::new(cluster.clone());
+        let schema = Schema::of(&[("grp", DataType::Int64), ("x", DataType::Float64)]);
+        let def = TableDef {
+            name: "lc".into(),
+            schema: schema.clone(),
+            segmentation: Segmentation::RoundRobin,
+        };
+        let n = 4000i64;
+        let batch = Batch::new(
+            schema,
+            vec![
+                Column::from_i64((0..n).map(|i| i / 1000).collect()),
+                Column::from_f64((0..n).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        store.load(&def, vec![batch], &rec(1)).unwrap();
+
+        let r = rec(1);
+        let ebs = store
+            .scan_node_encoded("lc", NodeId(0), &r, false, None)
+            .unwrap();
+        assert_eq!(ebs.len(), 1);
+        assert_eq!(ebs[0].num_encoded(), 1, "grp stays in run form");
+        let cold = r.finish(cluster.profile());
+        assert!(cold.total_disk_read > 0);
+
+        // The entry sits on the encoded tier at encoded size — well below
+        // the fully decoded footprint (the plain float column still costs
+        // full size; the RLE column shrinks to a handful of runs).
+        assert_eq!(store.block_cache().encoded_len(), 1);
+        assert_eq!(store.block_cache().bytes_on(NodeId(0)), ebs[0].byte_size());
+        let full_mask = vdr_columnar::Bitmap::all_valid(ebs[0].num_rows());
+        let (full, _) = ebs[0].materialize(&full_mask, None).unwrap();
+        assert!(ebs[0].byte_size() * 3 < full.byte_size() * 2);
+
+        // Re-scan: encoded-tier hit, zero decode CPU.
+        let r2 = rec(1);
+        store
+            .scan_node_encoded("lc", NodeId(0), &r2, false, None)
+            .unwrap();
+        assert!(store.block_cache().hits() > 0);
+        assert_eq!(r2.finish(cluster.profile()).total_cpu_core_ns, 0.0);
+
+        // A decoded-path scan of the same container misses (tier mismatch)
+        // and replaces the entry with a decoded one.
+        let r3 = rec(1);
+        store.scan_node("lc", NodeId(0), &r3, false).unwrap();
+        assert_eq!(store.block_cache().encoded_len(), 0);
+        assert_eq!(store.block_cache().len(), 1);
     }
 
     #[test]

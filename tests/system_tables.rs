@@ -225,15 +225,36 @@ fn system_tables_materialize_and_filter_like_ordinary_tables() {
         "executor span attributed to the query"
     );
 
-    // Storage, caches, DFS.
+    // Storage, caches, DFS. storage_containers is per container × column
+    // now, so pin one column when summing container row counts.
     let containers = session
-        .sql("SELECT table_name, rows FROM v_monitor.storage_containers WHERE table_name = 'samples'")
+        .sql(
+            "SELECT table_name, rows FROM v_monitor.storage_containers \
+             WHERE table_name = 'samples' AND column_name = 'a'",
+        )
         .unwrap()
         .batch;
     let total: i64 = (0..containers.num_rows())
         .map(|r| as_i64(&containers.row(r)[1]))
         .sum();
     assert_eq!(total, 500, "containers account for every loaded row");
+    // Per-column encoding metadata is queryable.
+    let enc = session
+        .sql(
+            "SELECT column_name, encoding, encoded_bytes, decoded_bytes \
+             FROM v_monitor.storage_containers WHERE table_name = 'samples'",
+        )
+        .unwrap()
+        .batch;
+    assert!(enc.num_rows() >= 2, "one row per container column");
+    for r in 0..enc.num_rows() {
+        assert!(
+            !as_str(&enc.row(r)[1]).is_empty(),
+            "encoding name populated"
+        );
+        assert!(as_i64(&enc.row(r)[2]) > 0, "encoded size recorded");
+        assert!(as_i64(&enc.row(r)[3]) > 0, "decoded size recorded");
+    }
     let bc = session
         .sql("SELECT stat, value FROM v_monitor.block_cache")
         .unwrap()
