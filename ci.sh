@@ -106,6 +106,18 @@ for name, entry in obs.items():
     if pct >= 2.0:
         sys.exit(f"BENCH_obs.json: {name} overhead_min_pct={pct} breaches the 2% budget")
     print(f"    BENCH_obs.json: {name} overhead_min_pct={pct} < 2% ok")
+
+# The data-collector sampler has its own A/B (sampler_off vs sampler_on,
+# both under summary verbosity): the per-tick cost must also stay < 2%.
+sampler = obs.get("obs_scan_sampler_40k")
+if not isinstance(sampler, dict) or "before" not in sampler or "after" not in sampler:
+    sys.exit("BENCH_obs.json: missing sampler A/B entry obs_scan_sampler_40k")
+for arm in ("before", "after"):
+    runs = sampler[arm].get("runs_ms")
+    if not isinstance(runs, list) or not runs:
+        sys.exit(f"BENCH_obs.json: obs_scan_sampler_40k.{arm}.runs_ms missing or empty")
+    if sampler[arm].get("best_min_ms") != min(r["min"] for r in runs):
+        sys.exit(f"BENCH_obs.json: obs_scan_sampler_40k.{arm}.best_min_ms != min of runs")
 EOF
 
 # Smoke-run the figures binary: every figure generator must still execute
@@ -232,10 +244,73 @@ print(f"    train: query_id={train['query_id']} rows={train['rows']} "
 print(f"    encoded: rows={enc['rows']} groups={enc['group_rows']} "
       f"runs_skipped={enc['runs_skipped']} codes_tested={enc['codes_tested']} "
       f"late_rows={enc['late_materialized_rows']} profile_rows={enc['profile_encoded_rows']}")
+dc = doc["dc"]
+if int(dc["metric_rows"]) <= 0:
+    sys.exit("v_monitor.dc_metrics_by_tick returned no rows")
+if int(dc["ticks"]) < 2:
+    sys.exit("data collector advanced < 2 ticks over a multi-statement run")
+if int(dc["nodes"]) < 2:
+    sys.exit("dc_metrics_by_tick rows span < 2 nodes: per-node ring slicing broken")
+if int(dc["resource_rows"]) <= 0 or float(dc["cpu_core_ns"]) <= 0:
+    sys.exit("dc_resource_usage empty or recorded no cpu work")
+if int(dc["statement_summaries"]) <= 0:
+    sys.exit("dc_query_summaries has no statement-boundary ticks")
+if int(dc["vft_summaries"]) <= 0 or int(dc["train_summaries"]) <= 0:
+    sys.exit("dc_query_summaries missing vft/train completion ticks")
+for key in ("metrics_node_names", "profiles_node_names", "containers_node_names"):
+    if int(dc[key]) != 3:
+        sys.exit(f"cluster-wide v_monitor: {key}={dc[key]}, want one node_name per node (3)")
 print(f"    events_rows={doc['events_rows']} slow_rows={slow['rows']} "
       f"trace_stmt: rows={ts['rows']} nodes={ts['nodes']} "
       f"trace_file: events={tf['events']} max_nodes_one_query={tf['max_nodes_one_query']}")
+print(f"    dc: rows={dc['metric_rows']} ticks={dc['ticks']} nodes={dc['nodes']} "
+      f"summaries: stmt={dc['statement_summaries']} vft={dc['vft_summaries']} "
+      f"train={dc['train_summaries']}")
 EOF
 rm -f "$MONITOR_OUT"
+
+# The metrics export surface: dc_dump runs a small workload and writes
+# Session::export_metrics() output; every line must parse as Prometheus
+# exposition format (# TYPE comments + name{labels} value samples) and the
+# vdr_dc_* series must be live.
+DC_OUT="$(mktemp)"
+run cargo run --release $OFFLINE -p vdr-bench --bin dc_dump -- "$DC_OUT"
+echo "==> validating Prometheus export from dc_dump"
+python3 - "$DC_OUT" <<'EOF'
+import re, sys
+
+sample = re.compile(r'^([A-Za-z_][A-Za-z0-9_]*)(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]?Inf)$')
+typed, series = set(), set()
+for i, line in enumerate(open(sys.argv[1]), 1):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("#"):
+        parts = line.split()
+        if len(parts) != 4 or parts[1] != "TYPE" or parts[3] not in ("counter", "gauge", "summary", "histogram"):
+            sys.exit(f"line {i}: malformed TYPE comment: {line}")
+        typed.add(parts[2])
+        continue
+    m = sample.match(line)
+    if not m:
+        sys.exit(f"line {i}: unparsable sample: {line}")
+    name = m.group(1)
+    if not name.startswith("vdr_"):
+        sys.exit(f"line {i}: series {name} lacks the vdr_ namespace prefix")
+    float(m.group(3))
+    series.add(name)
+for want in ("vdr_dc_ticks_total", "vdr_dc_samples", "vdr_dc_query_summaries", "vdr_dc_capacity"):
+    if want not in series:
+        sys.exit(f"export missing data-collector series {want}")
+if "vdr_exec_scan_rows_total" not in series:
+    sys.exit("export missing the scan counters the workload must have recorded")
+untyped = {s for s in series if s not in typed
+           and not s.rsplit("_", 1)[0] in typed
+           and not any(s.startswith(t) for t in typed)}
+if untyped:
+    sys.exit(f"series without a TYPE comment: {sorted(untyped)[:5]}")
+print(f"    {len(series)} series, {len(typed)} TYPE comments, dc series live")
+EOF
+rm -f "$DC_OUT"
 
 echo "==> CI green"

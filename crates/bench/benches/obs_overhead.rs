@@ -65,11 +65,30 @@ fn ab(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
     }
 }
 
+/// Time `f` under `summary` verbosity with the data-collector sampler
+/// disabled (`<name>/sampler_off`) and enabled (`<name>/sampler_on`). The
+/// delta is the cost of one statement-boundary tick: restricting the
+/// already-computed metrics delta per node, the ledger/cache readings, and
+/// the ring pushes.
+fn ab_sampler(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+    let _v = vdr_obs::verbosity_guard(vdr_obs::Verbosity::Summary);
+    let dc = vdr_obs::global().dc();
+    for arm in ["sampler_off", "sampler_on"] {
+        dc.set_enabled(arm == "sampler_on");
+        c.bench_function(format!("{name}/{arm}"), |b| b.iter(&mut f));
+    }
+    dc.set_enabled(true);
+}
+
 fn bench(c: &mut Criterion) {
     let db = VerticaDb::new(SimCluster::for_tests(3));
     load_wide(&db);
     let expected_sum = (0..ROWS).map(|i| i as f64).sum::<f64>();
     ab(c, "obs_scan_sum_16col_40k", || {
+        let out = db.query("SELECT sum(c00) FROM wide").unwrap();
+        assert_eq!(out.batch.row(0)[0], Value::Float64(expected_sum));
+    });
+    ab_sampler(c, "obs_scan_sampler_40k", || {
         let out = db.query("SELECT sum(c00) FROM wide").unwrap();
         assert_eq!(out.batch.row(0)[0], Value::Float64(expected_sum));
     });

@@ -1,0 +1,70 @@
+//! Dump the process metrics and data-collector state in Prometheus text
+//! format after a small representative workload — a few tracked scans and
+//! one VFT transfer, so statement and transfer ticks both fire. CI runs
+//! this, then validates that every line of the output parses as Prometheus
+//! exposition format and that the `vdr_dc_*` series are live. Writes to the
+//! path given as the first argument, or stdout.
+
+use std::sync::Arc;
+use vdr_cluster::{Ledger, SimCluster};
+use vdr_columnar::{Batch, Column, DataType, Schema};
+use vdr_core::{Session, SessionOptions};
+use vdr_distr::DistributedR;
+use vdr_transfer::{install_export_function, TransferPolicy};
+use vdr_verticadb::{Segmentation, TableDef, VerticaDb};
+
+fn main() {
+    let cluster = SimCluster::for_tests(3);
+    let db = VerticaDb::new(cluster.clone());
+    let schema = Schema::of(&[("a", DataType::Float64), ("b", DataType::Float64)]);
+    db.create_table(TableDef {
+        name: "samples".into(),
+        schema: schema.clone(),
+        segmentation: Segmentation::RoundRobin,
+    })
+    .expect("create table");
+    let a: Vec<f64> = (0..3_000).map(|i| i as f64).collect();
+    let b: Vec<f64> = a.iter().map(|x| 2.0 * x).collect();
+    db.copy(
+        "samples",
+        vec![Batch::new(schema, vec![Column::from_f64(a), Column::from_f64(b)]).expect("batch")],
+    )
+    .expect("copy");
+
+    let session = Session::connect_colocated(
+        Arc::clone(&db),
+        SessionOptions {
+            r_instances_per_node: 2,
+            ..Default::default()
+        },
+    )
+    .expect("connect");
+
+    // Statement ticks: a cold scan, a warm scan, an aggregate.
+    for sql in [
+        "SELECT a, b FROM samples WHERE a >= 100.0",
+        "SELECT a, b FROM samples WHERE a < 2000.0",
+        "SELECT sum(a), sum(b) FROM samples",
+    ] {
+        session.sql(sql).expect("tracked statement");
+    }
+
+    // One transfer tick, so the export shows the vft trigger too.
+    let dr = DistributedR::on_all_nodes(cluster, 2).expect("runtime");
+    let vft = install_export_function(&db);
+    vft.db2darray(
+        &db,
+        &dr,
+        "samples",
+        &["a", "b"],
+        TransferPolicy::Locality,
+        &Ledger::new(),
+    )
+    .expect("vft transfer");
+
+    let text = session.export_metrics();
+    match std::env::args().nth(1) {
+        Some(path) => std::fs::write(&path, &text).unwrap_or_else(|e| panic!("write {path}: {e}")),
+        None => print!("{text}"),
+    }
+}

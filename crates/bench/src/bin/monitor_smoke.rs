@@ -122,6 +122,31 @@ struct EncodedSummary {
     profile_all_rows_attributed: bool,
 }
 
+/// The data collector's time-series tables and the cluster-wide `v_monitor`
+/// surface, read back over SQL at the end of the run.
+#[derive(Serialize)]
+struct DcSummary {
+    /// Rows of `v_monitor.dc_metrics_by_tick`.
+    metric_rows: usize,
+    /// Distinct tick values among them — ≥ 2 proves the sampler advanced at
+    /// multiple statement/transfer boundaries.
+    ticks: usize,
+    /// Distinct (non-NULL) node ids — ≥ 2 proves per-node ring slicing.
+    nodes: usize,
+    /// Rows of `v_monitor.dc_resource_usage`, and their cpu_core_ns sum.
+    resource_rows: usize,
+    cpu_core_ns: f64,
+    /// Rows of `v_monitor.dc_query_summaries` per trigger kind.
+    statement_summaries: usize,
+    vft_summaries: usize,
+    train_summaries: usize,
+    /// Distinct `node_name` values seen in each cluster-materialized table —
+    /// all must equal the cluster size.
+    metrics_node_names: usize,
+    profiles_node_names: usize,
+    containers_node_names: usize,
+}
+
 #[derive(Serialize)]
 struct Smoke {
     metrics_rows: usize,
@@ -134,6 +159,7 @@ struct Smoke {
     events_rows: usize,
     slow: SlowSummary,
     encoded: EncodedSummary,
+    dc: DcSummary,
 }
 
 fn main() {
@@ -441,6 +467,59 @@ fn main() {
         }
     }
 
+    // Data collector: every tracked statement and the VFT/train completions
+    // above ticked the sampler; its tables must answer cluster-wide.
+    let dcm = session
+        .sql("SELECT tick, node, name, value FROM v_monitor.dc_metrics_by_tick")
+        .expect("dc_metrics_by_tick")
+        .batch;
+    let mut dc_ticks = std::collections::BTreeSet::new();
+    let mut dc_nodes = std::collections::BTreeSet::new();
+    for r in 0..dcm.num_rows() {
+        let row = dcm.row(r);
+        if let Value::Int64(t) = row[0] {
+            dc_ticks.insert(t);
+        }
+        if let Value::Int64(n) = row[1] {
+            dc_nodes.insert(n);
+        }
+    }
+    let dcu = session
+        .sql("SELECT cpu_core_ns FROM v_monitor.dc_resource_usage")
+        .expect("dc_resource_usage")
+        .batch;
+    let dc_cpu: f64 = (0..dcu.num_rows())
+        .filter_map(|r| match dcu.row(r)[0] {
+            Value::Float64(v) => Some(v),
+            _ => None,
+        })
+        .sum();
+    let dcs = session
+        .sql("SELECT trigger FROM v_monitor.dc_query_summaries")
+        .expect("dc_query_summaries")
+        .batch;
+    let trigger_count = |want: &str| {
+        (0..dcs.num_rows())
+            .filter(|&r| matches!(&dcs.row(r)[0], Value::Varchar(t) if t == want))
+            .count()
+    };
+
+    // Cluster-wide materialization: the per-node tables must union rows
+    // from every node, each stamped with the owning node's name.
+    let distinct_node_names = |table: &str| {
+        let batch = session
+            .sql(&format!("SELECT node_name FROM v_monitor.{table}"))
+            .unwrap_or_else(|e| panic!("{table}: {e}"))
+            .batch;
+        (0..batch.num_rows())
+            .map(|r| match &batch.row(r)[0] {
+                Value::Varchar(s) => s.clone(),
+                other => panic!("{table}: non-varchar node_name {other:?}"),
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    };
+
     // Human-readable percentile summary — stderr, so stdout stays JSON.
     let session_report = session.trace_report();
     if let Some(table) = session_report.percentile_table() {
@@ -502,6 +581,19 @@ fn main() {
             late_materialized_rows,
             profile_encoded_rows,
             profile_all_rows_attributed: enc_attributed,
+        },
+        dc: DcSummary {
+            metric_rows: dcm.num_rows(),
+            ticks: dc_ticks.len(),
+            nodes: dc_nodes.len(),
+            resource_rows: dcu.num_rows(),
+            cpu_core_ns: dc_cpu,
+            statement_summaries: trigger_count("statement"),
+            vft_summaries: trigger_count("vft"),
+            train_summaries: trigger_count("train"),
+            metrics_node_names: distinct_node_names("metrics"),
+            profiles_node_names: distinct_node_names("execution_engine_profiles"),
+            containers_node_names: distinct_node_names("storage_containers"),
         },
     };
     println!("{}", serde_json::to_string_pretty(&doc).expect("json"));

@@ -22,6 +22,8 @@ pub enum ClusterError {
     StreamClosed,
     /// A node id referenced a node outside the cluster.
     NoSuchNode { node: NodeId, cluster_size: usize },
+    /// A malformed wire stream or a producer failure inside a gather.
+    Io(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -45,6 +47,7 @@ impl fmt::Display for ClusterError {
             ClusterError::NoSuchNode { node, cluster_size } => {
                 write!(f, "node {node} does not exist (cluster has {cluster_size} nodes)")
             }
+            ClusterError::Io(msg) => write!(f, "{msg}"),
         }
     }
 }

@@ -20,6 +20,7 @@
 
 pub mod disk;
 pub mod error;
+pub mod fetch;
 pub mod ledger;
 pub mod net;
 pub mod node;
@@ -29,6 +30,7 @@ pub mod time;
 
 pub use disk::SimDisk;
 pub use error::{ClusterError, Result};
+pub use fetch::gather_framed;
 pub use ledger::{Ledger, NodePhase, NodeUsage, PhaseKind, PhaseRecorder, PhaseReport};
 pub use net::{Network, StreamRx, StreamTx};
 pub use node::{Node, NodeId};

@@ -51,13 +51,20 @@ pub struct Session {
     /// Metrics levels at connect: [`Session::metrics`] diffs against it so
     /// counters read as "since this session connected".
     obs_base_metrics: vdr_obs::MetricsSnapshot,
+    /// Event-log sequence watermark at connect: [`Session::export_trace`]
+    /// only renders structured events recorded after it.
+    obs_base_event_seq: u64,
 }
 
-/// The (span watermark, metric levels) pair that scopes a session's
-/// observability to "everything after this point".
-fn obs_baseline() -> (u64, vdr_obs::MetricsSnapshot) {
+/// The (span watermark, metric levels, event watermark) triple that scopes
+/// a session's observability to "everything after this point".
+fn obs_baseline() -> (u64, vdr_obs::MetricsSnapshot, u64) {
     let obs = vdr_obs::global();
-    (obs.trace().current_seq(), obs.metrics().snapshot())
+    (
+        obs.trace().current_seq(),
+        obs.metrics().snapshot(),
+        obs.events().current_seq(),
+    )
 }
 
 impl Session {
@@ -69,7 +76,7 @@ impl Session {
         worker_nodes: Vec<NodeId>,
         opts: SessionOptions,
     ) -> Result<Session> {
-        let (obs_base_seq, obs_base_metrics) = obs_baseline();
+        let (obs_base_seq, obs_base_metrics, obs_base_event_seq) = obs_baseline();
         let dr = DistributedR::start(
             db.cluster().clone(),
             worker_nodes,
@@ -87,6 +94,7 @@ impl Session {
             yarn: None,
             obs_base_seq,
             obs_base_metrics,
+            obs_base_event_seq,
         })
     }
 
@@ -110,7 +118,7 @@ impl Session {
     ) -> Result<Session> {
         // Baseline before the YARN negotiation so the container lifecycle
         // counters land inside this session's metrics window.
-        let (obs_base_seq, obs_base_metrics) = obs_baseline();
+        let (obs_base_seq, obs_base_metrics, obs_base_event_seq) = obs_baseline();
         let app = rm.register(queue_app_name, "dr", Lifetime::Session)?;
         let preferred = db.cluster().node_ids();
         let granted = match rm.allocate(
@@ -137,6 +145,7 @@ impl Session {
         session.yarn = Some((rm, app.id));
         session.obs_base_seq = obs_base_seq;
         session.obs_base_metrics = obs_base_metrics;
+        session.obs_base_event_seq = obs_base_event_seq;
         Ok(session)
     }
 
@@ -305,12 +314,27 @@ impl Session {
 
     /// Export every span recorded since this session connected as a Chrome
     /// trace-event JSON file (load it in `chrome://tracing` or Perfetto:
-    /// one track per cluster node, one row per recording thread). Requires
-    /// spans to have been recorded — i.e. `VDR_OBS=trace` or
-    /// [`vdr_obs::set_verbosity`]`(Trace)` while the workload ran.
+    /// one track per cluster node, one row per recording thread).
+    /// Structured event-ring entries from the same window (`query.slow`,
+    /// `cache.*`, `vft.receive.error`, …) render as instant events on the
+    /// owning node's lane. Requires spans to have been recorded — i.e.
+    /// `VDR_OBS=trace` or [`vdr_obs::set_verbosity`]`(Trace)` while the
+    /// workload ran.
     pub fn export_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let spans = vdr_obs::global().trace().spans_since(self.obs_base_seq);
-        vdr_obs::export_chrome_trace(&spans, path.as_ref())
+        let obs = vdr_obs::global();
+        let spans = obs.trace().spans_since(self.obs_base_seq);
+        let events = obs.events().events_since(self.obs_base_event_seq);
+        vdr_obs::export_chrome_trace_with_events(&spans, &events, path.as_ref())
+    }
+
+    /// The current metrics registry plus data-collector state rendered in
+    /// Prometheus text exposition format — the scrape/export surface. Unlike
+    /// [`Session::metrics`] this is *not* diffed against the session
+    /// baseline: an exporter reports absolute counter levels and lets the
+    /// scraper compute rates, exactly as a real `/metrics` endpoint would.
+    pub fn export_metrics(&self) -> String {
+        let obs = vdr_obs::global();
+        vdr_obs::render_prometheus(&obs.metrics().snapshot(), obs.dc())
     }
 }
 

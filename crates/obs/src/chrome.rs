@@ -9,6 +9,7 @@
 //! OS thread. Span annotations, ids, and the owning query id ride along in
 //! `args`, so selecting an event in the viewer shows the full attribution.
 
+use crate::events::EventRecord;
 use crate::trace::SpanRecord;
 use serde::Content;
 use std::io::Write;
@@ -19,6 +20,34 @@ const CLIENT_PID: u64 = 0;
 
 fn pid_of(span: &SpanRecord) -> u64 {
     span.node.map(|n| n as u64 + 1).unwrap_or(CLIENT_PID)
+}
+
+fn pid_of_event(event: &EventRecord) -> u64 {
+    event.node.map(|n| n as u64 + 1).unwrap_or(CLIENT_PID)
+}
+
+/// Render one structured event-ring entry (`query.slow`, `cache.*`,
+/// `vft.receive.error`, …) as an instant event (`"ph": "i"`) pinned to the
+/// owning node's process lane, so Perfetto shows it inline with the spans.
+fn instant_event(event: &EventRecord) -> Content {
+    let mut args: Vec<(String, Content)> = vec![
+        ("seq".into(), Content::U64(event.seq)),
+        ("query_id".into(), Content::U64(event.query_id)),
+    ];
+    if !event.detail.is_empty() {
+        args.push(("detail".into(), Content::Str(event.detail.clone())));
+    }
+    Content::Map(vec![
+        ("name".into(), Content::Str(event.kind.clone())),
+        ("cat".into(), Content::Str("vdr.event".into())),
+        ("ph".into(), Content::Str("i".into())),
+        // Process scope: the marker spans the node's whole track height.
+        ("s".into(), Content::Str("p".into())),
+        ("ts".into(), Content::F64(event.ts_ns as f64 / 1e3)),
+        ("pid".into(), Content::U64(pid_of_event(event))),
+        ("tid".into(), Content::U64(0)),
+        ("args".into(), Content::Map(args)),
+    ])
 }
 
 fn span_event(span: &SpanRecord) -> Content {
@@ -66,11 +95,25 @@ fn process_name_event(pid: u64) -> Content {
 
 /// Build the Chrome trace document for `spans` as a JSON value.
 pub fn chrome_trace_json(spans: &[SpanRecord]) -> serde_json::Value {
-    let mut pids: Vec<u64> = spans.iter().map(pid_of).collect();
+    chrome_trace_json_with_events(spans, &[])
+}
+
+/// Build the Chrome trace document for `spans` plus event-ring `marks`
+/// rendered as instant events on the owning node's lane.
+pub fn chrome_trace_json_with_events(
+    spans: &[SpanRecord],
+    marks: &[EventRecord],
+) -> serde_json::Value {
+    let mut pids: Vec<u64> = spans
+        .iter()
+        .map(pid_of)
+        .chain(marks.iter().map(pid_of_event))
+        .collect();
     pids.sort_unstable();
     pids.dedup();
     let mut events: Vec<Content> = pids.into_iter().map(process_name_event).collect();
     events.extend(spans.iter().map(span_event));
+    events.extend(marks.iter().map(instant_event));
     let doc = Content::Map(vec![
         ("traceEvents".into(), Content::Seq(events)),
         ("displayTimeUnit".into(), Content::Str("ms".into())),
@@ -81,7 +124,17 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> serde_json::Value {
 /// Write the Chrome trace document for `spans` to `path`. Open the file in
 /// `chrome://tracing` or Perfetto to browse the tree visually.
 pub fn export_chrome_trace(spans: &[SpanRecord], path: &Path) -> std::io::Result<()> {
-    let json = serde_json::to_string(&chrome_trace_json(spans))
+    export_chrome_trace_with_events(spans, &[], path)
+}
+
+/// [`export_chrome_trace`], with event-ring entries included as instant
+/// events.
+pub fn export_chrome_trace_with_events(
+    spans: &[SpanRecord],
+    marks: &[EventRecord],
+    path: &Path,
+) -> std::io::Result<()> {
+    let json = serde_json::to_string(&chrome_trace_json_with_events(spans, marks))
         .map_err(|e| std::io::Error::other(e.to_string()))?;
     let mut f = std::fs::File::create(path)?;
     f.write_all(json.as_bytes())
@@ -139,6 +192,57 @@ mod tests {
         // ts/dur are microseconds.
         assert_eq!(complete[1].get("ts").and_then(|t| t.as_f64()), Some(2.0));
         assert_eq!(complete[1].get("dur").and_then(|d| d.as_f64()), Some(2.0));
+    }
+
+    #[test]
+    fn event_ring_entries_become_instant_events_on_node_lanes() {
+        let marks = vec![
+            EventRecord {
+                seq: 1,
+                ts_ns: 5_000,
+                kind: "query.slow".into(),
+                node: None,
+                query_id: 9,
+                detail: "wall_ms=30".into(),
+            },
+            EventRecord {
+                seq: 2,
+                ts_ns: 6_000,
+                kind: "vft.receive.error".into(),
+                node: Some(2),
+                query_id: 9,
+                detail: String::new(),
+            },
+        ];
+        let doc = chrome_trace_json_with_events(&[span(1, "session", None, 9)], &marks);
+        let events = doc.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let instants: Vec<&serde_json::Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 2);
+        assert_eq!(
+            instants[0].get("name").and_then(|n| n.as_str()),
+            Some("query.slow")
+        );
+        assert_eq!(instants[0].get("pid").and_then(|p| p.as_u64()), Some(0));
+        assert_eq!(instants[0].get("s").and_then(|s| s.as_str()), Some("p"));
+        assert_eq!(instants[0].get("ts").and_then(|t| t.as_f64()), Some(5.0));
+        assert_eq!(
+            instants[0]
+                .get("args")
+                .and_then(|a| a.get("detail"))
+                .and_then(|d| d.as_str()),
+            Some("wall_ms=30")
+        );
+        // The node-owned event lands on that node's process lane, and the
+        // lane got a process_name metadata entry even with no span on it.
+        assert_eq!(instants[1].get("pid").and_then(|p| p.as_u64()), Some(3));
+        let metas = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .count();
+        assert_eq!(metas, 2, "pids 0 and 3 get name metadata");
     }
 
     #[test]

@@ -52,16 +52,23 @@
 //! ```
 
 pub mod chrome;
+pub mod dc;
 pub mod events;
 pub mod metrics;
+pub mod prom;
 pub mod query;
 pub mod report;
 pub mod table;
 pub mod trace;
 
-pub use chrome::{chrome_trace_json, export_chrome_trace};
+pub use chrome::{
+    chrome_trace_json, chrome_trace_json_with_events, export_chrome_trace,
+    export_chrome_trace_with_events,
+};
+pub use dc::{DataCollector, NodeSample, QuerySummary, TickContext, TickUsage};
 pub use events::{EventLog, EventRecord};
 pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use prom::render_prometheus;
 pub use query::{current_node, current_query_id, next_query_id, NodeScope, QueryScope};
 pub use report::TraceReport;
 pub use table::Table;
@@ -187,6 +194,7 @@ pub struct Obs {
     trace: TraceSink,
     metrics: MetricsRegistry,
     events: EventLog,
+    dc: DataCollector,
 }
 
 impl Obs {
@@ -195,6 +203,7 @@ impl Obs {
             trace: TraceSink::new(),
             metrics: MetricsRegistry::new(),
             events: EventLog::new(),
+            dc: DataCollector::new(),
         }
     }
 
@@ -208,6 +217,13 @@ impl Obs {
 
     pub fn events(&self) -> &EventLog {
         &self.events
+    }
+
+    /// The data collector: per-node, retention-bounded time-series rings
+    /// sampled at deterministic tick points (statement boundaries, VFT and
+    /// train-pool completions).
+    pub fn dc(&self) -> &DataCollector {
+        &self.dc
     }
 }
 

@@ -444,6 +444,23 @@ impl MetricsSnapshot {
         }
         MetricsSnapshot { entries }
     }
+
+    /// The subset of entries labelled with `node` (plus, when
+    /// `include_global`, the entries carrying no node label — initiator-side
+    /// work that cannot be attributed to a specific node). Used by the data
+    /// collector to slice one statement delta into per-node ring samples.
+    pub fn restrict_to_node(&self, node: usize, include_global: bool) -> MetricsSnapshot {
+        let entries = self
+            .entries
+            .iter()
+            .filter(|(key, _)| match key.node {
+                Some(n) => n == node,
+                None => include_global,
+            })
+            .map(|(key, value)| (key.clone(), value.clone()))
+            .collect();
+        MetricsSnapshot { entries }
+    }
 }
 
 fn merge_histograms(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
@@ -767,5 +784,102 @@ mod tests {
             Some(1024)
         );
         assert!(json.get("exec.rows").is_some());
+    }
+
+    #[test]
+    fn restrict_to_node_slices_per_node_with_optional_globals() {
+        let mut s = MetricsSnapshot::default();
+        s.insert("rows", Some(0), MetricValue::Counter(10));
+        s.insert("rows", Some(1), MetricValue::Counter(20));
+        s.insert("stmt.count", None, MetricValue::Counter(1));
+        let n0 = s.restrict_to_node(0, true);
+        assert_eq!(n0.counter_total("rows"), 10);
+        assert_eq!(n0.counter_total("stmt.count"), 1);
+        let n1 = s.restrict_to_node(1, false);
+        assert_eq!(n1.counter_total("rows"), 20);
+        assert_eq!(n1.get("stmt.count", None), None);
+        // A node that never recorded anything slices to an empty snapshot.
+        assert!(s.restrict_to_node(7, false).entries.is_empty());
+    }
+
+    #[test]
+    fn cross_node_histogram_merge_with_disjoint_buckets() {
+        // Node 0 and node 1 observe latencies in completely disjoint
+        // octaves; the cluster-wide percentile must be computable from the
+        // merged buckets exactly as if one registry had seen all samples.
+        let split = MetricsRegistry::new();
+        for v in [1.0, 1.5, 3.0] {
+            split.observe("lat", Some(0), v);
+        }
+        for v in [1000.0, 2000.0, 4000.0] {
+            split.observe("lat", Some(1), v);
+        }
+        let combined = MetricsRegistry::new();
+        for v in [1.0, 1.5, 3.0, 1000.0, 2000.0, 4000.0] {
+            combined.observe("lat", Some(9), v);
+        }
+        let merged = split.snapshot().histogram_total("lat").unwrap();
+        let expect = combined.snapshot().histogram_total("lat").unwrap();
+        assert_eq!(merged.count, 6);
+        assert_eq!(merged.sum, expect.sum);
+        assert_eq!(merged.min, 1.0);
+        assert_eq!(merged.max, 4000.0);
+        assert_eq!(merged.buckets, expect.buckets);
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            assert_eq!(
+                merged.percentile(q),
+                expect.percentile(q),
+                "quantile {q} diverges between merged and combined"
+            );
+        }
+        // The high quantiles come entirely from node 1's disjoint range.
+        assert!(merged.p90() >= 1000.0, "p90 = {}", merged.p90());
+    }
+
+    #[test]
+    fn cross_node_histogram_merge_with_empty_sides() {
+        // MetricsSnapshot::merge where one side's node never observed the
+        // histogram: the populated side must pass through unchanged, and an
+        // empty-against-empty merge must stay percentile-safe (all zeros).
+        let a = MetricsRegistry::new();
+        a.observe("lat", Some(0), 8.0);
+        a.observe("lat", Some(0), 16.0);
+        let empty = MetricsSnapshot::default();
+        for merged in [a.snapshot().merge(&empty), empty.merge(&a.snapshot())] {
+            let h = merged.histogram_total("lat").unwrap();
+            assert_eq!(h.count, 2);
+            assert_eq!(h.min, 8.0);
+            assert_eq!(h.max, 16.0);
+            assert!(h.p50() >= 8.0 && h.p50() <= 16.0);
+        }
+        // Merging two explicit zero-count histograms keeps count 0 and the
+        // percentile estimator degenerate-safe.
+        let mut l = MetricsSnapshot::default();
+        l.insert(
+            "lat",
+            Some(0),
+            MetricValue::Histogram(HistogramSnapshot::default()),
+        );
+        let mut r = MetricsSnapshot::default();
+        r.insert(
+            "lat",
+            Some(1),
+            MetricValue::Histogram(HistogramSnapshot::default()),
+        );
+        let h = l.merge(&r).histogram_total("lat").unwrap();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        // And merging an empty histogram into a populated one under the
+        // *same* key leaves the distribution intact.
+        let mut same = MetricsSnapshot::default();
+        same.insert(
+            "lat",
+            Some(0),
+            MetricValue::Histogram(HistogramSnapshot::default()),
+        );
+        let h = a.snapshot().merge(&same).histogram_total("lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 16.0);
     }
 }

@@ -85,15 +85,56 @@ impl TrainAttribution {
     }
 
     fn finish(self, db: &VerticaDb, report: &TransferReport) {
-        let metrics_delta = self.before.map_or_else(Default::default, |b| {
-            vdr_obs::global().metrics().snapshot().diff(&b)
-        });
+        let wall_ns = self.started.elapsed().as_nanos() as u64;
+        let recording = self.before.is_some();
+        if recording {
+            vdr_obs::observe("query.wall_us", wall_ns as f64 / 1e3);
+        }
+        let after = recording.then(|| vdr_obs::global().metrics().snapshot());
+        let metrics_delta = match (&after, self.before) {
+            (Some(after), Some(before)) => after.diff(&before),
+            _ => Default::default(),
+        };
+        // Train-pool completion is a data-collector tick of its own: the
+        // transfer inside ticked with trigger "vft" and carried the per-node
+        // pool usage, so this tick contributes the train-level rollup plus an
+        // initiator-lane sample holding the `ml.train.*` deltas (they are
+        // recorded without a node label and would otherwise never land in a
+        // ring).
+        let dc = vdr_obs::global().dc();
+        if dc.sampling() {
+            let cache = db.storage().block_cache();
+            dc.tick(vdr_obs::TickContext {
+                query_id: self.query_id,
+                trigger: "train",
+                label: self.label.clone(),
+                status: "complete".to_string(),
+                rows: report.rows,
+                bytes: report.bytes,
+                sim_secs: report.total().as_secs(),
+                wall_ns,
+                delta: metrics_delta.clone(),
+                latency: after
+                    .as_ref()
+                    .and_then(|snap| snap.histogram_total("query.wall_us")),
+                usage: vec![vdr_obs::TickUsage {
+                    node: 0,
+                    sim_secs: report.total().as_secs(),
+                    cpu_core_ns: 0.0,
+                    disk_read_bytes: 0,
+                    disk_write_bytes: 0,
+                    net_in_bytes: 0,
+                    net_out_bytes: 0,
+                    cache_bytes: cache.bytes_on(vdr_cluster::NodeId(0)),
+                }],
+            });
+        }
         db.monitor().history().record(vdr_verticadb::QueryRecord {
             id: self.query_id,
             sql: self.label,
             status: "complete".to_string(),
             sim_secs: report.total().as_secs(),
-            wall_ns: self.started.elapsed().as_nanos() as u64,
+            wall_ns,
             rows: report.rows,
             bytes: report.bytes,
             phases: Vec::new(),

@@ -644,6 +644,57 @@ impl FastTransfer {
         )
     }
 
+    /// Advance the data collector one tick for a completed transfer (the
+    /// "vft" trigger). The sampling window opened when the transfer entered
+    /// its query scope, so the delta covers the export query, the receive
+    /// pools, and assembly; per-node usage comes from the receive-pool phase
+    /// rows captured before the report was pushed onto the ledger.
+    fn transfer_dc_tick(
+        db: &VerticaDb,
+        before: Option<(vdr_obs::MetricsSnapshot, Instant)>,
+        label: String,
+        report: &TransferReport,
+        pool_nodes: &[vdr_cluster::NodePhase],
+    ) {
+        let Some((before, started)) = before else {
+            return;
+        };
+        let dc = vdr_obs::global().dc();
+        if !dc.sampling() {
+            return;
+        }
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        vdr_obs::observe("query.wall_us", wall_ns as f64 / 1e3);
+        let after = vdr_obs::global().metrics().snapshot();
+        let cache = db.storage().block_cache();
+        let usage = pool_nodes
+            .iter()
+            .map(|n| vdr_obs::TickUsage {
+                node: n.node,
+                sim_secs: n.duration_secs,
+                cpu_core_ns: n.usage.cpu_core_ns,
+                disk_read_bytes: n.usage.disk_read_bytes + n.usage.disk_cached_read_bytes,
+                disk_write_bytes: n.usage.disk_write_bytes,
+                net_in_bytes: n.usage.net_in_bytes,
+                net_out_bytes: n.usage.net_out_bytes,
+                cache_bytes: cache.bytes_on(NodeId(n.node)),
+            })
+            .collect();
+        dc.tick(vdr_obs::TickContext {
+            query_id: vdr_obs::current_query_id(),
+            trigger: "vft",
+            label,
+            status: "complete".to_string(),
+            rows: report.rows,
+            bytes: report.bytes,
+            sim_secs: report.total().as_secs(),
+            wall_ns,
+            delta: after.diff(&before),
+            latency: after.histogram_total("query.wall_us"),
+            usage,
+        });
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn db2darray_inner(
         &self,
@@ -667,6 +718,12 @@ impl FastTransfer {
             id => id,
         };
         let _query_scope = vdr_obs::QueryScope::enter(query_id);
+        // Data-collector window: opened here so the tick's delta covers the
+        // whole transfer (export, receive pools, assembly).
+        let dc_before = vdr_obs::global()
+            .dc()
+            .sampling()
+            .then(|| (vdr_obs::global().metrics().snapshot(), Instant::now()));
         let mut transfer_span = vdr_obs::span("vft.db2darray");
         transfer_span.record("table", table);
         transfer_span.record("policy", policy.as_param());
@@ -729,25 +786,31 @@ impl FastTransfer {
 
         let r_report = r_rec.finish(db.cluster().profile());
         let client_time = r_report.duration();
+        let pool_nodes = r_report.nodes.clone();
         ledger.push(r_report);
         transfer_span.record("rows", total_rows);
         transfer_span.set_sim_time(db_time + client_time);
 
         let values = total_rows * ncol as u64;
-        Ok((
-            array,
-            TransferReport {
-                rows: total_rows,
-                values,
-                bytes: values * 8,
-                db_time,
-                client_time,
-                // The receive pools' idle window: the part of the export the
-                // pipelined conversion could not cover (clamped at zero when
-                // conversion dominates).
-                queue_time: db_time - client_time,
-            },
-        ))
+        let report = TransferReport {
+            rows: total_rows,
+            values,
+            bytes: values * 8,
+            db_time,
+            client_time,
+            // The receive pools' idle window: the part of the export the
+            // pipelined conversion could not cover (clamped at zero when
+            // conversion dominates).
+            queue_time: db_time - client_time,
+        };
+        Self::transfer_dc_tick(
+            db,
+            dc_before,
+            format!("VFT db2darray {table}"),
+            &report,
+            &pool_nodes,
+        );
+        Ok((array, report))
     }
 
     /// Load arbitrary columns of `table` into a distributed data frame (one
@@ -771,6 +834,10 @@ impl FastTransfer {
             id => id,
         };
         let _query_scope = vdr_obs::QueryScope::enter(query_id);
+        let dc_before = vdr_obs::global()
+            .dc()
+            .sampling()
+            .then(|| (vdr_obs::global().metrics().snapshot(), Instant::now()));
         let mut transfer_span = vdr_obs::span("vft.db2dframe");
         transfer_span.record("table", table);
         transfer_span.record("policy", policy.as_param());
@@ -830,21 +897,27 @@ impl FastTransfer {
         }
         let r_report = r_rec.finish(db.cluster().profile());
         let client_time = r_report.duration();
+        let pool_nodes = r_report.nodes.clone();
         ledger.push(r_report);
         transfer_span.record("rows", total_rows);
         transfer_span.set_sim_time(db_time + client_time);
 
-        Ok((
-            frame,
-            TransferReport {
-                rows: total_rows,
-                values: total_values,
-                bytes: total_bytes,
-                db_time,
-                client_time,
-                queue_time: db_time - client_time,
-            },
-        ))
+        let report = TransferReport {
+            rows: total_rows,
+            values: total_values,
+            bytes: total_bytes,
+            db_time,
+            client_time,
+            queue_time: db_time - client_time,
+        };
+        Self::transfer_dc_tick(
+            db,
+            dc_before,
+            format!("VFT db2dframe {table}"),
+            &report,
+            &pool_nodes,
+        );
+        Ok((frame, report))
     }
 
     /// Issue the export query while worker receive pools drain, stage, and

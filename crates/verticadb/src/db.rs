@@ -169,9 +169,19 @@ impl VerticaDb {
             .expect("no stray phase references after execution")
             .finish(self.cluster.profile());
         let wall_ns = started.elapsed().as_nanos() as u64;
-        let metrics_delta = metrics_before.map_or_else(Default::default, |before| {
-            vdr_obs::global().metrics().snapshot().diff(&before)
-        });
+        // The latency observation must land *before* the after-snapshot so
+        // the statement's own delta (and the DC tick it feeds) includes it.
+        if recording {
+            vdr_obs::observe("query.wall_us", wall_ns as f64 / 1e3);
+        }
+        let after = recording.then(|| vdr_obs::global().metrics().snapshot());
+        let metrics_delta = match (&after, metrics_before) {
+            (Some(after), Some(before)) => after.diff(&before),
+            _ => Default::default(),
+        };
+        let latency = after
+            .as_ref()
+            .and_then(|snap| snap.histogram_total("query.wall_us"));
         let sql = sql_text.map_or_else(|| report.name.clone(), str::to_string);
         match result {
             Ok(batch) => {
@@ -187,6 +197,7 @@ impl VerticaDb {
                     phases: vec![report.clone()],
                     metrics_delta,
                 };
+                self.dc_tick(&record, "statement", &report, latency);
                 target.push(report);
                 let threshold = self.monitor.slow_threshold_ns();
                 if wall_ns >= threshold {
@@ -212,7 +223,7 @@ impl VerticaDb {
             }
             Err(e) => {
                 vdr_obs::event("query.error", format!("query_id={query_id} error={e}"));
-                self.monitor.history().record(QueryRecord {
+                let record = QueryRecord {
                     id: query_id,
                     sql,
                     status: format!("error: {e}"),
@@ -222,10 +233,58 @@ impl VerticaDb {
                     bytes: 0,
                     phases: Vec::new(),
                     metrics_delta,
-                });
+                };
+                self.dc_tick(&record, "statement", &report, latency);
+                self.monitor.history().record(record);
                 Err(e)
             }
         }
+    }
+
+    /// Advance the data collector one deterministic tick at a statement
+    /// boundary: the statement's metric delta, its per-node ledger readings,
+    /// and the rolling latency histogram become one ring sample per node
+    /// plus one query rollup. (`vdr-transfer` ticks the same collector on
+    /// VFT and train-pool completions.)
+    fn dc_tick(
+        &self,
+        record: &QueryRecord,
+        trigger: &'static str,
+        report: &vdr_cluster::PhaseReport,
+        latency: Option<vdr_obs::HistogramSnapshot>,
+    ) {
+        let dc = vdr_obs::global().dc();
+        if !dc.sampling() {
+            return;
+        }
+        let cache = self.storage.block_cache();
+        let usage = report
+            .nodes
+            .iter()
+            .map(|n| vdr_obs::TickUsage {
+                node: n.node,
+                sim_secs: n.duration_secs,
+                cpu_core_ns: n.usage.cpu_core_ns,
+                disk_read_bytes: n.usage.disk_read_bytes + n.usage.disk_cached_read_bytes,
+                disk_write_bytes: n.usage.disk_write_bytes,
+                net_in_bytes: n.usage.net_in_bytes,
+                net_out_bytes: n.usage.net_out_bytes,
+                cache_bytes: cache.bytes_on(vdr_cluster::NodeId(n.node)),
+            })
+            .collect();
+        dc.tick(vdr_obs::TickContext {
+            query_id: record.id,
+            trigger,
+            label: record.sql.clone(),
+            status: record.status.clone(),
+            rows: record.rows,
+            bytes: record.bytes,
+            sim_secs: record.sim_secs,
+            wall_ns: record.wall_ns,
+            delta: record.metrics_delta.clone(),
+            latency,
+            usage,
+        });
     }
 
     /// Execute a statement charging an externally owned phase recorder.

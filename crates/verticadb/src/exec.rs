@@ -191,11 +191,13 @@ fn execute_select(db: &VerticaDb, stmt: &SelectStmt, rec: &Arc<PhaseRecorder>) -
     let per_node: Vec<Result<NodeResult>> = if let Some(sys) =
         crate::monitor::v_monitor_table(table)
     {
-        // System tables materialize on the initiator: the provider builds
-        // the batch, then the ordinary WHERE/projection/ORDER BY machinery
-        // runs over it like any gathered result.
+        // System tables materialize cluster-wide: every node contributes its
+        // rows (framed and streamed to the initiator, charged to `rec`),
+        // the union gains a `node_name` column, then the ordinary
+        // WHERE/projection/ORDER BY machinery runs over it like any
+        // gathered result.
         select_span.record("table", table);
-        let batch = db.monitor().materialize(sys, db)?;
+        let batch = db.monitor().materialize_cluster(sys, db, rec)?;
         let filtered = apply_where(stmt, &batch)?;
         vec![Ok(node_result(stmt, &filtered)?)]
     } else if table.eq_ignore_ascii_case("r_models") {

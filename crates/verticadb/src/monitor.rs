@@ -26,26 +26,42 @@
 //! | `dfs_objects`               | DFS object store listing                  |
 //! | `model_cache`               | prediction model cache stats (registered  |
 //! |                             | by `vdr-core` alongside the UDx funcs)    |
+//! | `dc_metrics_by_tick`        | data-collector per-tick metric deltas     |
+//! | `dc_resource_usage`         | data-collector per-tick ledger readings   |
+//! | `dc_query_summaries`        | per-tick query rollups with rolling       |
+//! |                             | p50/p90/p99 latency                       |
 //!
-//! System tables materialize on the initiator node — they are metadata
-//! reads, like `R_Models` — so no scatter/gather or ledger charge applies.
+//! System tables are **cluster-wide**: the executor resolves them through
+//! [`Monitor::materialize_cluster`], which asks every node for its share of
+//! the rows ([`SystemTableProvider::batch_on`]), streams the encoded blocks
+//! to the initiator over the same length-prefixed framing the VFT data path
+//! uses (`vdr_cluster::gather_framed`), and unions them with a trailing
+//! `node_name` column — so `SELECT node_name, ... FROM v_monitor.<t>` shows
+//! which node produced each row, like Vertica's `v_monitor` does. Tables
+//! whose state lives only on the initiator (query history, slow requests,
+//! DFS metadata, DC rollups) keep the default `batch_on`: node 0 produces,
+//! other nodes send nothing.
 
 use crate::db::VerticaDb;
 use crate::error::{DbError, Result};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use vdr_cluster::{NodeId, PhaseReport};
-use vdr_columnar::{Batch, ColumnBuilder, DataType, Field, Schema, Value};
+use vdr_cluster::{gather_framed, ClusterError, NodeId, PhaseRecorder, PhaseReport};
+use vdr_columnar::{
+    decode_batch, encode_batch, Batch, Column, ColumnBuilder, DataType, Field, Schema, Value,
+};
 use vdr_obs::{MetricValue, MetricsSnapshot, SpanRecord};
 
 /// The virtual schema name system tables live under.
 pub const V_MONITOR_SCHEMA: &str = "v_monitor";
 
-/// The query-history ring keeps the last N completed (or failed)
-/// statements; older entries are evicted and counted on
-/// `obs.query_history.evicted`.
+/// The default query-history ring capacity: the last N completed (or
+/// failed) statements. Runtime-configurable via
+/// [`QueryHistory::set_capacity`]; older entries are evicted, counted on
+/// `obs.query_history.evicted`, and reported as `query.history.evicted`
+/// structured events.
 pub const QUERY_HISTORY_CAPACITY: usize = 1024;
 
 /// The slow-request ring keeps the last N statements that crossed the
@@ -92,7 +108,7 @@ pub struct QueryRecord {
 /// Bounded ring of recent [`QueryRecord`]s.
 pub struct QueryHistory {
     entries: Mutex<VecDeque<QueryRecord>>,
-    capacity: usize,
+    capacity: AtomicUsize,
 }
 
 impl QueryHistory {
@@ -103,17 +119,56 @@ impl QueryHistory {
     pub fn with_capacity(capacity: usize) -> Self {
         QueryHistory {
             entries: Mutex::new(VecDeque::new()),
-            capacity,
+            capacity: AtomicUsize::new(capacity),
+        }
+    }
+
+    /// The current retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Change the retention bound at runtime; an over-capacity ring is
+    /// trimmed (and the trim counted) immediately.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut entries = self.entries.lock();
+        let len = entries.len();
+        Self::trim(&mut entries, capacity);
+        drop(entries);
+        if len > capacity {
+            vdr_obs::event(
+                "query.history.evicted",
+                format!(
+                    "trimmed {} records on set_capacity({capacity})",
+                    len - capacity
+                ),
+            );
+        }
+    }
+
+    fn trim(entries: &mut VecDeque<QueryRecord>, capacity: usize) {
+        while entries.len() > capacity {
+            entries.pop_front();
+            vdr_obs::counter("obs.query_history.evicted", 1);
         }
     }
 
     /// Append a record, evicting the oldest past capacity.
     pub fn record(&self, record: QueryRecord) {
+        let capacity = self.capacity();
         let mut entries = self.entries.lock();
+        let evicted_id = (entries.len() >= capacity)
+            .then(|| entries.front().map(|r| r.id))
+            .flatten();
         entries.push_back(record);
-        while entries.len() > self.capacity {
-            entries.pop_front();
-            vdr_obs::counter("obs.query_history.evicted", 1);
+        Self::trim(&mut entries, capacity);
+        drop(entries);
+        if let Some(id) = evicted_id {
+            vdr_obs::event(
+                "query.history.evicted",
+                format!("query_id={id} dropped from history ring (capacity {capacity})"),
+            );
         }
     }
 
@@ -153,6 +208,18 @@ pub trait SystemTableProvider: Send + Sync {
     fn name(&self) -> &str;
     /// Materialize the table's current contents.
     fn batch(&self, db: &VerticaDb) -> Result<Batch>;
+    /// The rows *node* contributes to the cluster-wide union
+    /// ([`Monitor::materialize_cluster`]). `None` means the node sends no
+    /// frames — the default keeps initiator-resident tables (query history,
+    /// slow requests, DFS metadata) cheap: only node 0 produces, everyone
+    /// else stays silent on the wire.
+    fn batch_on(&self, db: &VerticaDb, node: NodeId) -> Result<Option<Batch>> {
+        if node.0 == 0 {
+            self.batch(db).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
 }
 
 /// One statement that crossed the slow-query threshold.
@@ -194,6 +261,9 @@ impl Monitor {
         m.register(Arc::new(StorageContainersTable));
         m.register(Arc::new(BlockCacheTable));
         m.register(Arc::new(DfsObjectsTable));
+        m.register(Arc::new(DcMetricsByTickTable));
+        m.register(Arc::new(DcResourceUsageTable));
+        m.register(Arc::new(DcQuerySummariesTable));
         m
     }
 
@@ -249,16 +319,84 @@ impl Monitor {
 
     /// Materialize `v_monitor.<table>`.
     pub fn materialize(&self, table: &str, db: &VerticaDb) -> Result<Batch> {
-        let provider = self
-            .providers
+        self.provider(table)?.batch(db)
+    }
+
+    fn provider(&self, table: &str) -> Result<Arc<dyn SystemTableProvider>> {
+        self.providers
             .read()
             .get(&table.to_ascii_lowercase())
             .cloned()
             .ok_or_else(|| {
                 DbError::Plan(format!("unknown system table '{V_MONITOR_SCHEMA}.{table}'"))
-            })?;
-        provider.batch(db)
+            })
     }
+
+    /// Materialize `v_monitor.<table>` as the union across all cluster
+    /// nodes: every node runs the provider's [`SystemTableProvider::batch_on`]
+    /// for itself, encodes the rows into a block, and streams it to the
+    /// initiator over the same 16-byte-header/length-prefixed framing the
+    /// VFT path uses (`vdr_cluster::gather_framed`). The initiator decodes
+    /// and concatenates, appending a `node_name` column naming the producing
+    /// node. Network bytes and encode/decode CPU are charged to `rec`.
+    pub fn materialize_cluster(
+        &self,
+        table: &str,
+        db: &VerticaDb,
+        rec: &Arc<PhaseRecorder>,
+    ) -> Result<Batch> {
+        let provider = self.provider(table)?;
+        let scan_cost = db.cluster().profile().costs.db_scan_ns_per_value;
+        let stage_key = format!("monitor.fetch.{}", provider.name());
+        let gathered = gather_framed(db.cluster(), rec, &stage_key, |node| {
+            let batch = provider
+                .batch_on(db, node.id())
+                .map_err(|e| ClusterError::Io(format!("system table produce: {e}")))?;
+            Ok(match batch {
+                Some(batch) if batch.num_rows() > 0 => {
+                    rec.cpu_work(node.id(), batch.num_values() as f64, scan_cost);
+                    vec![encode_batch(&batch)]
+                }
+                _ => Vec::new(),
+            })
+        })?;
+        let initiator = NodeId(0);
+        let mut parts: Vec<Batch> = Vec::new();
+        for (node, frames) in gathered.into_iter().enumerate() {
+            for frame in frames {
+                let batch = decode_batch(&frame)?;
+                rec.cpu_work(initiator, batch.num_values() as f64, scan_cost);
+                parts.push(with_node_name(&batch, node)?);
+            }
+        }
+        match parts.first() {
+            // A table nobody contributed to still needs its schema: take the
+            // provider's initiator-side shape (empty) and tag it.
+            None => with_node_name(&provider.batch(db)?.slice(0, 0), 0),
+            Some(first) => {
+                let schema = first.schema().clone();
+                Ok(Batch::concat(schema, &parts)?)
+            }
+        }
+    }
+}
+
+/// The display name of a cluster node in `v_monitor` output, matching
+/// Vertica's `v_<dbname>_nodeNNNN` convention.
+pub fn node_name(node: usize) -> String {
+    format!("v_vdr_node{:04}", node + 1)
+}
+
+/// `batch` with a trailing `node_name` Varchar column naming `node`.
+fn with_node_name(batch: &Batch, node: usize) -> Result<Batch> {
+    let mut fields = batch.schema().fields().to_vec();
+    fields.push(Field::new("node_name".to_string(), DataType::Varchar));
+    let mut columns = batch.columns().to_vec();
+    columns.push(Column::from_strings(vec![
+        node_name(node);
+        batch.num_rows()
+    ]));
+    Ok(Batch::new(Schema::new(fields), columns)?)
 }
 
 impl Default for Monitor {
@@ -345,12 +483,8 @@ impl SystemTableProvider for QueryRequestsTable {
 
 struct ExecutionEngineProfilesTable;
 
-impl SystemTableProvider for ExecutionEngineProfilesTable {
-    fn name(&self) -> &str {
-        "execution_engine_profiles"
-    }
-
-    fn batch(&self, db: &VerticaDb) -> Result<Batch> {
+impl ExecutionEngineProfilesTable {
+    fn rows(db: &VerticaDb, keep: impl Fn(usize) -> bool) -> Result<Batch> {
         let mut rows = Rows::new(&[
             ("query_id", DataType::Int64),
             ("phase", DataType::Varchar),
@@ -373,6 +507,9 @@ impl SystemTableProvider for ExecutionEngineProfilesTable {
                     r.id
                 };
                 for n in &phase.nodes {
+                    if !keep(n.node) {
+                        continue;
+                    }
                     rows.push(vec![
                         Value::Int64(qid as i64),
                         Value::Varchar(phase.name.clone()),
@@ -392,14 +529,27 @@ impl SystemTableProvider for ExecutionEngineProfilesTable {
     }
 }
 
-struct MetricsTable;
-
-impl SystemTableProvider for MetricsTable {
+impl SystemTableProvider for ExecutionEngineProfilesTable {
     fn name(&self) -> &str {
-        "metrics"
+        "execution_engine_profiles"
     }
 
-    fn batch(&self, _db: &VerticaDb) -> Result<Batch> {
+    fn batch(&self, db: &VerticaDb) -> Result<Batch> {
+        ExecutionEngineProfilesTable::rows(db, |_| true)
+    }
+
+    fn batch_on(&self, db: &VerticaDb, node: NodeId) -> Result<Option<Batch>> {
+        // The history lives on the initiator, but each node "owns" its
+        // per-node phase rows in the cluster union.
+        ExecutionEngineProfilesTable::rows(db, |n| n == node.0).map(Some)
+    }
+}
+
+struct MetricsTable;
+
+impl MetricsTable {
+    /// Rows for the metric entries `keep` selects (by node label).
+    fn rows(keep: impl Fn(Option<usize>) -> bool) -> Result<Batch> {
         let snap = vdr_obs::global().metrics().snapshot();
         let mut rows = Rows::new(&[
             ("name", DataType::Varchar),
@@ -412,6 +562,9 @@ impl SystemTableProvider for MetricsTable {
             ("p999", DataType::Float64),
         ]);
         for (key, value) in snap.iter() {
+            if !keep(key.node) {
+                continue;
+            }
             // The scalar `value` is the count for histograms; the
             // percentile columns carry the distribution (NULL for
             // counters/gauges, which have none).
@@ -453,14 +606,26 @@ impl SystemTableProvider for MetricsTable {
     }
 }
 
-struct SpansTable;
-
-impl SystemTableProvider for SpansTable {
+impl SystemTableProvider for MetricsTable {
     fn name(&self) -> &str {
-        "spans"
+        "metrics"
     }
 
     fn batch(&self, _db: &VerticaDb) -> Result<Batch> {
+        MetricsTable::rows(|_| true)
+    }
+
+    fn batch_on(&self, _db: &VerticaDb, node: NodeId) -> Result<Option<Batch>> {
+        // Node-labelled entries belong to their node; unlabelled (global /
+        // initiator-side) entries ride on node 0.
+        MetricsTable::rows(|n| n == Some(node.0) || (node.0 == 0 && n.is_none())).map(Some)
+    }
+}
+
+struct SpansTable;
+
+impl SpansTable {
+    fn rows(keep: impl Fn(Option<usize>) -> bool) -> Result<Batch> {
         let mut rows = Rows::new(&[
             ("span_id", DataType::Int64),
             ("parent_id", DataType::Int64),
@@ -473,6 +638,9 @@ impl SystemTableProvider for SpansTable {
             ("fields", DataType::Varchar),
         ]);
         for s in vdr_obs::global().trace().snapshot() {
+            if !keep(s.node) {
+                continue;
+            }
             let fields = s
                 .fields
                 .iter()
@@ -495,14 +663,24 @@ impl SystemTableProvider for SpansTable {
     }
 }
 
-struct EventsTable;
-
-impl SystemTableProvider for EventsTable {
+impl SystemTableProvider for SpansTable {
     fn name(&self) -> &str {
-        "events"
+        "spans"
     }
 
     fn batch(&self, _db: &VerticaDb) -> Result<Batch> {
+        SpansTable::rows(|_| true)
+    }
+
+    fn batch_on(&self, _db: &VerticaDb, node: NodeId) -> Result<Option<Batch>> {
+        SpansTable::rows(|n| n == Some(node.0) || (node.0 == 0 && n.is_none())).map(Some)
+    }
+}
+
+struct EventsTable;
+
+impl EventsTable {
+    fn rows(keep: impl Fn(Option<usize>) -> bool) -> Result<Batch> {
         let mut rows = Rows::new(&[
             ("seq", DataType::Int64),
             ("ts_ms", DataType::Float64),
@@ -512,6 +690,9 @@ impl SystemTableProvider for EventsTable {
             ("detail", DataType::Varchar),
         ]);
         for e in vdr_obs::global().events().snapshot() {
+            if !keep(e.node) {
+                continue;
+            }
             rows.push(vec![
                 Value::Int64(e.seq as i64),
                 Value::Float64(e.ts_ns as f64 / 1e6),
@@ -522,6 +703,20 @@ impl SystemTableProvider for EventsTable {
             ])?;
         }
         rows.finish()
+    }
+}
+
+impl SystemTableProvider for EventsTable {
+    fn name(&self) -> &str {
+        "events"
+    }
+
+    fn batch(&self, _db: &VerticaDb) -> Result<Batch> {
+        EventsTable::rows(|_| true)
+    }
+
+    fn batch_on(&self, _db: &VerticaDb, node: NodeId) -> Result<Option<Batch>> {
+        EventsTable::rows(|n| n == Some(node.0) || (node.0 == 0 && n.is_none())).map(Some)
     }
 }
 
@@ -555,12 +750,8 @@ impl SystemTableProvider for SlowRequestsTable {
 
 struct StorageContainersTable;
 
-impl SystemTableProvider for StorageContainersTable {
-    fn name(&self) -> &str {
-        "storage_containers"
-    }
-
-    fn batch(&self, db: &VerticaDb) -> Result<Batch> {
+impl StorageContainersTable {
+    fn rows(db: &VerticaDb, nodes: std::ops::Range<usize>) -> Result<Batch> {
         // One row per container × column: per-column encoding choice and the
         // encoded-vs-decoded byte sizes make compression wins inspectable
         // from SQL. `bytes`/`crc32` describe the whole container block and
@@ -578,7 +769,7 @@ impl SystemTableProvider for StorageContainersTable {
             ("crc32", DataType::Int64),
         ]);
         for table in db.catalog().table_names() {
-            for node in 0..db.cluster().num_nodes() {
+            for node in nodes.clone() {
                 for c in db.storage().containers(&table, NodeId(node)) {
                     for col in &c.columns {
                         rows.push(vec![
@@ -598,6 +789,20 @@ impl SystemTableProvider for StorageContainersTable {
             }
         }
         rows.finish()
+    }
+}
+
+impl SystemTableProvider for StorageContainersTable {
+    fn name(&self) -> &str {
+        "storage_containers"
+    }
+
+    fn batch(&self, db: &VerticaDb) -> Result<Batch> {
+        StorageContainersTable::rows(db, 0..db.cluster().num_nodes())
+    }
+
+    fn batch_on(&self, db: &VerticaDb, node: NodeId) -> Result<Option<Batch>> {
+        StorageContainersTable::rows(db, node.0..node.0 + 1).map(Some)
     }
 }
 
@@ -640,6 +845,23 @@ impl SystemTableProvider for BlockCacheTable {
         }
         cache_stats_batch(&stats)
     }
+
+    fn batch_on(&self, db: &VerticaDb, node: NodeId) -> Result<Option<Batch>> {
+        let cache = db.storage().block_cache();
+        let mut stats: Vec<(&str, Option<usize>, u64)> = Vec::new();
+        if node.0 == 0 {
+            // Process-wide counters ride on the initiator.
+            stats.extend([
+                ("hits", None, cache.hits()),
+                ("misses", None, cache.misses()),
+                ("evictions", None, cache.evictions()),
+                ("invalidations", None, cache.invalidations()),
+                ("entries", None, cache.len() as u64),
+            ]);
+        }
+        stats.push(("bytes", Some(node.0), cache.bytes_on(node)));
+        cache_stats_batch(&stats).map(Some)
+    }
 }
 
 struct DfsObjectsTable;
@@ -665,6 +887,181 @@ impl SystemTableProvider for DfsObjectsTable {
                 Value::Int64(dfs.checksum_of(&name).unwrap_or(0) as i64),
                 Value::Int64(dfs.replicas_of(&name).len() as i64),
                 Value::Bool(dfs.is_readable(&name)),
+            ])?;
+        }
+        rows.finish()
+    }
+}
+
+// ------------------------------------------------- data-collector tables
+
+struct DcMetricsByTickTable;
+
+impl DcMetricsByTickTable {
+    fn rows(samples: &[(usize, Vec<vdr_obs::NodeSample>)]) -> Result<Batch> {
+        let mut rows = Rows::new(&[
+            ("tick", DataType::Int64),
+            ("query_id", DataType::Int64),
+            ("trigger", DataType::Varchar),
+            ("name", DataType::Varchar),
+            ("node", DataType::Int64),
+            ("kind", DataType::Varchar),
+            ("value", DataType::Float64),
+            ("p50", DataType::Float64),
+            ("p90", DataType::Float64),
+            ("p99", DataType::Float64),
+        ]);
+        for (_, ring) in samples {
+            for s in ring {
+                for (key, value) in s.delta.iter() {
+                    let (kind, v, pcts) = match value {
+                        MetricValue::Counter(0) => continue,
+                        MetricValue::Counter(c) => (
+                            "counter",
+                            *c as f64,
+                            [Value::Null, Value::Null, Value::Null],
+                        ),
+                        MetricValue::Gauge(g) => {
+                            ("gauge", *g, [Value::Null, Value::Null, Value::Null])
+                        }
+                        MetricValue::Histogram(h) if h.count == 0 => continue,
+                        MetricValue::Histogram(h) => (
+                            "histogram",
+                            h.count as f64,
+                            [
+                                Value::Float64(h.p50()),
+                                Value::Float64(h.p90()),
+                                Value::Float64(h.p99()),
+                            ],
+                        ),
+                    };
+                    let [p50, p90, p99] = pcts;
+                    rows.push(vec![
+                        Value::Int64(s.tick as i64),
+                        Value::Int64(s.query_id as i64),
+                        Value::Varchar(s.trigger.to_string()),
+                        Value::Varchar(key.name.clone()),
+                        opt_node(key.node),
+                        Value::Varchar(kind.to_string()),
+                        Value::Float64(v),
+                        p50,
+                        p90,
+                        p99,
+                    ])?;
+                }
+            }
+        }
+        rows.finish()
+    }
+}
+
+impl SystemTableProvider for DcMetricsByTickTable {
+    fn name(&self) -> &str {
+        "dc_metrics_by_tick"
+    }
+
+    fn batch(&self, _db: &VerticaDb) -> Result<Batch> {
+        DcMetricsByTickTable::rows(&vdr_obs::global().dc().samples())
+    }
+
+    fn batch_on(&self, _db: &VerticaDb, node: NodeId) -> Result<Option<Batch>> {
+        let ring = vdr_obs::global().dc().samples_on(node.0);
+        DcMetricsByTickTable::rows(&[(node.0, ring)]).map(Some)
+    }
+}
+
+struct DcResourceUsageTable;
+
+impl DcResourceUsageTable {
+    fn rows(samples: &[(usize, Vec<vdr_obs::NodeSample>)]) -> Result<Batch> {
+        let mut rows = Rows::new(&[
+            ("tick", DataType::Int64),
+            ("query_id", DataType::Int64),
+            ("trigger", DataType::Varchar),
+            ("node", DataType::Int64),
+            ("sim_us", DataType::Float64),
+            ("cpu_core_ns", DataType::Float64),
+            ("disk_read_bytes", DataType::Int64),
+            ("disk_write_bytes", DataType::Int64),
+            ("net_in_bytes", DataType::Int64),
+            ("net_out_bytes", DataType::Int64),
+            ("cache_bytes", DataType::Int64),
+        ]);
+        for (_, ring) in samples {
+            for s in ring {
+                let u = &s.usage;
+                rows.push(vec![
+                    Value::Int64(s.tick as i64),
+                    Value::Int64(s.query_id as i64),
+                    Value::Varchar(s.trigger.to_string()),
+                    Value::Int64(u.node as i64),
+                    Value::Float64(u.sim_secs * 1e6),
+                    Value::Float64(u.cpu_core_ns),
+                    Value::Int64(u.disk_read_bytes as i64),
+                    Value::Int64(u.disk_write_bytes as i64),
+                    Value::Int64(u.net_in_bytes as i64),
+                    Value::Int64(u.net_out_bytes as i64),
+                    Value::Int64(u.cache_bytes as i64),
+                ])?;
+            }
+        }
+        rows.finish()
+    }
+}
+
+impl SystemTableProvider for DcResourceUsageTable {
+    fn name(&self) -> &str {
+        "dc_resource_usage"
+    }
+
+    fn batch(&self, _db: &VerticaDb) -> Result<Batch> {
+        DcResourceUsageTable::rows(&vdr_obs::global().dc().samples())
+    }
+
+    fn batch_on(&self, _db: &VerticaDb, node: NodeId) -> Result<Option<Batch>> {
+        let ring = vdr_obs::global().dc().samples_on(node.0);
+        DcResourceUsageTable::rows(&[(node.0, ring)]).map(Some)
+    }
+}
+
+struct DcQuerySummariesTable;
+
+impl SystemTableProvider for DcQuerySummariesTable {
+    fn name(&self) -> &str {
+        "dc_query_summaries"
+    }
+
+    // Rollups are initiator-resident (the default `batch_on` keeps remote
+    // nodes silent): one row per tick with rolling latency percentiles.
+    fn batch(&self, _db: &VerticaDb) -> Result<Batch> {
+        let mut rows = Rows::new(&[
+            ("tick", DataType::Int64),
+            ("query_id", DataType::Int64),
+            ("trigger", DataType::Varchar),
+            ("label", DataType::Varchar),
+            ("status", DataType::Varchar),
+            ("rows", DataType::Int64),
+            ("bytes", DataType::Int64),
+            ("sim_us", DataType::Float64),
+            ("wall_us", DataType::Float64),
+            ("p50_us", DataType::Float64),
+            ("p90_us", DataType::Float64),
+            ("p99_us", DataType::Float64),
+        ]);
+        for s in vdr_obs::global().dc().summaries() {
+            rows.push(vec![
+                Value::Int64(s.tick as i64),
+                Value::Int64(s.query_id as i64),
+                Value::Varchar(s.trigger.to_string()),
+                Value::Varchar(s.label),
+                Value::Varchar(s.status),
+                Value::Int64(s.rows as i64),
+                Value::Int64(s.bytes as i64),
+                Value::Float64(s.sim_secs * 1e6),
+                Value::Float64(s.wall_ns as f64 / 1e3),
+                Value::Float64(s.p50_us),
+                Value::Float64(s.p90_us),
+                Value::Float64(s.p99_us),
             ])?;
         }
         rows.finish()
